@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation (paper §7.2): quarantine policy tuning. Sweeps the
+ * quarantine:allocated-heap ratio and the minimum quarantine size,
+ * showing the trade-off the paper describes: bigger quarantines mean
+ * fewer (but individually no cheaper) revocations and more memory
+ * held; smaller ones revoke constantly.
+ */
+
+#include "bench_util.h"
+
+using namespace crev;
+
+namespace {
+
+core::RunMetrics
+runWith(double ratio, std::size_t min_bytes)
+{
+    core::MachineConfig cfg;
+    cfg.strategy = core::Strategy::kReloaded;
+    cfg.policy.alloc_ratio = ratio;
+    cfg.policy.min_bytes = min_bytes;
+    core::Machine m(cfg);
+    workload::runSpec(m, workload::specProfile("xalancbmk"));
+    return m.metrics();
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation: quarantine policy tuning (Reloaded, "
+                      "xalancbmk)",
+                      "paper §7.2");
+
+    stats::Table table({"ratio", "min_KiB", "epochs", "wall_ms",
+                        "bus_Mtx", "peak_rss_pages"});
+
+    const std::size_t kMin = 64 * 1024;
+    for (double ratio : {1.0 / 6.0, 1.0 / 3.0, 2.0 / 3.0}) {
+        std::fprintf(stderr, "  running ratio=%.3f...\n", ratio);
+        const auto m = runWith(ratio, kMin);
+        table.addRow({stats::Table::fmt(ratio, 3),
+                      std::to_string(kMin / 1024),
+                      std::to_string(m.epochs.size()),
+                      stats::Table::fmt(cyclesToMillis(m.wall_cycles)),
+                      stats::Table::fmt(
+                          static_cast<double>(
+                              m.bus_transactions_total) /
+                              1e6,
+                          2),
+                      std::to_string(m.peak_rss_pages)});
+    }
+    for (std::size_t min_b : {16u * 1024u, 256u * 1024u}) {
+        std::fprintf(stderr, "  running min=%zu KiB...\n",
+                     min_b / 1024);
+        const auto m = runWith(1.0 / 3.0, min_b);
+        table.addRow({stats::Table::fmt(1.0 / 3.0, 3),
+                      std::to_string(min_b / 1024),
+                      std::to_string(m.epochs.size()),
+                      stats::Table::fmt(cyclesToMillis(m.wall_cycles)),
+                      stats::Table::fmt(
+                          static_cast<double>(
+                              m.bus_transactions_total) /
+                              1e6,
+                          2),
+                      std::to_string(m.peak_rss_pages)});
+    }
+
+    table.print();
+    std::printf("\nExpected shape: larger ratios => fewer epochs, "
+                "less total sweep traffic, higher peak RSS; and vice "
+                "versa.\n");
+    return 0;
+}

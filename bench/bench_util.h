@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction bench binaries.
+ *
+ * Each binary regenerates one table or figure from the paper's
+ * evaluation (§5), printing the same rows/series. Absolute numbers are
+ * simulated cycles, not Morello hardware measurements — EXPERIMENTS.md
+ * records the shape comparison against the paper.
+ */
+
+#ifndef CREV_BENCH_BENCH_UTIL_H_
+#define CREV_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "workload/spec.h"
+
+namespace crev::benchutil {
+
+/** Strategies most figures compare (baseline is the denominator). */
+inline const std::vector<core::Strategy> kSafe = {
+    core::Strategy::kCheriVoke, core::Strategy::kCornucopia,
+    core::Strategy::kReloaded};
+
+/** Including Paint+sync (fig. 2, 5-7). */
+inline const std::vector<core::Strategy> kSafeAndPaint = {
+    core::Strategy::kPaintOnly, core::Strategy::kCheriVoke,
+    core::Strategy::kCornucopia, core::Strategy::kReloaded};
+
+/** test/baseline - 1, as a ratio. */
+inline double
+overhead(double test, double baseline)
+{
+    return baseline > 0 ? test / baseline - 1.0 : 0.0;
+}
+
+/**
+ * Memoizing runner for the SPEC-like profiles so a bench that needs
+ * both the baseline and the test conditions runs each sim once.
+ */
+class SpecRunner
+{
+  public:
+    const core::RunMetrics &
+    run(const std::string &profile, core::Strategy s)
+    {
+        const std::string key =
+            profile + "/" + core::strategyName(s);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            std::fprintf(stderr, "  running %s...\n", key.c_str());
+            it = cache_
+                     .emplace(key, workload::runSpecOn(
+                                       s, workload::specProfile(profile)))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, core::RunMetrics> cache_;
+};
+
+/** Print the standard bench header. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("== %s ==\n", what);
+    std::printf("(reproduces %s; simulated Morello-like machine, "
+                "workloads scaled ~128x — compare shapes, "
+                "not absolute values)\n\n",
+                paper_ref);
+}
+
+} // namespace crev::benchutil
+
+#endif // CREV_BENCH_BENCH_UTIL_H_

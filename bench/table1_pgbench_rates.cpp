@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 1: pgbench latency percentiles (ms) under fixed --rate
+ * schedules vs the unscheduled run, all under Reloaded.
+ *
+ * Paper anchors (tx/s 100/150/250/unscheduled): the long-tail 99.9th
+ * percentile decreases as the offered rate drops, while — somewhat
+ * counter-intuitively — short-tail percentiles (p90-p99) *increase*
+ * at lower rates (also observed without revocation).
+ */
+
+#include "bench_util.h"
+#include "workload/pgbench.h"
+
+using namespace crev;
+
+int
+main()
+{
+    benchutil::banner(
+        "Table 1: pgbench latency percentiles under fixed --rate "
+        "schedules (Reloaded)",
+        "paper table 1");
+
+    // The paper's rates (100/150/250 tx/s) correspond to fractions of
+    // the unscheduled throughput (~284 tx/s): ~35%, ~53%, ~88%. Our
+    // simulated server runs at a different absolute rate, so we match
+    // those utilisation fractions.
+    workload::PgbenchConfig probe;
+    probe.transactions = 1500;
+    std::fprintf(stderr, "  probing unscheduled throughput...\n");
+    const auto unsched_probe =
+        workload::runPgbench(core::Strategy::kReloaded, probe);
+    const double unsched_tps =
+        static_cast<double>(probe.transactions) /
+        unsched_probe.metrics.wallSeconds();
+
+    stats::Table table({"tx/s", "p50", "p90", "p95", "p99", "p99.9"});
+
+    const double fractions[] = {0.35, 0.53, 0.88};
+    for (double f : fractions) {
+        workload::PgbenchConfig cfg;
+        cfg.rate_tps = unsched_tps * f;
+        std::fprintf(stderr, "  running rate=%.0f tx/s...\n",
+                     cfg.rate_tps);
+        const auto r =
+            workload::runPgbench(core::Strategy::kReloaded, cfg);
+        table.addRow({stats::Table::fmt(cfg.rate_tps, 0),
+                      stats::Table::fmt(r.latency_ms.percentile(0.50), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.90), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.95), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.99), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.999),
+                                        4)});
+    }
+
+    {
+        workload::PgbenchConfig cfg;
+        std::fprintf(stderr, "  running unscheduled...\n");
+        const auto r =
+            workload::runPgbench(core::Strategy::kReloaded, cfg);
+        table.addRow({"unscheduled",
+                      stats::Table::fmt(r.latency_ms.percentile(0.50), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.90), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.95), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.99), 4),
+                      stats::Table::fmt(r.latency_ms.percentile(0.999),
+                                        4)});
+    }
+
+    table.print();
+    std::printf("\nExpected shape: p99.9 falls as the offered rate "
+                "drops; unscheduled and the highest rate look alike. "
+                "Latencies are measured from actual transmission, "
+                "ignoring schedule lag, as in the paper.\n");
+    return 0;
+}

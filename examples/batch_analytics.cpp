@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Batch-analytics example: building a custom workload directly
+ * against the public API, plus the mmap/munmap reservation-quarantine
+ * path (paper §6.2) that protects whole mappings.
+ *
+ * The "analytics" job repeatedly maps a large input buffer (as a
+ * file-copy or mmap-based reader would), builds an index of
+ * heap-allocated records pointing into a dictionary, tears the
+ * mapping down again, and replaces cold records. Under Reloaded both
+ * the heap objects *and* the unmapped reservations are revoked before
+ * any reuse.
+ *
+ *   $ ./batch_analytics
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "vm/fault.h"
+
+using namespace crev;
+
+int
+main()
+{
+    core::MachineConfig cfg;
+    cfg.strategy = core::Strategy::kReloaded;
+    cfg.audit = true;
+    cfg.policy.min_bytes = 32 * 1024;
+    core::Machine machine(cfg);
+
+    machine.spawnMutator("analytics", 1u << 3, [&](core::Mutator &ctx) {
+        auto &rng = ctx.rng();
+
+        // A dictionary of interned strings (long-lived heap objects).
+        std::vector<cap::Capability> dict;
+        for (int i = 0; i < 512; ++i) {
+            dict.push_back(ctx.malloc(96));
+            ctx.store64(dict.back(), 0, static_cast<std::uint64_t>(i));
+        }
+
+        std::uint64_t checksum = 0;
+        int mappings_cycled = 0;
+
+        for (int batch = 0; batch < 24; ++batch) {
+            // Map a fresh 64 KiB input buffer (file-reader style).
+            const cap::Capability input =
+                machine.kernel().sysMmap(ctx.thread(), 64 * 1024);
+            // "Parse" it: stream writes then reads.
+            for (Addr off = 0; off < input.length(); off += 4096)
+                ctx.store64(input, off, rng.next());
+            for (Addr off = 0; off < input.length(); off += 512)
+                checksum ^= ctx.load64(input, roundDown(off, 8));
+
+            // Build index records referencing dictionary entries.
+            std::vector<cap::Capability> index;
+            for (int r = 0; r < 256; ++r) {
+                index.push_back(ctx.malloc(48));
+                ctx.storeCap(index.back(), 16,
+                             dict[rng.below(dict.size())]);
+            }
+            // Consume the index: chase into the dictionary.
+            for (const auto &rec : index) {
+                const cap::Capability word = ctx.loadCap(rec, 16);
+                if (word.tag)
+                    checksum += ctx.load64(word, 0);
+            }
+
+            // Tear the batch down: records to heap quarantine, the
+            // mapping to reservation quarantine (§6.2) — its address
+            // space cannot be remapped until a revocation pass.
+            for (const auto &rec : index)
+                ctx.free(rec);
+            machine.kernel().sysMunmap(ctx.thread(), input.base,
+                                       input.length());
+            ++mappings_cycled;
+
+            // Replace a few cold dictionary entries (heap churn).
+            for (int k = 0; k < 32; ++k) {
+                const auto victim = rng.below(dict.size());
+                ctx.free(dict[victim]);
+                dict[victim] = ctx.malloc(96);
+                ctx.store64(dict[victim], 0, rng.next());
+            }
+        }
+
+        machine.heap().drain(ctx.thread());
+        std::printf("processed 24 batches, checksum %#llx, "
+                    "%d mappings cycled through quarantine\n",
+                    static_cast<unsigned long long>(checksum),
+                    mappings_cycled);
+    });
+
+    machine.run();
+
+    const core::RunMetrics m = machine.metrics();
+    std::printf("run summary: %s\n", m.summary().c_str());
+    std::printf("revocations: %zu; capabilities revoked in memory: "
+                "%llu; in registers: %llu\n",
+                m.epochs.size(),
+                static_cast<unsigned long long>(m.sweep.caps_revoked),
+                static_cast<unsigned long long>(m.sweep.regs_revoked));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: the smallest complete use of the library.
+ *
+ * Builds a simulated CHERI machine running the Cornucopia Reloaded
+ * revoker, allocates from the temporally safe heap, frees, forces a
+ * revocation epoch, and shows that the dangling capability has been
+ * deterministically destroyed — while an unrelated capability keeps
+ * working.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "vm/fault.h"
+
+using namespace crev;
+
+int
+main()
+{
+    // 1. Configure the machine: 4 cores, Reloaded revoker on core 2,
+    //    default snmalloc-lite + mrs-style quarantine policy.
+    core::MachineConfig cfg;
+    cfg.strategy = core::Strategy::kReloaded;
+    cfg.audit = true; // verify the revocation invariant every epoch
+
+    core::Machine machine(cfg);
+
+    // 2. Application code runs as a mutator thread pinned to core 3.
+    machine.spawnMutator("app", 1u << 3, [&](core::Mutator &ctx) {
+        // Allocate two objects; capabilities carry exact bounds.
+        cap::Capability doc = ctx.malloc(256);
+        cap::Capability note = ctx.malloc(64);
+        std::printf("allocated  %s\n", doc.str().c_str());
+
+        ctx.store64(doc, 0, 0xC0FFEE);
+        ctx.store64(note, 0, 42);
+
+        // Stash a pointer to `doc` inside `note` — a heap reference
+        // the revoker will have to find.
+        ctx.storeCap(note, 16, doc);
+
+        // 3. Free `doc`. The memory is quarantined: the dangling
+        //    pointer still reads the old object (UAF is possible
+        //    until revocation) but the address space will not be
+        //    reused before every capability to it is destroyed.
+        ctx.free(doc);
+        std::printf("after free, load through dangling cap: %#llx "
+                    "(old object, quarantined — never a new one)\n",
+                    static_cast<unsigned long long>(ctx.load64(doc, 0)));
+
+        // 4. Force a revocation epoch (normally the quarantine policy
+        //    triggers this automatically).
+        machine.heap().drain(ctx.thread());
+
+        // 5. The stored capability has been revoked in place.
+        const cap::Capability revoked = ctx.loadCap(note, 16);
+        std::printf("after revocation, stored cap tag=%d (revoked)\n",
+                    revoked.tag);
+        try {
+            ctx.load64(revoked, 0);
+            std::printf("ERROR: dereference should have faulted!\n");
+        } catch (const vm::CapabilityFault &f) {
+            std::printf("dereference faults as expected: %s\n",
+                        f.what());
+        }
+
+        // Unrelated capabilities are untouched.
+        std::printf("unrelated object still readable: %llu\n",
+                    static_cast<unsigned long long>(
+                        ctx.load64(note, 0)));
+    });
+
+    machine.run();
+
+    // 6. Metrics: every run produces the paper's four key overheads.
+    const core::RunMetrics m = machine.metrics();
+    std::printf("\nrun summary: %s\n", m.summary().c_str());
+    return 0;
+}

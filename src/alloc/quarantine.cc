@@ -1,0 +1,173 @@
+#include "alloc/quarantine.h"
+
+#include <stdexcept>
+
+#include "base/logging.h"
+
+namespace crev::alloc {
+
+QuarantineShim::QuarantineShim(SnmallocLite &snm, kern::Kernel &kernel,
+                               revoker::Revoker *revoker,
+                               revoker::RevocationBitmap *bitmap,
+                               const QuarantinePolicy &policy)
+    : snm_(snm), kernel_(kernel), revoker_(revoker), bitmap_(bitmap),
+      policy_(policy)
+{
+    CREV_ASSERT((revoker_ == nullptr) == (bitmap_ == nullptr));
+}
+
+std::size_t
+QuarantineShim::threshold() const
+{
+    const auto by_ratio = static_cast<std::size_t>(
+        policy_.alloc_ratio * static_cast<double>(snm_.liveBytes()));
+    return std::max(policy_.min_bytes, by_ratio);
+}
+
+void
+QuarantineShim::maybeDequarantine(sim::SimThread &t)
+{
+    const std::uint64_t now = kernel_.epoch().value();
+    for (Buffer &b : buffers_) {
+        if (!b.awaiting || now < b.target)
+            continue;
+        // Detach the buffer *before* releasing its entries: the
+        // release path yields (simulated memory traffic), and another
+        // thread sharing this heap may re-enter; detaching first
+        // makes the release idempotent.
+        std::vector<Entry> entries;
+        entries.swap(b.entries);
+        b.bytes = 0;
+        b.awaiting = false;
+        b.target = 0;
+        // The revoking epoch has completed: every capability to these
+        // objects is gone; unpaint and recycle.
+        for (const Entry &e : entries) {
+            bitmap_->clear(t, e.base, e.size);
+            revoker_->onDequarantine(e.base, e.size);
+            snm_.deallocRaw(t, e.base);
+            CREV_ASSERT(quarantine_bytes_ >= e.size);
+            quarantine_bytes_ -= e.size;
+        }
+    }
+}
+
+void
+QuarantineShim::maybeTrigger(sim::SimThread &t)
+{
+    Buffer &b = buffers_[cur_];
+    if (b.awaiting || b.bytes <= threshold())
+        return;
+
+    // Submission must be atomic w.r.t. other heap users: the epoch
+    // read accrues cycles and could otherwise yield between the
+    // check above and the state updates below.
+    sim::SimThread::NoYield guard(t);
+    const std::uint64_t e = kernel_.epoch().read(t);
+    b.target = kernel_.epoch().dequarantineTarget(e);
+    b.awaiting = true;
+    ++stats_.revocations_triggered;
+    stats_.sum_alloc_at_trigger += snm_.liveBytes();
+    stats_.sum_quar_at_trigger += quarantine_bytes_;
+    revoker_->requestEpoch(t);
+
+    // Frees continue into the other buffer meanwhile.
+    cur_ ^= 1;
+}
+
+void
+QuarantineShim::maybeBlock(sim::SimThread &t)
+{
+    // mrs blocks an allocation or free when both quarantine buffers
+    // are awaiting revocation (the "over twice full" condition, §5.3):
+    // wait for the older epoch target so one buffer drains.
+    for (;;) {
+        maybeDequarantine(t);
+        if (!(buffers_[0].awaiting && buffers_[1].awaiting))
+            return;
+        ++stats_.blocked_ops;
+        const std::uint64_t target =
+            std::min(buffers_[0].target, buffers_[1].target);
+        revoker_->waitForEpochCounter(t, target);
+        if (t.scheduler().shuttingDown())
+            return;
+    }
+}
+
+cap::Capability
+QuarantineShim::malloc(sim::SimThread &t, std::size_t size)
+{
+    Locked guard(heap_lock_, t);
+    if (enabled()) {
+        maybeDequarantine(t);
+        maybeTrigger(t);
+        maybeBlock(t);
+    }
+    return snm_.alloc(t, size);
+}
+
+void
+QuarantineShim::free(sim::SimThread &t, const cap::Capability &c)
+{
+    Locked guard(heap_lock_, t);
+    if (!enabled()) {
+        snm_.dealloc(t, c);
+        return;
+    }
+    if (!c.tag)
+        throw std::logic_error("free of an untagged capability");
+
+    // Validate and retire from the live set; the object's lifetime is
+    // logically extended until revocation (no poisoning or zeroing:
+    // deferral motivations in paper §2.2.2).
+    snm_.retire(c.base);
+    const std::size_t size = snm_.objectSize(c.base);
+    t.accrue(t.scheduler().costs().free_overhead);
+
+    // Paint the revocation bitmap over the whole allocation.
+    bitmap_->paint(t, c.base, size);
+
+    // Never push into a buffer already awaiting its epoch: such an
+    // entry would be recycled without having been revoked. Blocking
+    // guarantees a non-awaiting buffer exists (except at shutdown,
+    // when no reuse happens anyway).
+    maybeBlock(t);
+    if (buffers_[cur_].awaiting && !buffers_[cur_ ^ 1].awaiting)
+        cur_ ^= 1;
+
+    Buffer &b = buffers_[cur_];
+    b.entries.push_back(Entry{c.base, size});
+    b.bytes += size;
+    quarantine_bytes_ += size;
+    stats_.sum_freed_bytes += size;
+
+    maybeTrigger(t);
+}
+
+void
+QuarantineShim::drain(sim::SimThread &t)
+{
+    if (!enabled())
+        return;
+    Locked guard(heap_lock_, t);
+    while (quarantine_bytes_ > 0) {
+        for (Buffer &b : buffers_) {
+            if (b.bytes > 0 && !b.awaiting) {
+                const std::uint64_t e = kernel_.epoch().read(t);
+                b.target = kernel_.epoch().dequarantineTarget(e);
+                b.awaiting = true;
+                revoker_->requestEpoch(t);
+            }
+        }
+        std::uint64_t target = 0;
+        for (const Buffer &b : buffers_)
+            if (b.awaiting)
+                target = std::max(target, b.target);
+        revoker_->waitForEpochCounter(t, target);
+        if (t.scheduler().shuttingDown())
+            return;
+        maybeDequarantine(t);
+    }
+}
+
+} // namespace crev::alloc

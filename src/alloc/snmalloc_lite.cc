@@ -1,0 +1,175 @@
+#include "alloc/snmalloc_lite.h"
+
+#include <stdexcept>
+
+#include "base/logging.h"
+#include "cap/compression.h"
+
+namespace crev::alloc {
+
+namespace {
+constexpr std::size_t kChunkSize = 64 * 1024;
+constexpr std::size_t kArenaSize = 1024 * 1024;
+} // namespace
+
+SnmallocLite::SnmallocLite(kern::Kernel &kernel, vm::Mmu &mmu)
+    : kernel_(kernel), mmu_(mmu)
+{
+}
+
+int
+SnmallocLite::sizeClassFor(std::size_t size)
+{
+    if (size > kMaxSmall)
+        return -1;
+    for (std::size_t i = 0; i < kSizeClasses.size(); ++i)
+        if (size <= kSizeClasses[i])
+            return static_cast<int>(i);
+    return -1;
+}
+
+Addr
+SnmallocLite::carveChunk(sim::SimThread &t, std::size_t bytes,
+                         std::size_t align)
+{
+    CREV_ASSERT(bytes % kPageSize == 0);
+    Addr base = roundUp(arena_bump_, align);
+    if (base + bytes > arena_end_) {
+        const std::size_t arena_bytes = std::max<std::size_t>(
+            kArenaSize, roundUp(bytes, kPageSize));
+        arena_cap_ = kernel_.sysMmap(t, arena_bytes);
+        arena_bump_ = arena_cap_.base;
+        arena_end_ = arena_cap_.top;
+        base = roundUp(arena_bump_, align);
+        CREV_ASSERT(base + bytes <= arena_end_);
+    }
+    arena_bump_ = base + bytes;
+    return base;
+}
+
+const SnmallocLite::ChunkMeta &
+SnmallocLite::chunkFor(Addr va) const
+{
+    auto it = chunks_.upper_bound(va);
+    CREV_ASSERT(it != chunks_.begin());
+    --it;
+    const ChunkMeta &m = it->second;
+    CREV_ASSERT(va >= m.base && va < m.base + m.length);
+    return m;
+}
+
+cap::Capability
+SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
+{
+    CREV_ASSERT(size > 0);
+    t.accrue(mmu_.costs().malloc_overhead);
+
+    const int sc = sizeClassFor(size);
+    cap::Capability result;
+
+    if (sc < 0) {
+        // Large allocation: its own page-granular carve-out, reusing a
+        // cached free chunk of the same length when available
+        // (snmalloc never munmaps — paper §6.2).
+        const std::size_t bytes = roundUp(size, kPageSize);
+        auto it = large_free_.find(bytes);
+        if (it != large_free_.end() && !it->second.empty()) {
+            result = it->second.back();
+            it->second.pop_back();
+        } else {
+            result = kernel_.sysMmap(t, bytes);
+            chunks_[result.base] =
+                ChunkMeta{result.base, bytes, -1, result};
+        }
+    } else {
+        const std::size_t csize = kSizeClasses[sc];
+        ClassState &cs = classes_[sc];
+        Addr base;
+        if (cs.free_head != 0) {
+            // Pop the in-band free list; this capability load goes
+            // through the load barrier like any other.
+            base = cs.free_head;
+            const cap::Capability next = mmu_.loadCap(t, base);
+            cs.free_head = next.tag ? next.address : 0;
+            cs.free_head_cap = next;
+        } else {
+            if (cs.bump + csize > cs.slab_end) {
+                const Addr chunk = carveChunk(t, kChunkSize, kPageSize);
+                const cap::Capability ccap = arena_cap_.setBounds(
+                    chunk, chunk + kChunkSize);
+                CREV_ASSERT(ccap.tag);
+                chunks_[chunk] =
+                    ChunkMeta{chunk, kChunkSize, sc, ccap};
+                cs.bump = chunk;
+                cs.slab_end = chunk + kChunkSize;
+            }
+            base = cs.bump;
+            cs.bump += csize;
+        }
+        const ChunkMeta &m = chunkFor(base);
+        result = m.chunk_cap.setBounds(base, base + csize);
+    }
+
+    CREV_ASSERT(result.tag);
+    live_.insert(result.base);
+    live_bytes_ += result.length();
+    ++stats_.allocs;
+    stats_.bytes_allocated_total += result.length();
+    return result;
+}
+
+std::size_t
+SnmallocLite::objectSize(Addr base) const
+{
+    const ChunkMeta &m = chunkFor(base);
+    if (m.size_class < 0) {
+        CREV_ASSERT(base == m.base);
+        return m.length;
+    }
+    const std::size_t csize = kSizeClasses[m.size_class];
+    CREV_ASSERT((base - m.base) % csize == 0);
+    return csize;
+}
+
+void
+SnmallocLite::retire(Addr base)
+{
+    if (live_.erase(base) == 0)
+        throw std::logic_error("free of a pointer that is not live "
+                               "(double free or invalid free)");
+    const std::size_t size = objectSize(base);
+    CREV_ASSERT(live_bytes_ >= size);
+    live_bytes_ -= size;
+    ++stats_.frees;
+    stats_.bytes_freed_total += size;
+}
+
+void
+SnmallocLite::deallocRaw(sim::SimThread &t, Addr base)
+{
+    t.accrue(mmu_.costs().free_overhead);
+    const ChunkMeta &m = chunkFor(base);
+    if (m.size_class < 0) {
+        large_free_[m.length].push_back(m.chunk_cap);
+        return;
+    }
+    const std::size_t csize = kSizeClasses[m.size_class];
+    ClassState &cs = classes_[m.size_class];
+    // Push onto the in-band free list: the (possibly null) old head
+    // capability is stored into the object's first granule.
+    mmu_.storeCap(t, base, cs.free_head_cap);
+    cs.free_head = base;
+    cs.free_head_cap = m.chunk_cap.setBounds(base, base + csize);
+    CREV_ASSERT(cs.free_head_cap.tag);
+}
+
+void
+SnmallocLite::dealloc(sim::SimThread &t, const cap::Capability &c)
+{
+    if (!c.tag)
+        throw std::logic_error("free of an untagged capability");
+    retire(c.base);
+    deallocRaw(t, c.base);
+}
+
+} // namespace crev::alloc

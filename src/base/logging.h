@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for conditions that indicate a bug in this library itself
+ * (it aborts); fatal() is for unrecoverable user/configuration errors
+ * (it exits cleanly); warn()/inform() report conditions the user should
+ * know about without stopping the run.
+ */
+
+#ifndef CREV_BASE_LOGGING_H_
+#define CREV_BASE_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace crev {
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message; the run continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant even in release builds.
+ *
+ * Unlike assert(), this is never compiled out: invariant violations in
+ * the revocation machinery are exactly what the test suite exists to
+ * catch.
+ */
+#define CREV_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::crev::panic("assertion failed at %s:%d: %s", __FILE__,        \
+                          __LINE__, #cond);                                 \
+        }                                                                   \
+    } while (0)
+
+} // namespace crev
+
+#endif // CREV_BASE_LOGGING_H_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CREV_BASE_TYPES_H_
+#define CREV_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crev {
+
+/** A simulated (virtual or physical) address. */
+using Addr = std::uint64_t;
+
+/** A count of simulated CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated clock frequency used to convert cycles to wall time. */
+constexpr double kCyclesPerSecond = 2.5e9; // Morello clocks at 2.5 GHz.
+
+/** Convert a cycle count to simulated milliseconds. */
+constexpr double
+cyclesToMillis(Cycles c)
+{
+    return static_cast<double>(c) / (kCyclesPerSecond / 1e3);
+}
+
+/** Convert a cycle count to simulated microseconds. */
+constexpr double
+cyclesToMicros(Cycles c)
+{
+    return static_cast<double>(c) / (kCyclesPerSecond / 1e6);
+}
+
+/** log2 of the simulated page size (4 KiB). */
+constexpr unsigned kPageBits = 12;
+constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+/** log2 of the capability granule (16 bytes, as on Morello). */
+constexpr unsigned kGranuleBits = 4;
+constexpr std::size_t kGranuleSize = std::size_t{1} << kGranuleBits;
+
+/** Granules per page (256): one tag bit each. */
+constexpr std::size_t kGranulesPerPage = kPageSize / kGranuleSize;
+
+/** log2 of the cache line size (64 bytes). */
+constexpr unsigned kLineBits = 6;
+constexpr std::size_t kLineSize = std::size_t{1} << kLineBits;
+
+/** Page number of an address. */
+constexpr Addr
+pageOf(Addr a)
+{
+    return a >> kPageBits;
+}
+
+/** Base address of the page containing @p a. */
+constexpr Addr
+pageBase(Addr a)
+{
+    return a & ~static_cast<Addr>(kPageSize - 1);
+}
+
+/** Offset of @p a within its page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & static_cast<Addr>(kPageSize - 1);
+}
+
+/** Round @p a up to the next multiple of @p align (a power of two). */
+constexpr Addr
+roundUp(Addr a, Addr align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Round @p a down to a multiple of @p align (a power of two). */
+constexpr Addr
+roundDown(Addr a, Addr align)
+{
+    return a & ~(align - 1);
+}
+
+} // namespace crev
+
+#endif // CREV_BASE_TYPES_H_

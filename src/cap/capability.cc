@@ -1,0 +1,88 @@
+#include "cap/capability.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+#include "cap/compression.h"
+
+namespace crev::cap {
+
+Capability
+Capability::root(Addr base, Addr top, std::uint32_t perms)
+{
+    CREV_ASSERT(base <= top);
+    Capability c;
+    c.address = base;
+    c.base = base;
+    c.top = top;
+    c.perms = perms;
+    c.tag = true;
+    // Roots are minted by the simulated kernel, which must align them
+    // so the compressed form is exact.
+    const Capability rt = decode(encode(c), true);
+    if (rt.base != base || rt.top != top) {
+        panic("root capability [%llx, %llx) is not exactly representable",
+              static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(top));
+    }
+    return c;
+}
+
+Capability
+Capability::setBounds(Addr new_base, Addr new_top) const
+{
+    Capability c = *this;
+    c.address = new_base;
+    c.base = new_base;
+    c.top = new_top;
+    if (!tag || new_base > new_top || new_base < base || new_top > top) {
+        c.tag = false;
+        return c;
+    }
+    // Compression may round the bounds outward; reflect that in the
+    // decompressed value (callers that need exact bounds pre-align via
+    // representableAlignment()/representableLength()).
+    Capability rounded = decode(encode(c), true);
+    rounded.perms = perms;
+    // Monotonicity is absolute: if rounding would escape the parent's
+    // bounds, the result is not a valid derivation.
+    if (rounded.base < base || rounded.top > top)
+        rounded.tag = false;
+    return rounded;
+}
+
+Capability
+Capability::setAddress(Addr a) const
+{
+    Capability c = *this;
+    c.address = a;
+    if (!tag)
+        return c;
+    const ReprRange rr = representableRange(*this);
+    if (a < rr.repr_base || a >= rr.repr_top)
+        c.tag = false;
+    return c;
+}
+
+Capability
+Capability::andPerms(std::uint32_t mask) const
+{
+    Capability c = *this;
+    c.perms &= mask;
+    return c;
+}
+
+std::string
+Capability::str() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "cap{%c addr=%llx [%llx,%llx) perms=%x}",
+                  tag ? 'v' : '-',
+                  static_cast<unsigned long long>(address),
+                  static_cast<unsigned long long>(base),
+                  static_cast<unsigned long long>(top), perms);
+    return buf;
+}
+
+} // namespace crev::cap

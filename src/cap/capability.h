@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The architectural capability value model.
+ *
+ * A Capability is the *decompressed* view that lives in simulated
+ * register files and that workload code manipulates. The 128-bit
+ * in-memory form (with its out-of-band tag) is defined by
+ * cap/compression.h. Three CHERI properties matter for revocation
+ * (paper §2.1): capabilities carry bounds; they are derivable only by
+ * monotonic restriction; and valid capabilities are perfectly
+ * distinguishable from data (the tag).
+ */
+
+#ifndef CREV_CAP_CAPABILITY_H_
+#define CREV_CAP_CAPABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace crev::cap {
+
+/** Permission bits carried by a capability. */
+enum Perm : std::uint32_t {
+    kPermLoad = 1u << 0,     //!< may load data
+    kPermStore = 1u << 1,    //!< may store data
+    kPermLoadCap = 1u << 2,  //!< may load capabilities
+    kPermStoreCap = 1u << 3, //!< may store capabilities
+};
+
+/** All data+capability load/store permissions. */
+constexpr std::uint32_t kPermAll =
+    kPermLoad | kPermStore | kPermLoadCap | kPermStoreCap;
+
+/**
+ * A decompressed capability: address (cursor), bounds [base, top),
+ * permissions, and validity tag.
+ *
+ * The default-constructed value is the canonical untagged null
+ * capability.
+ */
+struct Capability
+{
+    Addr address = 0;
+    Addr base = 0;
+    Addr top = 0;
+    std::uint32_t perms = 0;
+    bool tag = false;
+
+    /** The untagged null capability. */
+    static Capability null() { return Capability{}; }
+
+    /**
+     * Construct a root (primordial) capability over [base, top).
+     * Panics if the bounds are not exactly representable; roots are
+     * created by the simulated kernel, which aligns them.
+     */
+    static Capability root(Addr base, Addr top,
+                           std::uint32_t perms = kPermAll);
+
+    /** Length of the bounds region. */
+    Addr length() const { return top - base; }
+
+    /**
+     * Monotonically derive a capability with narrowed bounds
+     * [new_base, new_top). The result is untagged (invalid) if this
+     * capability is untagged or if the requested bounds are not a
+     * subset of the current bounds. Bounds are rounded outward as
+     * required by compressed representability, but never beyond the
+     * parent's bounds check (callers align requests; see
+     * compression.h helpers).
+     */
+    Capability setBounds(Addr new_base, Addr new_top) const;
+
+    /**
+     * Move the cursor. If the new address leaves the representable
+     * region of the compressed encoding, the result is untagged
+     * (paper footnote 9: bases cannot be taken out of bounds without
+     * rendering the capability useless).
+     */
+    Capability setAddress(Addr a) const;
+
+    /** Derive with a subset of the current permissions. */
+    Capability andPerms(std::uint32_t mask) const;
+
+    /** Same-object cursor arithmetic; may untag as setAddress. */
+    Capability add(std::int64_t delta) const
+    {
+        return setAddress(address + static_cast<Addr>(delta));
+    }
+
+    /** Whether an access of @p len bytes at the cursor is in bounds. */
+    bool
+    inBounds(Addr len) const
+    {
+        return address >= base && len <= top - address &&
+               address + len >= address;
+    }
+
+    /** Whether @p p permissions are all present. */
+    bool hasPerms(std::uint32_t p) const { return (perms & p) == p; }
+
+    bool operator==(const Capability &o) const = default;
+
+    /** Debug rendering. */
+    std::string str() const;
+};
+
+} // namespace crev::cap
+
+#endif // CREV_CAP_CAPABILITY_H_

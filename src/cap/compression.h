@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CHERI-Concentrate-style 128-bit capability compression.
+ *
+ * Layout of the in-memory form (the tag travels out of band in the
+ * tagged memory model):
+ *
+ *   lo (64 bits) : address (cursor)
+ *   hi (64 bits) : | perms (12) | E (6) | B (14) | L (15) | rsvd |
+ *
+ * Bounds are encoded as a 14-bit base mantissa B and a 15-bit length
+ * mantissa L at alignment 2^E, exactly enough to express the CHERI
+ * Concentrate properties this reproduction depends on:
+ *
+ *  - small regions (<= 8 KiB) are byte-precise (E = 0);
+ *  - larger regions force E > 0, so encode() rounds bounds outward to
+ *    2^E alignment — this is the padding that reservations (paper
+ *    §6.2, footnote 26) must account for;
+ *  - the base is recovered from the address via the standard
+ *    representable-region correction, so moving the cursor outside the
+ *    representable region must (and does) untag the capability.
+ */
+
+#ifndef CREV_CAP_COMPRESSION_H_
+#define CREV_CAP_COMPRESSION_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "cap/capability.h"
+
+namespace crev::cap {
+
+/** The raw 128-bit in-memory form (tag excluded). */
+struct CapBits
+{
+    std::uint64_t lo = 0; //!< address word
+    std::uint64_t hi = 0; //!< metadata word
+
+    bool operator==(const CapBits &o) const = default;
+};
+
+/** Mantissa widths of the encoding. */
+constexpr unsigned kMantissaBits = 14;
+/** Representable-space slack below the base, in 2^E units. */
+constexpr unsigned kReprSlackBits = 12;
+
+/**
+ * Exponent required to encode a region of @p length bytes.
+ * E = 0 iff length <= 2^14.
+ */
+unsigned exponentFor(Addr length);
+
+/** Alignment (bytes) the base must have for exact encoding. */
+Addr representableAlignment(Addr length);
+
+/**
+ * Round @p length up so that a region of the returned length, placed at
+ * representableAlignment() alignment, encodes exactly.
+ */
+Addr representableLength(Addr length);
+
+/**
+ * Compress @p c. The capability's bounds are rounded outward to the
+ * encoding's precision; callers that need exact bounds must pre-align
+ * (the allocator and reservation code do). The tag is not part of the
+ * result.
+ */
+CapBits encode(const Capability &c);
+
+/**
+ * Decompress @p bits; @p tag supplies the out-of-band tag bit.
+ * Untagged bit patterns decode to *some* capability value without
+ * faulting (sweeps inspect the tag first).
+ */
+Capability decode(const CapBits &bits, bool tag);
+
+/**
+ * The representable region of a capability: cursors within
+ * [repr_base, repr_top) keep the encoding decodable. Bounds-valid
+ * cursors are always inside it.
+ */
+struct ReprRange
+{
+    Addr repr_base;
+    Addr repr_top;
+};
+ReprRange representableRange(const Capability &c);
+
+} // namespace crev::cap
+
+#endif // CREV_CAP_COMPRESSION_H_

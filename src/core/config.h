@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine configuration: the one struct an experiment fills in.
+ */
+
+#ifndef CREV_CORE_CONFIG_H_
+#define CREV_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/quarantine.h"
+#include "mem/cache.h"
+#include "mem/memory_system.h"
+#include "sim/cost_model.h"
+
+namespace crev::core {
+
+/** Which temporal-safety strategy the machine runs (paper §5). */
+enum class Strategy {
+    kBaseline,   //!< spatially-safe CHERI binary, no temporal safety
+    kPaintOnly,  //!< quarantine machinery without revocation passes
+    kCheriVoke,  //!< fully stop-the-world sweeps
+    kCornucopia, //!< concurrent + STW re-sweep (store barrier)
+    kReloaded,   //!< load barrier (this paper)
+    /** CHERIoT-style inline load filter (paper §6.3): every tagged
+     *  capability load probes the revocation bitmap and strips
+     *  revoked values on the way into the register file. */
+    kCheriotFilter,
+};
+
+/** Strategy name for table output. */
+const char *strategyName(Strategy s);
+
+/** All strategies in evaluation order. */
+constexpr Strategy kAllStrategies[] = {
+    Strategy::kBaseline, Strategy::kPaintOnly, Strategy::kCheriVoke,
+    Strategy::kCornucopia, Strategy::kReloaded};
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    Strategy strategy = Strategy::kReloaded;
+
+    unsigned cores = 4; //!< Morello has four cache-coherent cores
+    sim::CostModel costs;
+    mem::CacheConfig l1{32 * 1024, 4};
+    mem::CacheConfig llc{1024 * 1024, 8};
+    mem::MemLatency latency;
+
+    alloc::QuarantinePolicy policy;
+
+    /** Cores the background revoker may run on (paper regime: pinned
+     *  to core 2 while applications own core 3). */
+    std::uint32_t revoker_core_mask = 1u << 2;
+
+    /** Run the whole-machine invariant audit after every epoch. */
+    bool audit = false;
+
+    /** Reloaded: clear cap_ever when a sweep finds a page clean. */
+    bool reloaded_clean_detect = true;
+    /** §7.6 ablation: always-trap disposition for clean pages. */
+    bool always_trap_clean = false;
+    /** §7.1: background sweeper thread count (Reloaded). */
+    unsigned background_sweepers = 1;
+    /** §7.7: preemption-quantum scale for revoker threads. */
+    double revoker_quantum_scale = 1.0;
+
+    std::uint64_t seed = 1;
+};
+
+} // namespace crev::core
+
+#endif // CREV_CORE_CONFIG_H_

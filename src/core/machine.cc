@@ -1,0 +1,204 @@
+#include "core/machine.h"
+
+#include "base/logging.h"
+#include "core/mutator.h"
+#include "revoker/cheriot_filter.h"
+#include "revoker/cherivoke.h"
+#include "revoker/cornucopia.h"
+#include "revoker/paint_only.h"
+#include "revoker/reloaded.h"
+
+namespace crev::core {
+
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::kBaseline:
+        return "baseline";
+      case Strategy::kPaintOnly:
+        return "paint+sync";
+      case Strategy::kCheriVoke:
+        return "cherivoke";
+      case Strategy::kCornucopia:
+        return "cornucopia";
+      case Strategy::kReloaded:
+        return "reloaded";
+      case Strategy::kCheriotFilter:
+        return "cheriot-filter";
+    }
+    return "?";
+}
+
+Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
+{
+    ms_ = std::make_unique<mem::MemorySystem>(cfg.cores, cfg.l1,
+                                              cfg.llc, cfg.latency);
+    sched_ = std::make_unique<sim::Scheduler>(cfg.cores, cfg.costs);
+    as_ = std::make_unique<vm::AddressSpace>(pm_);
+    mmu_ = std::make_unique<vm::Mmu>(pm_, *ms_, *as_, sched_->costs());
+    kernel_ = std::make_unique<kern::Kernel>(*mmu_, sched_->costs());
+
+    if (cfg.strategy == Strategy::kBaseline) {
+        snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
+        shim_ = std::make_unique<alloc::QuarantineShim>(
+            *snm_, *kernel_, nullptr, nullptr, cfg.policy);
+        return;
+    }
+
+    bitmap_ = std::make_unique<revoker::RevocationBitmap>(*mmu_);
+
+    revoker::RevokerOptions opts;
+    opts.clean_page_detection = cfg.reloaded_clean_detect;
+    opts.always_trap_clean_pages = cfg.always_trap_clean;
+    opts.background_sweepers = cfg.background_sweepers;
+    opts.audit = cfg.audit;
+
+    switch (cfg.strategy) {
+      case Strategy::kPaintOnly:
+        revoker_ = std::make_unique<revoker::PaintOnlyRevoker>(
+            *sched_, *mmu_, *kernel_, *bitmap_, opts);
+        break;
+      case Strategy::kCheriVoke:
+        revoker_ = std::make_unique<revoker::CheriVokeRevoker>(
+            *sched_, *mmu_, *kernel_, *bitmap_, opts);
+        break;
+      case Strategy::kCornucopia:
+        revoker_ = std::make_unique<revoker::CornucopiaRevoker>(
+            *sched_, *mmu_, *kernel_, *bitmap_, opts);
+        break;
+      case Strategy::kReloaded:
+        revoker_ = std::make_unique<revoker::ReloadedRevoker>(
+            *sched_, *mmu_, *kernel_, *bitmap_, opts);
+        break;
+      case Strategy::kCheriotFilter:
+        revoker_ = std::make_unique<revoker::CheriotFilterRevoker>(
+            *sched_, *mmu_, *kernel_, *bitmap_, opts);
+        break;
+      default:
+        panic("unreachable strategy");
+    }
+
+    // Wire the load barrier to Reloaded's self-healing handler, or
+    // the inline load filter for the CHERIoT-style strategy.
+    if (cfg.strategy == Strategy::kReloaded) {
+        auto *rel = static_cast<revoker::ReloadedRevoker *>(
+            revoker_.get());
+        mmu_->setLoadFaultHandler(
+            [rel](sim::SimThread &t, Addr va) {
+                rel->handleLoadFault(t, va);
+            });
+    } else if (cfg.strategy == Strategy::kCheriotFilter) {
+        auto *chf = static_cast<revoker::CheriotFilterRevoker *>(
+            revoker_.get());
+        mmu_->setLoadFilter(
+            [chf](sim::SimThread &t, const cap::Capability &c) {
+                return chf->filterLoad(t, c);
+            });
+    }
+
+    // Kernel hooks: shadow paints for mapping quarantine (§6.2) and
+    // munmap exclusion during sweeps (§4.3).
+    kernel_->setShadowHooks(
+        [this](sim::SimThread &t, Addr base, Addr len) {
+            bitmap_->paint(t, base, len);
+        },
+        [this](sim::SimThread &t, Addr base, Addr len) {
+            bitmap_->clear(t, base, len);
+            revoker_->onDequarantine(base, len);
+        });
+    kernel_->setQuiesceHook([this](sim::SimThread &t) {
+        const std::uint64_t e = kernel_->epoch().value();
+        if (e & 1)
+            revoker_->waitForEpochCounter(t, e + 1);
+    });
+
+    auditor_ = std::make_unique<revoker::Auditor>(*sched_, *mmu_,
+                                                  *kernel_, *revoker_);
+    if (cfg.audit && cfg.strategy != Strategy::kPaintOnly)
+        revoker_->setAuditHook([this] { auditor_->check(); });
+
+    snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
+    shim_ = std::make_unique<alloc::QuarantineShim>(
+        *snm_, *kernel_, revoker_.get(), bitmap_.get(), cfg.policy);
+
+    // The revocation service daemon(s).
+    sim::SimThread *rev_thread = sched_->spawn(
+        "revoker", cfg.revoker_core_mask,
+        [this](sim::SimThread &self) { revoker_->daemonBody(self); },
+        /*daemon=*/true);
+    sched_->setQuantumScale(*rev_thread, cfg.revoker_quantum_scale);
+
+    if (cfg.strategy == Strategy::kReloaded &&
+        cfg.background_sweepers > 1) {
+        auto *rel = static_cast<revoker::ReloadedRevoker *>(
+            revoker_.get());
+        for (unsigned i = 1; i < cfg.background_sweepers; ++i) {
+            sim::SimThread *helper = sched_->spawn(
+                "revoker-helper" + std::to_string(i),
+                cfg.revoker_core_mask,
+                [rel](sim::SimThread &self) { rel->helperBody(self); },
+                /*daemon=*/true);
+            sched_->setQuantumScale(*helper,
+                                    cfg.revoker_quantum_scale);
+        }
+    }
+}
+
+Machine::~Machine() = default;
+
+sim::SimThread *
+Machine::spawnMutator(std::string name, std::uint32_t core_mask,
+                      std::function<void(Mutator &)> body)
+{
+    mutators_.push_back(
+        std::make_unique<Mutator>(*this, cfg_.seed + mutators_.size()));
+    Mutator *ctx = mutators_.back().get();
+    sim::SimThread *t = sched_->spawn(
+        std::move(name), core_mask,
+        [ctx, body = std::move(body)](sim::SimThread &self) {
+            ctx->thread_ = &self;
+            body(*ctx);
+        });
+    ctx->thread_ = t;
+    return t;
+}
+
+void
+Machine::run()
+{
+    sched_->run();
+}
+
+void
+Machine::audit()
+{
+    if (auditor_)
+        auditor_->check();
+}
+
+RunMetrics
+Machine::metrics() const
+{
+    RunMetrics m;
+    m.wall_cycles = sched_->maxClock();
+    for (const auto &t : sched_->threads()) {
+        m.thread_busy[t->name()] = t->busyCycles();
+        m.cpu_cycles += t->busyCycles();
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        m.core_mem.push_back(ms_->counters(c));
+        m.bus_transactions_total += ms_->counters(c).busTransactions();
+    }
+    m.peak_rss_pages = pm_.peakFrames();
+    if (revoker_) {
+        m.epochs = revoker_->timings();
+        m.sweep = revoker_->sweepStats();
+    }
+    m.quarantine = shim_->stats();
+    m.allocator = snm_->stats();
+    m.mmu = mmu_->stats();
+    return m;
+}
+
+} // namespace crev::core

@@ -1,0 +1,36 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace crev::core {
+
+double
+RunMetrics::wallSeconds() const
+{
+    return static_cast<double>(wall_cycles) / kCyclesPerSecond;
+}
+
+double
+RunMetrics::revocationsPerSecond() const
+{
+    const double s = wallSeconds();
+    return s > 0 ? static_cast<double>(epochs.size()) / s : 0.0;
+}
+
+std::string
+RunMetrics::summary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "wall=%.3fms cpu=%.3fms bus=%llu rss=%zupg epochs=%zu "
+        "revoked=%llu faults=%llu",
+        cyclesToMillis(wall_cycles), cyclesToMillis(cpu_cycles),
+        static_cast<unsigned long long>(bus_transactions_total),
+        peak_rss_pages, epochs.size(),
+        static_cast<unsigned long long>(sweep.caps_revoked),
+        static_cast<unsigned long long>(mmu.load_barrier_faults));
+    return buf;
+}
+
+} // namespace crev::core

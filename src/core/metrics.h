@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Run-level metrics collected from one Machine execution — the four
+ * key overheads of CHERIvoke-style revocation (paper §5): wall-clock
+ * time, CPU time, bus accesses, and memory occupancy — plus the
+ * revocation phase timings behind figs. 7 and 9 and the rate
+ * statistics behind Table 2.
+ */
+
+#ifndef CREV_CORE_METRICS_H_
+#define CREV_CORE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "alloc/quarantine.h"
+#include "base/types.h"
+#include "mem/memory_system.h"
+#include "revoker/revoker.h"
+#include "revoker/sweep.h"
+#include "vm/mmu.h"
+
+namespace crev::core {
+
+/** Everything a bench needs from a finished run. */
+struct RunMetrics
+{
+    /** Largest virtual clock reached (wall-clock proxy). */
+    Cycles wall_cycles = 0;
+    /** Busy cycles per thread name. */
+    std::map<std::string, Cycles> thread_busy;
+    /** Sum of all threads' busy cycles (total CPU time). */
+    Cycles cpu_cycles = 0;
+
+    /** Per-core memory counters; bus transactions are the DRAM-traffic
+     *  proxy. */
+    std::vector<mem::MemCounters> core_mem;
+    std::uint64_t bus_transactions_total = 0;
+
+    /** Peak resident frames (RSS proxy, in pages). */
+    std::size_t peak_rss_pages = 0;
+
+    /** Revocation epoch timings (empty for baseline). */
+    std::vector<revoker::EpochTiming> epochs;
+    revoker::SweepStats sweep;
+    alloc::QuarantineStats quarantine;
+    alloc::AllocStats allocator;
+    vm::MmuStats mmu;
+
+    /** Simulated wall-clock seconds. */
+    double wallSeconds() const;
+    /** Revocations per simulated second. */
+    double revocationsPerSecond() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace crev::core
+
+#endif // CREV_CORE_METRICS_H_

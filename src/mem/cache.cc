@@ -1,0 +1,84 @@
+#include "mem/cache.h"
+
+#include "base/logging.h"
+
+namespace crev::mem {
+
+Cache::Cache(const CacheConfig &cfg) : assoc_(cfg.assoc)
+{
+    CREV_ASSERT(cfg.assoc > 0);
+    num_sets_ = cfg.size_bytes / (kLineSize * cfg.assoc);
+    CREV_ASSERT(num_sets_ > 0);
+    CREV_ASSERT((num_sets_ & (num_sets_ - 1)) == 0);
+    lines_.resize(num_sets_ * assoc_);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
+}
+
+CacheResult
+Cache::access(Addr addr, bool write)
+{
+    const Addr line_addr = addr >> kLineBits;
+    const std::size_t set = setIndex(line_addr);
+    Line *ways = &lines_[set * assoc_];
+    ++tick_;
+
+    CacheResult res;
+    Line *victim = &ways[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = ways[w];
+        if (line.valid && line.tag == line_addr) {
+            line.lru = tick_;
+            line.dirty |= write;
+            ++hits_;
+            res.hit = true;
+            return res;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty) {
+        res.evicted_dirty = true;
+        res.victim_line = victim->tag << kLineBits;
+    }
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lru = tick_;
+    return res;
+}
+
+void
+Cache::invalidateLine(Addr addr)
+{
+    const Addr line_addr = addr >> kLineBits;
+    Line *ways = &lines_[setIndex(line_addr) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (ways[w].valid && ways[w].tag == line_addr) {
+            ways[w].valid = false;
+            ways[w].dirty = false;
+        }
+    }
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr line_addr = addr >> kLineBits;
+    const Line *ways = &lines_[setIndex(line_addr) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (ways[w].valid && ways[w].tag == line_addr)
+            return true;
+    return false;
+}
+
+} // namespace crev::mem

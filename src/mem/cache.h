@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache timing model.
+ *
+ * The cache tracks only line addresses and dirtiness; actual data lives
+ * in PhysMem. That is all the paper's bus-traffic experiments need: a
+ * bus transaction happens when a line is fetched from, or written back
+ * to, the level below.
+ */
+
+#ifndef CREV_MEM_CACHE_H_
+#define CREV_MEM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace crev::mem {
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    std::size_t size_bytes = 32 * 1024;
+    unsigned assoc = 4;
+};
+
+/** Outcome of a cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool evicted_dirty = false; //!< a dirty victim was written back
+    Addr victim_line = 0;       //!< line address of the writeback
+};
+
+/** One level of cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Access the line containing @p addr; allocates on miss.
+     * @param write marks the line dirty.
+     */
+    CacheResult access(Addr addr, bool write);
+
+    /** Drop a line if present (no writeback); used on frame reuse. */
+    void invalidateLine(Addr addr);
+
+    /** Whether the line containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setIndex(Addr line_addr) const;
+
+    unsigned assoc_;
+    std::size_t num_sets_;
+    std::vector<Line> lines_; // num_sets_ * assoc_
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace crev::mem
+
+#endif // CREV_MEM_CACHE_H_

@@ -1,0 +1,95 @@
+#include "mem/memory_system.h"
+
+#include "base/logging.h"
+
+namespace crev::mem {
+
+MemorySystem::MemorySystem(unsigned num_cores, const CacheConfig &l1,
+                           const CacheConfig &llc, const MemLatency &lat)
+    : llc_(llc), lat_(lat), counters_(num_cores)
+{
+    CREV_ASSERT(num_cores > 0);
+    l1_.reserve(num_cores);
+    for (unsigned c = 0; c < num_cores; ++c)
+        l1_.emplace_back(l1);
+}
+
+Cycles
+MemorySystem::accessLine(unsigned core, Addr line_paddr, bool write)
+{
+    MemCounters &ctr = counters_[core];
+    ++ctr.accesses;
+
+    const CacheResult l1r = l1_[core].access(line_paddr, write);
+    if (l1r.hit)
+        return lat_.l1_hit;
+    ++ctr.l1_misses;
+
+    // L1 victim writeback lands in the (shared, larger) LLC.
+    if (l1r.evicted_dirty) {
+        const CacheResult wb = llc_.access(l1r.victim_line, true);
+        if (!wb.hit) {
+            ++ctr.bus_reads;
+            if (wb.evicted_dirty)
+                ++ctr.bus_writes;
+        } else if (wb.evicted_dirty) {
+            ++ctr.bus_writes;
+        }
+    }
+
+    const CacheResult llcr = llc_.access(line_paddr, false);
+    if (llcr.hit)
+        return lat_.l1_hit + lat_.llc_hit;
+
+    ++ctr.bus_reads;
+    if (llcr.evicted_dirty)
+        ++ctr.bus_writes;
+    return lat_.l1_hit + lat_.llc_hit + lat_.dram;
+}
+
+Cycles
+MemorySystem::access(unsigned core, Addr paddr, std::size_t len,
+                     bool write)
+{
+    CREV_ASSERT(core < l1_.size());
+    CREV_ASSERT(len > 0);
+    Cycles total = 0;
+    const Addr first = roundDown(paddr, kLineSize);
+    const Addr last = roundDown(paddr + len - 1, kLineSize);
+    for (Addr line = first; line <= last; line += kLineSize)
+        total += accessLine(core, line, write);
+    return total;
+}
+
+void
+MemorySystem::invalidateFrame(Addr pfn)
+{
+    const Addr base = pfn << kPageBits;
+    for (Addr off = 0; off < kPageSize; off += kLineSize) {
+        for (auto &l1 : l1_)
+            l1.invalidateLine(base + off);
+        llc_.invalidateLine(base + off);
+    }
+}
+
+const MemCounters &
+MemorySystem::counters(unsigned core) const
+{
+    CREV_ASSERT(core < counters_.size());
+    return counters_[core];
+}
+
+MemCounters
+MemorySystem::totalCounters() const
+{
+    MemCounters total;
+    for (const auto &c : counters_) {
+        total.accesses += c.accesses;
+        total.l1_misses += c.l1_misses;
+        total.bus_reads += c.bus_reads;
+        total.bus_writes += c.bus_writes;
+    }
+    return total;
+}
+
+} // namespace crev::mem

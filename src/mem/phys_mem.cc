@@ -1,0 +1,116 @@
+#include "mem/phys_mem.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace crev::mem {
+
+Addr
+PhysMem::allocFrame()
+{
+    Addr pfn;
+    if (!free_list_.empty()) {
+        pfn = free_list_.back();
+        free_list_.pop_back();
+        *frames_[pfn] = Frame{}; // zero on reuse
+    } else {
+        pfn = next_pfn_++;
+        frames_[pfn] = std::make_unique<Frame>();
+    }
+    ++in_use_;
+    peak_ = std::max(peak_, in_use_);
+    return pfn;
+}
+
+void
+PhysMem::freeFrame(Addr pfn)
+{
+    CREV_ASSERT(frames_.count(pfn));
+    CREV_ASSERT(in_use_ > 0);
+    --in_use_;
+    free_list_.push_back(pfn);
+}
+
+Frame &
+PhysMem::frame(Addr pfn)
+{
+    auto it = frames_.find(pfn);
+    CREV_ASSERT(it != frames_.end());
+    return *it->second;
+}
+
+const Frame &
+PhysMem::frame(Addr pfn) const
+{
+    auto it = frames_.find(pfn);
+    CREV_ASSERT(it != frames_.end());
+    return *it->second;
+}
+
+std::size_t
+PhysMem::granuleIndex(Addr paddr)
+{
+    return static_cast<std::size_t>(pageOffset(paddr) >> kGranuleBits);
+}
+
+void
+PhysMem::read(Addr paddr, void *out, std::size_t len) const
+{
+    CREV_ASSERT(pageOffset(paddr) + len <= kPageSize);
+    const Frame &f = frame(pageOf(paddr));
+    std::memcpy(out, f.bytes.data() + pageOffset(paddr), len);
+}
+
+void
+PhysMem::write(Addr paddr, const void *data, std::size_t len)
+{
+    CREV_ASSERT(pageOffset(paddr) + len <= kPageSize);
+    Frame &f = frame(pageOf(paddr));
+    std::memcpy(f.bytes.data() + pageOffset(paddr), data, len);
+    // Data stores clear the tags of all granules they touch.
+    const std::size_t first = granuleIndex(paddr);
+    const std::size_t last = granuleIndex(paddr + len - 1);
+    for (std::size_t g = first; g <= last; ++g)
+        f.tags.reset(g);
+}
+
+bool
+PhysMem::tagAt(Addr paddr) const
+{
+    return frame(pageOf(paddr)).tags.test(granuleIndex(paddr));
+}
+
+void
+PhysMem::clearTag(Addr paddr)
+{
+    frame(pageOf(paddr)).tags.reset(granuleIndex(paddr));
+}
+
+bool
+PhysMem::frameHasTags(Addr pfn) const
+{
+    return frame(pfn).tags.any();
+}
+
+void
+PhysMem::storeCap(Addr paddr, const cap::CapBits &bits, bool tag)
+{
+    CREV_ASSERT(pageOffset(paddr) % kGranuleSize == 0);
+    Frame &f = frame(pageOf(paddr));
+    std::memcpy(f.bytes.data() + pageOffset(paddr), &bits.lo, 8);
+    std::memcpy(f.bytes.data() + pageOffset(paddr) + 8, &bits.hi, 8);
+    f.tags.set(granuleIndex(paddr), tag);
+}
+
+bool
+PhysMem::loadCap(Addr paddr, cap::CapBits &bits) const
+{
+    CREV_ASSERT(pageOffset(paddr) % kGranuleSize == 0);
+    const Frame &f = frame(pageOf(paddr));
+    std::memcpy(&bits.lo, f.bytes.data() + pageOffset(paddr), 8);
+    std::memcpy(&bits.hi, f.bytes.data() + pageOffset(paddr) + 8, 8);
+    return f.tags.test(granuleIndex(paddr));
+}
+
+} // namespace crev::mem

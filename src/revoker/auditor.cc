@@ -1,0 +1,84 @@
+#include "revoker/auditor.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+#include "cap/compression.h"
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+void
+Auditor::checkCap(const cap::Capability &c, const std::string &where,
+                  std::vector<std::string> &out)
+{
+    if (!c.tag)
+        return;
+    const Addr granule = roundDown(c.base, kGranuleSize);
+    if (revoker_.auditSet().count(granule) != 0) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "stale capability in %s: base=0x%llx "
+                      "(quarantined before the last completed epoch)",
+                      where.c_str(),
+                      static_cast<unsigned long long>(c.base));
+        out.push_back(buf);
+    }
+}
+
+std::vector<std::string>
+Auditor::findViolations()
+{
+    ++audits_;
+    std::vector<std::string> out;
+    mem::PhysMem &pm = mmu_.physMem();
+
+    // 1. All of user memory.
+    mmu_.addressSpace().forEachResidentPage([&](Addr va, vm::Pte &p) {
+        const mem::Frame &f = pm.frame(p.pfn);
+        if (!f.tags.any())
+            return;
+        for (std::size_t g = 0; g < kGranulesPerPage; ++g) {
+            if (!f.tags.test(g))
+                continue;
+            cap::CapBits bits;
+            const Addr paddr =
+                (p.pfn << kPageBits) + g * kGranuleSize;
+            pm.loadCap(paddr, bits);
+            char where[96];
+            std::snprintf(where, sizeof(where),
+                          "memory va=0x%llx (pte: ever=%d dirty=%d "
+                          "clg=%u/%u trap=%d)",
+                          static_cast<unsigned long long>(
+                              va + g * kGranuleSize),
+                          p.cap_ever, p.cap_dirty, p.clg,
+                          mmu_.currentGen(), p.cap_load_trap);
+            checkCap(cap::decode(bits, true), where, out);
+        }
+    });
+
+    // 2. Every thread's register file.
+    for (const auto &tp : sched_.threads())
+        for (const auto &r : tp->registerFile())
+            checkCap(r, "registers of " + tp->name(), out);
+
+    // 3. Kernel hoards.
+    for (const auto &c : kernel_.hoard().slots())
+        checkCap(c, "kernel hoard", out);
+
+    return out;
+}
+
+void
+Auditor::check()
+{
+    const auto violations = findViolations();
+    if (!violations.empty()) {
+        for (const auto &v : violations)
+            warn("audit: %s", v.c_str());
+        panic("revocation invariant violated (%zu stale capabilities)",
+              violations.size());
+    }
+}
+
+} // namespace crev::revoker

@@ -1,0 +1,117 @@
+#include "revoker/bitmap.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+void
+RevocationBitmap::setRange(sim::SimThread &t, Addr base, Addr len,
+                           bool value)
+{
+    CREV_ASSERT(base % kGranuleSize == 0);
+    CREV_ASSERT(len % kGranuleSize == 0);
+    CREV_ASSERT(len > 0);
+
+    Addr g = base >> kGranuleBits;        // first granule index
+    const Addr g_end = (base + len) >> kGranuleBits;
+
+    // Host mirror and simulated bytes must update atomically (no
+    // yield between them), or a concurrent probe's self-check would
+    // observe them out of sync.
+    auto mirror = [&](Addr from, Addr to) {
+        for (Addr i = from; i < to; ++i) {
+            if (value)
+                painted_.insert(i << kGranuleBits);
+            else
+                painted_.erase(i << kGranuleBits);
+        }
+    };
+
+    // Partial leading/trailing bytes need an atomic RMW (a real
+    // allocator uses an atomic OR/AND: without atomicity, a paint
+    // racing a clear of another bit in the same byte could lose one
+    // of the updates). Whole bytes in the middle are written in bulk.
+    auto rmw_byte = [&](Addr byte_va, std::uint8_t mask, Addr from,
+                        Addr to) {
+        sim::SimThread::NoYield guard(t);
+        mirror(from, to);
+        std::uint8_t b = 0;
+        mmu_.loadData(t, byte_va, &b, 1);
+        b = value ? static_cast<std::uint8_t>(b | mask)
+                  : static_cast<std::uint8_t>(b & ~mask);
+        mmu_.storeData(t, byte_va, &b, 1);
+    };
+
+    while (g < g_end && (g & 7) != 0) {
+        std::uint8_t mask = 0;
+        const Addr first = g;
+        const Addr byte_va = vm::kShadowBase + (g >> 3);
+        while (g < g_end && (vm::kShadowBase + (g >> 3)) == byte_va) {
+            mask |= static_cast<std::uint8_t>(1u << (g & 7));
+            ++g;
+        }
+        rmw_byte(byte_va, mask, first, g);
+    }
+
+    // Bulk middle: whole shadow bytes, stored in cache-line chunks.
+    std::uint8_t chunk[64];
+    std::fill(std::begin(chunk), std::end(chunk),
+              value ? std::uint8_t{0xFF} : std::uint8_t{0});
+    while (g_end - g >= 8) {
+        const Addr byte_va = vm::kShadowBase + (g >> 3);
+        const Addr whole_bytes = (g_end - g) >> 3;
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<Addr>(whole_bytes, sizeof(chunk)));
+        sim::SimThread::NoYield guard(t);
+        mirror(g, g + static_cast<Addr>(n) * 8);
+        mmu_.storeData(t, byte_va, chunk, n);
+        g += static_cast<Addr>(n) * 8;
+    }
+
+    // Trailing partial byte.
+    if (g < g_end) {
+        std::uint8_t mask = 0;
+        const Addr first = g;
+        const Addr byte_va = vm::kShadowBase + (g >> 3);
+        while (g < g_end) {
+            mask |= static_cast<std::uint8_t>(1u << (g & 7));
+            ++g;
+        }
+        rmw_byte(byte_va, mask, first, g_end);
+    }
+}
+
+void
+RevocationBitmap::paint(sim::SimThread &t, Addr base, Addr len)
+{
+    setRange(t, base, len, true);
+}
+
+void
+RevocationBitmap::clear(sim::SimThread &t, Addr base, Addr len)
+{
+    setRange(t, base, len, false);
+}
+
+bool
+RevocationBitmap::probe(sim::SimThread &t, Addr addr)
+{
+    const Addr g = addr >> kGranuleBits;
+    std::uint8_t b = 0;
+    mmu_.loadData(t, vm::kShadowBase + (g >> 3), &b, 1);
+    const bool bit = (b >> (g & 7)) & 1;
+    // Self-check: the simulated bitmap and host mirror must agree.
+    CREV_ASSERT(bit == (painted_.count(roundDown(addr, kGranuleSize)) != 0));
+    return bit;
+}
+
+bool
+RevocationBitmap::probeQuiet(Addr addr) const
+{
+    return painted_.count(roundDown(addr, kGranuleSize)) != 0;
+}
+
+} // namespace crev::revoker

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The revocation ("shadow") bitmap — paper §2.2.2.
+ *
+ * One bit per 16-byte granule of user address space; a set bit means
+ * capabilities whose *base* falls in that granule are to be revoked.
+ * The bitmap lives in simulated memory (a kernel-provided anonymous
+ * object at vm::kShadowBase), so paints by the allocator and probes by
+ * the sweep generate real, accounted memory traffic — CHERIvoke
+ * identifies paint traffic as a first-order cost.
+ *
+ * A host-side mirror of the painted set is maintained in parallel;
+ * it backs the off-clock Auditor and a self-check that the simulated
+ * bits never diverge from the mirror.
+ */
+
+#ifndef CREV_REVOKER_BITMAP_H_
+#define CREV_REVOKER_BITMAP_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "base/types.h"
+#include "sim/scheduler.h"
+#include "vm/mmu.h"
+
+namespace crev::revoker {
+
+/** The revocation bitmap, painted by allocators, read by the sweep. */
+class RevocationBitmap
+{
+  public:
+    explicit RevocationBitmap(vm::Mmu &mmu) : mmu_(mmu) {}
+
+    /**
+     * Set the bits covering [base, base+len). Both ends must be
+     * granule-aligned (allocations are).
+     */
+    void paint(sim::SimThread &t, Addr base, Addr len);
+
+    /** Clear the bits covering [base, base+len) (dequarantine). */
+    void clear(sim::SimThread &t, Addr base, Addr len);
+
+    /** Probe the bit for @p addr, charging a (usually cached) load. */
+    bool probe(sim::SimThread &t, Addr addr);
+
+    /** Uncharged probe for assertions and the auditor. */
+    bool probeQuiet(Addr addr) const;
+
+    /** Host-side mirror of painted granule base addresses. */
+    const std::unordered_set<Addr> &painted() const { return painted_; }
+
+    std::uint64_t paintedGranules() const { return painted_.size(); }
+
+  private:
+    void setRange(sim::SimThread &t, Addr base, Addr len, bool value);
+
+    vm::Mmu &mmu_;
+    std::unordered_set<Addr> painted_;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_BITMAP_H_

@@ -1,0 +1,85 @@
+#include "revoker/cheriot_filter.h"
+
+#include <vector>
+
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+CheriotFilterRevoker::CheriotFilterRevoker(sim::Scheduler &sched,
+                                           vm::Mmu &mmu,
+                                           kern::Kernel &kernel,
+                                           RevocationBitmap &bitmap,
+                                           const RevokerOptions &opts)
+    : Revoker(sched, mmu, kernel, bitmap, opts)
+{
+}
+
+bool
+CheriotFilterRevoker::filterLoad(sim::SimThread &t,
+                                 const cap::Capability &c)
+{
+    ++probes_;
+    const bool revoked = sweep_.isRevoked(t, c);
+    if (revoked)
+        ++stripped_;
+    // Not self-healing (paper footnote 28): the in-memory copy keeps
+    // its tag until the background sweep visits it; only the value
+    // entering the register file is stripped.
+    return revoked;
+}
+
+void
+CheriotFilterRevoker::doEpoch(sim::SimThread &self)
+{
+    kern::EpochCounter &epoch = kernel_.epoch();
+    vm::AddressSpace &as = mmu_.addressSpace();
+
+    epoch.advance(self); // odd
+    snapshotAuditSet();
+
+    EpochTiming timing;
+
+    // Registers and hoards may hold pre-epoch capabilities that never
+    // pass through a load again; scan them world-stopped. No
+    // generation machinery exists to flip.
+    const Cycles begin = sched_.stopTheWorld(self);
+    scanRegistersAndHoards(self);
+    timing.stw_duration = self.now() - begin;
+    sched_.resumeWorld(self);
+
+    // One background pass over every page that has ever held
+    // capabilities. Stores during the sweep are filtered-clean values,
+    // so no page needs a second visit (the same argument that lets
+    // Reloaded skip re-sweeps, provided here by the load filter).
+    const Cycles cbegin = self.now();
+    std::vector<Addr> pages;
+    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
+        if (p.cap_ever)
+            pages.push_back(va);
+    });
+    sim::SimMutex &pmap = as.pmapLock();
+    for (Addr va : pages) {
+        pmap.lock(self);
+        vm::Pte *p = as.findPte(va);
+        const bool valid = p != nullptr && p->valid;
+        pmap.unlock(self);
+        if (!valid)
+            continue;
+        const bool clean = sweep_.sweepPage(self, va);
+        pmap.lock(self);
+        if (p->valid) {
+            p->cap_dirty = false;
+            if (clean && opts_.clean_page_detection &&
+                !mmu_.pageHasTags(va))
+                p->cap_ever = false;
+        }
+        pmap.unlock(self);
+    }
+    timing.concurrent_duration = self.now() - cbegin;
+
+    epoch.advance(self); // even
+    timings_.push_back(timing);
+}
+
+} // namespace crev::revoker

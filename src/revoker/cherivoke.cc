@@ -1,0 +1,43 @@
+#include "revoker/cherivoke.h"
+
+#include <vector>
+
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+void
+CheriVokeRevoker::doEpoch(sim::SimThread &self)
+{
+    kern::EpochCounter &epoch = kernel_.epoch();
+    epoch.advance(self); // odd: revocation in progress
+    snapshotAuditSet();
+
+    EpochTiming timing;
+    const Cycles begin = sched_.stopTheWorld(self);
+
+    scanRegistersAndHoards(self);
+
+    // Visit every page that has ever held capabilities; the whole
+    // sweep happens with the world stopped.
+    std::vector<Addr> pages;
+    mmu_.addressSpace().forEachResidentPage(
+        [&](Addr va, vm::Pte &p) {
+            if (p.cap_ever)
+                pages.push_back(va);
+        });
+    for (Addr va : pages) {
+        sweep_.sweepPage(self, va);
+        vm::Pte *p = mmu_.addressSpace().findPte(va);
+        if (p != nullptr)
+            p->cap_dirty = false;
+    }
+
+    timing.stw_duration = self.now() - begin;
+    sched_.resumeWorld(self);
+
+    epoch.advance(self); // even: complete
+    timings_.push_back(timing);
+}
+
+} // namespace crev::revoker

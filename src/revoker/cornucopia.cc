@@ -1,0 +1,66 @@
+#include "revoker/cornucopia.h"
+
+#include <vector>
+
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+void
+CornucopiaRevoker::doEpoch(sim::SimThread &self)
+{
+    kern::EpochCounter &epoch = kernel_.epoch();
+    vm::AddressSpace &as = mmu_.addressSpace();
+    sim::SimMutex &pmap = as.pmapLock();
+
+    epoch.advance(self); // odd
+    snapshotAuditSet();
+
+    EpochTiming timing;
+
+    // Phase 1 (concurrent): visit all pages that have ever held
+    // capabilities, clearing each page's dirty bit *before* sweeping
+    // it so that mutator stores during the sweep re-flag the page.
+    // Our re-implementation (paper §4.5) never clears cap_ever.
+    const Cycles cbegin = self.now();
+    std::vector<Addr> pages;
+    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
+        if (p.cap_ever)
+            pages.push_back(va);
+    });
+    for (Addr va : pages) {
+        pmap.lock(self);
+        vm::Pte *p = as.findPte(va);
+        if (p == nullptr || !p->valid) {
+            pmap.unlock(self);
+            continue;
+        }
+        p->cap_dirty = false;
+        pmap.unlock(self);
+        sweep_.sweepPage(self, va);
+    }
+    timing.concurrent_duration = self.now() - cbegin;
+
+    // Phase 2 (stop-the-world): registers, hoards, and every page
+    // re-dirtied while phase 1 ran.
+    const Cycles begin = sched_.stopTheWorld(self);
+    scanRegistersAndHoards(self);
+    std::vector<Addr> redirtied;
+    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
+        if (p.cap_dirty)
+            redirtied.push_back(va);
+    });
+    for (Addr va : redirtied) {
+        sweep_.sweepPage(self, va);
+        vm::Pte *p = as.findPte(va);
+        if (p != nullptr)
+            p->cap_dirty = false;
+    }
+    timing.stw_duration = self.now() - begin;
+    sched_.resumeWorld(self);
+
+    epoch.advance(self); // even
+    timings_.push_back(timing);
+}
+
+} // namespace crev::revoker

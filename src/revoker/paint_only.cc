@@ -1,0 +1,4 @@
+#include "revoker/paint_only.h"
+
+// All behaviour is defined inline in the header; this translation unit
+// anchors the class for the library.

@@ -1,0 +1,203 @@
+#include "revoker/reloaded.h"
+
+#include "base/logging.h"
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+ReloadedRevoker::ReloadedRevoker(sim::Scheduler &sched, vm::Mmu &mmu,
+                                 kern::Kernel &kernel,
+                                 RevocationBitmap &bitmap,
+                                 const RevokerOptions &opts)
+    : Revoker(sched, mmu, kernel, bitmap, opts)
+{
+}
+
+void
+ReloadedRevoker::handleLoadFault(sim::SimThread &t, Addr fault_va)
+{
+    const Cycles t0 = t.now();
+    const Addr va = pageBase(fault_va);
+    vm::AddressSpace &as = mmu_.addressSpace();
+    sim::SimMutex &pmap = as.pmapLock();
+    const unsigned gen = mmu_.currentGen();
+    ++faults_in_flight_;
+
+    // First pmap acquisition: detect a stale TLB — the PTE may have
+    // already been brought up to date by another core (§4.3).
+    pmap.lock(t);
+    vm::Pte *p = as.findPte(va);
+    CREV_ASSERT(p != nullptr && p->valid);
+    if (p->clg == gen && !p->cap_load_trap) {
+        pmap.unlock(t);
+        fault_time_ += t.now() - t0;
+        ++fault_count_;
+        --faults_in_flight_;
+        fault_done_event_.notifyAll(t);
+        return;
+    }
+    pmap.unlock(t);
+
+    // Sweep without locks held (probing the bitmap may itself fault).
+    bool clean = true;
+    if (p->cap_ever)
+        clean = sweep_.sweepPage(t, va);
+
+    // Second acquisition: idempotently publish the new generation.
+    pmap.lock(t);
+    if (p->clg != gen || p->cap_load_trap) {
+        p->clg = gen;
+        p->cap_load_trap = false;
+        p->cap_dirty = false;
+        // Clean-page detection must re-verify under the lock: a
+        // capability may have been stored into the page *during* the
+        // (lockless) sweep, making our local verdict stale — exactly
+        // the §4.2/§7.4 dirty-tracking subtlety. Clearing cap_ever on
+        // a page that now holds tags would exempt those capabilities
+        // from all future sweeps.
+        if (clean && opts_.clean_page_detection &&
+            !mmu_.pageHasTags(va))
+            p->cap_ever = false;
+        t.accrue(mmu_.costs().pte_update);
+        mmu_.shootdownPage(t, va);
+    }
+    pmap.unlock(t);
+
+    fault_time_ += t.now() - t0;
+    ++fault_count_;
+    --faults_in_flight_;
+    fault_done_event_.notifyAll(t);
+}
+
+Addr
+ReloadedRevoker::nextWork()
+{
+    if (work_next_ >= work_.size())
+        return 0;
+    return work_[work_next_++];
+}
+
+void
+ReloadedRevoker::visitPage(sim::SimThread &t, Addr va)
+{
+    vm::AddressSpace &as = mmu_.addressSpace();
+    sim::SimMutex &pmap = as.pmapLock();
+    const unsigned gen = mmu_.currentGen();
+
+    pmap.lock(t);
+    vm::Pte *p = as.findPte(va);
+    if (p == nullptr || !p->valid ||
+        (p->clg == gen && !p->cap_load_trap)) {
+        // Freed, or already healed by a foreground fault.
+        pmap.unlock(t);
+        return;
+    }
+    pmap.unlock(t);
+
+    bool clean = true;
+    if (p->cap_ever)
+        clean = sweep_.sweepPage(t, va);
+
+    pmap.lock(t);
+    if (p->valid && (p->clg != gen || p->cap_load_trap)) {
+        // Re-verify cleanliness under the lock (see handleLoadFault):
+        // a store during the lockless sweep invalidates the verdict.
+        clean = clean && !mmu_.pageHasTags(va);
+        if (clean && opts_.clean_page_detection)
+            p->cap_ever = false;
+        if (clean && opts_.always_trap_clean_pages) {
+            // §7.6: leave the page in the always-trap disposition; its
+            // generation need not be maintained while it stays clean.
+            p->cap_load_trap = true;
+        } else {
+            p->clg = gen;
+            p->cap_load_trap = false;
+        }
+        p->cap_dirty = false;
+        t.accrue(mmu_.costs().pte_update);
+        mmu_.shootdownPage(t, va);
+    }
+    pmap.unlock(t);
+}
+
+void
+ReloadedRevoker::helperBody(sim::SimThread &self)
+{
+    for (;;) {
+        while (!epoch_active_) {
+            if (sched_.shuttingDown())
+                return;
+            helper_event_.wait(self);
+        }
+        ++helpers_busy_;
+        for (Addr va = nextWork(); va != 0; va = nextWork())
+            visitPage(self, va);
+        --helpers_busy_;
+        helper_done_event_.notifyAll(self);
+        // Wait for the epoch flag to drop before re-arming.
+        while (epoch_active_ && !sched_.shuttingDown())
+            helper_event_.wait(self);
+    }
+}
+
+void
+ReloadedRevoker::doEpoch(sim::SimThread &self)
+{
+    kern::EpochCounter &epoch = kernel_.epoch();
+    vm::AddressSpace &as = mmu_.addressSpace();
+
+    epoch.advance(self); // odd
+    snapshotAuditSet();
+
+    EpochTiming timing;
+
+    // Short STW phase: flip the per-core load generations (PTEs are
+    // untouched — §4.1's one-update-per-epoch property) and scan
+    // registers and kernel hoards.
+    const Cycles begin = sched_.stopTheWorld(self);
+    mmu_.flipAllCoreGens(self);
+    scanRegistersAndHoards(self);
+    timing.stw_duration = self.now() - begin;
+    sched_.resumeWorld(self);
+
+    // Background phase: visit every page still carrying the old
+    // generation. Foreground faults race us benignly (visitPage
+    // rechecks under the pmap lock; page visits are idempotent).
+    const Cycles cbegin = self.now();
+    const unsigned gen = mmu_.currentGen();
+    work_.clear();
+    work_next_ = 0;
+    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
+        if (p.clg != gen && !p.cap_load_trap)
+            work_.push_back(va);
+    });
+
+    epoch_active_ = true;
+    helper_event_.notifyAll(self);
+    for (Addr va = nextWork(); va != 0; va = nextWork())
+        visitPage(self, va);
+    while (helpers_busy_ > 0)
+        helper_done_event_.wait(self);
+    epoch_active_ = false;
+    helper_event_.notifyAll(self);
+
+    // The epoch is not over until in-flight foreground fault handlers
+    // have published their pages (they also belong to this epoch's
+    // accounting).
+    while (faults_in_flight_ > 0 && !sched_.shuttingDown())
+        fault_done_event_.wait(self);
+
+    timing.concurrent_duration = self.now() - cbegin;
+    // Delta accounting so that every fault (including rare stale-TLB
+    // faults landing between epochs) is attributed to exactly one
+    // epoch record.
+    timing.fault_time_total = fault_time_ - fault_time_recorded_;
+    timing.fault_count = fault_count_ - fault_count_recorded_;
+    fault_time_recorded_ = fault_time_;
+    fault_count_recorded_ = fault_count_;
+
+    epoch.advance(self); // even
+    timings_.push_back(timing);
+}
+
+} // namespace crev::revoker

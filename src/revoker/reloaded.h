@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Cornucopia Reloaded strategy (paper §3.2, §4): per-page
+ * capability load barriers.
+ *
+ * An epoch begins with a very short stop-the-world phase that flips
+ * every core's capability load generation register and scans register
+ * files and kernel hoards. From that point, any tagged capability load
+ * from a stale-generation page traps; the self-healing handler (which
+ * runs on the faulting thread) sweeps the page, refreshes its PTE, and
+ * the load retries. A background thread — optionally several, §7.1 —
+ * visits all remaining stale pages so the epoch terminates. Pages are
+ * never swept twice per epoch, and capability stores during revocation
+ * need no tracking: any stored capability was itself loaded through
+ * the barrier (the central invariant, §3.2).
+ */
+
+#ifndef CREV_REVOKER_RELOADED_H_
+#define CREV_REVOKER_RELOADED_H_
+
+#include <vector>
+
+#include "revoker/revoker.h"
+
+namespace crev::revoker {
+
+/** Load-barrier based revoker. */
+class ReloadedRevoker : public Revoker
+{
+  public:
+    ReloadedRevoker(sim::Scheduler &sched, vm::Mmu &mmu,
+                    kern::Kernel &kernel, RevocationBitmap &bitmap,
+                    const RevokerOptions &opts);
+
+    const char *name() const override { return "reloaded"; }
+
+    /**
+     * The load-barrier fault handler; installed into the Mmu by the
+     * Machine. Runs on the *faulting* (application) thread.
+     */
+    void handleLoadFault(sim::SimThread &t, Addr va);
+
+    /**
+     * Body for an auxiliary background sweeper thread (§7.1); the
+     * Machine spawns (background_sweepers - 1) of these as daemons.
+     */
+    void helperBody(sim::SimThread &self);
+
+  protected:
+    void doEpoch(sim::SimThread &self) override;
+
+  private:
+    /**
+     * Background visit of one page: recheck under the pmap lock,
+     * sweep without it, publish the new generation, shoot down TLBs.
+     */
+    void visitPage(sim::SimThread &t, Addr va);
+
+    /** Pop the next background work item; 0 when drained. */
+    Addr nextWork();
+
+    // Background work sharing (single-token execution makes plain
+    // members safe).
+    std::vector<Addr> work_;
+    std::size_t work_next_ = 0;
+    bool epoch_active_ = false;
+    unsigned helpers_busy_ = 0;
+    sim::SimEvent helper_event_;
+    sim::SimEvent helper_done_event_;
+
+    // Fault accounting (cumulative; epochs record deltas).
+    Cycles fault_time_ = 0;
+    std::uint64_t fault_count_ = 0;
+    Cycles fault_time_recorded_ = 0;
+    std::uint64_t fault_count_recorded_ = 0;
+    unsigned faults_in_flight_ = 0;
+    sim::SimEvent fault_done_event_;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_RELOADED_H_

@@ -1,0 +1,94 @@
+#include "revoker/revoker.h"
+
+#include "base/logging.h"
+
+namespace crev::revoker {
+
+Revoker::Revoker(sim::Scheduler &sched, vm::Mmu &mmu,
+                 kern::Kernel &kernel, RevocationBitmap &bitmap,
+                 const RevokerOptions &opts)
+    : sched_(sched), mmu_(mmu), kernel_(kernel), bitmap_(bitmap),
+      opts_(opts), sweep_(mmu, bitmap)
+{
+}
+
+void
+Revoker::requestEpoch(sim::SimThread &caller)
+{
+    if (request_pending_)
+        return;
+    request_pending_ = true;
+    request_event_.notifyAll(caller);
+}
+
+void
+Revoker::waitForEpochCounter(sim::SimThread &caller,
+                             std::uint64_t target)
+{
+    while (kernel_.epoch().value() < target) {
+        if (caller.scheduler().shuttingDown())
+            return;
+        epoch_event_.wait(caller);
+    }
+}
+
+void
+Revoker::scanRegistersAndHoards(sim::SimThread &self)
+{
+    // Paper §4.4: the kernel must scan all pointers it holds on behalf
+    // of the program — saved register files of every thread plus
+    // explicit hoards — and may divulge none unchecked.
+    for (const auto &tp : sched_.threads())
+        sweep_.scanRegisters(self, tp->registerFile());
+    sweep_.scanRegisters(self, kernel_.hoard().slots());
+}
+
+void
+Revoker::snapshotAuditSet()
+{
+    audit_set_ = bitmap_.painted();
+}
+
+void
+Revoker::onDequarantine(Addr base, Addr len)
+{
+    for (Addr g = roundDown(base, kGranuleSize); g < base + len;
+         g += kGranuleSize)
+        audit_set_.erase(g);
+}
+
+void
+Revoker::daemonBody(sim::SimThread &self)
+{
+    for (;;) {
+        while (!request_pending_) {
+            if (sched_.shuttingDown())
+                return;
+            request_event_.wait(self);
+        }
+        request_pending_ = false;
+
+        const SweepStats before = sweep_.stats();
+        doEpoch(self);
+        const SweepStats &after = sweep_.stats();
+        ++epochs_;
+        if (!timings_.empty()) {
+            timings_.back().pages_swept =
+                after.pages_swept - before.pages_swept;
+            timings_.back().caps_revoked =
+                after.caps_revoked - before.caps_revoked;
+        }
+
+        // §6.2: release mapping-quarantined reservations whose epoch
+        // target has now passed.
+        kernel_.reapQuarantinedMappings(self);
+
+        // Wake allocators waiting on the epoch counter.
+        epoch_event_.notifyAll(self);
+
+        if (opts_.audit && audit_hook_)
+            audit_hook_();
+    }
+}
+
+} // namespace crev::revoker

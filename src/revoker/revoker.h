@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The revocation service: epoch orchestration shared by all
+ * strategies.
+ *
+ * A Revoker runs as a daemon thread (paper: "one system call per
+ * revocation phase, invoked by a dedicated thread"; we fold the
+ * userspace trigger thread and the kernel worker together). Allocators
+ * request epochs and wait on the public epoch counter; concrete
+ * strategies implement doEpoch().
+ */
+
+#ifndef CREV_REVOKER_REVOKER_H_
+#define CREV_REVOKER_REVOKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "kern/kernel.h"
+#include "revoker/bitmap.h"
+#include "revoker/sweep.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "vm/mmu.h"
+
+namespace crev::revoker {
+
+/** Timing record for one revocation epoch (feeds fig. 9). */
+struct EpochTiming
+{
+    Cycles stw_duration = 0;        //!< world-stopped phase
+    Cycles concurrent_duration = 0; //!< background phase
+    Cycles fault_time_total = 0;    //!< sum of load-barrier fault work
+    std::uint64_t fault_count = 0;
+    std::uint64_t pages_swept = 0;
+    std::uint64_t caps_revoked = 0;
+};
+
+/** Strategy-independent configuration knobs. */
+struct RevokerOptions
+{
+    /** Reloaded: clear cap_ever when a sweep finds a page clean. */
+    bool clean_page_detection = true;
+    /** §7.6: mark clean pages always-trap instead of refreshing CLG. */
+    bool always_trap_clean_pages = false;
+    /** §7.1: number of background sweeper threads (Reloaded). */
+    unsigned background_sweepers = 1;
+    /** Run the whole-machine invariant audit after each epoch. */
+    bool audit = false;
+};
+
+/**
+ * Base class: owns the request/epoch plumbing; subclasses implement
+ * one revocation epoch.
+ */
+class Revoker
+{
+  public:
+    Revoker(sim::Scheduler &sched, vm::Mmu &mmu, kern::Kernel &kernel,
+            RevocationBitmap &bitmap, const RevokerOptions &opts);
+    virtual ~Revoker() = default;
+
+    /** Human-readable strategy name. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Ask for a revocation epoch to start soon; returns immediately.
+     * Idempotent while a request is pending.
+     */
+    void requestEpoch(sim::SimThread &caller);
+
+    /** Block @p caller until the epoch counter reaches @p target. */
+    void waitForEpochCounter(sim::SimThread &caller,
+                             std::uint64_t target);
+
+    /** The daemon loop body (bound to the revoker thread at spawn). */
+    void daemonBody(sim::SimThread &self);
+
+    /** Per-epoch timing records. */
+    const std::vector<EpochTiming> &timings() const { return timings_; }
+
+    /** Aggregate sweep work. */
+    const SweepStats &sweepStats() const { return sweep_.stats(); }
+
+    std::uint64_t epochsCompleted() const { return epochs_; }
+
+    kern::Kernel &kernel() { return kernel_; }
+    RevocationBitmap &bitmap() { return bitmap_; }
+
+    /**
+     * Snapshot of granules painted as of the last epoch's start, for
+     * the Auditor: any tagged capability with a base in this set after
+     * the epoch completes is an invariant violation. Dequarantine
+     * clears entries via onDequarantine().
+     */
+    const std::unordered_set<Addr> &auditSet() const { return audit_set_; }
+    void onDequarantine(Addr base, Addr len);
+
+    /** Installed by the Machine when auditing is on. */
+    using AuditHook = std::function<void()>;
+    void setAuditHook(AuditHook h) { audit_hook_ = std::move(h); }
+
+  protected:
+    /** Perform one full revocation epoch on the daemon thread. */
+    virtual void doEpoch(sim::SimThread &self) = 0;
+
+    /** Scan every thread's register file and the kernel hoards. */
+    void scanRegistersAndHoards(sim::SimThread &self);
+
+    /** Record the painted-set snapshot at epoch start (audit). */
+    void snapshotAuditSet();
+
+    sim::Scheduler &sched_;
+    vm::Mmu &mmu_;
+    kern::Kernel &kernel_;
+    RevocationBitmap &bitmap_;
+    RevokerOptions opts_;
+    SweepEngine sweep_;
+    std::vector<EpochTiming> timings_;
+
+  private:
+    sim::SimEvent request_event_;
+    sim::SimEvent epoch_event_;
+    bool request_pending_ = false;
+    std::uint64_t epochs_ = 0;
+    std::unordered_set<Addr> audit_set_;
+    AuditHook audit_hook_;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_REVOKER_H_

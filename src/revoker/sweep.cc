@@ -1,0 +1,61 @@
+#include "revoker/sweep.h"
+
+#include "base/logging.h"
+#include "cap/compression.h"
+
+namespace crev::revoker {
+
+bool
+SweepEngine::sweepPage(sim::SimThread &t, Addr page_va)
+{
+    CREV_ASSERT(pageOffset(page_va) == 0);
+    ++stats_.pages_swept;
+    bool clean = true;
+
+    for (Addr line = page_va; line < page_va + kPageSize;
+         line += kLineSize) {
+        // The line read brings data and tags on-chip.
+        mmu_.chargeRead(t, line, kLineSize);
+        ++stats_.lines_read;
+
+        for (Addr g = line; g < line + kLineSize; g += kGranuleSize) {
+            if (!mmu_.peekTag(g))
+                continue;
+            clean = false;
+            ++stats_.caps_seen;
+            const cap::Capability c = mmu_.peekCap(g);
+            t.accrue(2); // decode / base extraction
+            if (bitmap_.probe(t, c.base)) {
+                mmu_.kernelClearTag(t, g);
+                ++stats_.caps_revoked;
+            }
+        }
+    }
+    return clean;
+}
+
+void
+SweepEngine::scanRegisters(sim::SimThread &t,
+                           std::vector<cap::Capability> &regs)
+{
+    for (auto &r : regs) {
+        t.accrue(mmu_.costs().reg_scan);
+        ++stats_.regs_scanned;
+        if (!r.tag)
+            continue;
+        if (bitmap_.probe(t, r.base)) {
+            r.tag = false;
+            ++stats_.regs_revoked;
+        }
+    }
+}
+
+bool
+SweepEngine::isRevoked(sim::SimThread &t, const cap::Capability &c)
+{
+    if (!c.tag)
+        return false;
+    return bitmap_.probe(t, c.base);
+}
+
+} // namespace crev::revoker

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The sweep engine: the inner loop shared by every revoker.
+ *
+ * Sweeping a page means reading all of its cache lines (tags arrive
+ * with data on a tagged-memory machine), probing the revocation bitmap
+ * for each *tagged* granule using the capability's decoded base
+ * (paper footnote 9), and clearing the tags of revoked capabilities.
+ * Register files and kernel hoards are scanned with the same probe
+ * logic.
+ */
+
+#ifndef CREV_REVOKER_SWEEP_H_
+#define CREV_REVOKER_SWEEP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "cap/capability.h"
+#include "revoker/bitmap.h"
+#include "sim/scheduler.h"
+#include "vm/mmu.h"
+
+namespace crev::revoker {
+
+/** Cumulative sweep work counters. */
+struct SweepStats
+{
+    std::uint64_t pages_swept = 0;
+    std::uint64_t lines_read = 0;
+    std::uint64_t caps_seen = 0;    //!< tagged granules inspected
+    std::uint64_t caps_revoked = 0; //!< tags cleared
+    std::uint64_t regs_scanned = 0;
+    std::uint64_t regs_revoked = 0;
+};
+
+/** Shared page/register sweeping machinery. */
+class SweepEngine
+{
+  public:
+    SweepEngine(vm::Mmu &mmu, RevocationBitmap &bitmap)
+        : mmu_(mmu), bitmap_(bitmap)
+    {
+    }
+
+    /**
+     * Sweep the resident page at @p page_va on thread @p t. Returns
+     * true if the page was found to contain no tagged capabilities
+     * (Reloaded's clean-page detection).
+     */
+    bool sweepPage(sim::SimThread &t, Addr page_va);
+
+    /**
+     * Scan a register array (a thread's register file or a kernel
+     * hoard), revoking painted capabilities in place.
+     */
+    void scanRegisters(sim::SimThread &t,
+                       std::vector<cap::Capability> &regs);
+
+    /** Whether a single capability is slated for revocation. */
+    bool isRevoked(sim::SimThread &t, const cap::Capability &c);
+
+    const SweepStats &stats() const { return stats_; }
+
+  private:
+    vm::Mmu &mmu_;
+    RevocationBitmap &bitmap_;
+    SweepStats stats_;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_SWEEP_H_

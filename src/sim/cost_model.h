@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The cycle cost model.
+ *
+ * Absolute values are synthetic but sit in the regime of a 2.5 GHz
+ * out-of-order core (the paper's Morello SoC): sweeping one page is a
+ * few thousand cycles (64 line fills), a trap round-trip is a few
+ * hundred, an inter-processor interrupt a couple of thousand. What the
+ * experiments compare — ratios between revocation strategies — depends
+ * on the *relative* weights of sweeps, faults and synchronisation,
+ * which these defaults preserve. All values are configurable.
+ */
+
+#ifndef CREV_SIM_COST_MODEL_H_
+#define CREV_SIM_COST_MODEL_H_
+
+#include "base/types.h"
+
+namespace crev::sim {
+
+/** Non-memory-hierarchy cycle costs (memory latencies live in mem/). */
+struct CostModel
+{
+    Cycles op = 1;            //!< one unit of ALU work
+    Cycles tlb_fill = 40;     //!< page-table walk on TLB miss
+    Cycles tlb_shootdown = 300; //!< remote TLB invalidation
+    Cycles trap = 400;        //!< fault entry/exit round trip
+    Cycles syscall = 250;     //!< kernel crossing
+    Cycles ipi = 2000;        //!< per-core stop-the-world interrupt
+    Cycles ctx_switch = 1500; //!< context switch when a core changes thread
+    Cycles reg_scan = 16;     //!< scan one capability register during STW
+    Cycles pte_update = 30;   //!< modify one PTE
+    Cycles page_fault_service = 600; //!< demand-zero fill overhead
+    Cycles malloc_overhead = 40;     //!< allocator bookkeeping (non-memory)
+    Cycles free_overhead = 25;
+
+    /** Preemption quantum when threads share a core. */
+    Cycles quantum = 1'000'000;
+    /** Max virtual-time lead over another runnable thread before yield. */
+    Cycles yield_slack = 8000;
+};
+
+} // namespace crev::sim
+
+#endif // CREV_SIM_COST_MODEL_H_

@@ -1,0 +1,390 @@
+#include "sim/scheduler.h"
+
+#include <limits>
+
+#include "base/logging.h"
+
+namespace crev::sim {
+
+namespace {
+constexpr Cycles kInfinity = std::numeric_limits<Cycles>::max();
+} // namespace
+
+// ---------------------------------------------------------------------
+// SimThread
+// ---------------------------------------------------------------------
+
+SimThread::SimThread(Scheduler &sched, unsigned id, std::string name,
+                     std::uint32_t core_mask, bool daemon,
+                     std::function<void(SimThread &)> body)
+    : sched_(sched), id_(id), name_(std::move(name)),
+      core_mask_(core_mask), daemon_(daemon), body_(std::move(body)),
+      regs_(kNumRegs)
+{
+    CREV_ASSERT(core_mask_ != 0);
+}
+
+cap::Capability &
+SimThread::reg(unsigned i)
+{
+    CREV_ASSERT(i < regs_.size());
+    return regs_[i];
+}
+
+const cap::Capability &
+SimThread::reg(unsigned i) const
+{
+    CREV_ASSERT(i < regs_.size());
+    return regs_[i];
+}
+
+void
+SimThread::yieldSlow()
+{
+    sched_.handoff(*this, ThreadStatus::kReady);
+}
+
+void
+SimThread::yieldNow()
+{
+    if (noyield_depth_ == 0)
+        sched_.handoff(*this, ThreadStatus::kReady);
+}
+
+void
+SimThread::sleepUntil(Cycles t)
+{
+    if (t <= clock_)
+        return;
+    wake_time_ = t;
+    sched_.handoff(*this, ThreadStatus::kSleeping);
+}
+
+void
+SimThread::threadMain()
+{
+    {
+        std::unique_lock<std::mutex> lk(sched_.mtx_);
+        cv_.wait(lk, [this] { return status_ == ThreadStatus::kRunning; });
+    }
+    try {
+        body_(*this);
+    } catch (const std::exception &e) {
+        // A simulated fault escaped the workload body: the simulated
+        // thread dies (as a signal would kill it); the machine runs on.
+        warn("thread %s terminated by: %s", name_.c_str(), e.what());
+    }
+    {
+        std::unique_lock<std::mutex> lk(sched_.mtx_);
+        status_ = ThreadStatus::kDone;
+        sched_.core_free_at_[core_] = clock_;
+        sched_.current_ = nullptr;
+        sched_.sched_cv_.notify_one();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+Scheduler::Scheduler(unsigned num_cores, const CostModel &cm)
+    : num_cores_(num_cores), cm_(cm), core_free_at_(num_cores, 0),
+      core_last_thread_(num_cores, nullptr)
+{
+    CREV_ASSERT(num_cores > 0 && num_cores <= 32);
+}
+
+Scheduler::~Scheduler()
+{
+    for (auto &t : threads_)
+        if (t->host_.joinable())
+            t->host_.join();
+}
+
+SimThread *
+Scheduler::spawn(std::string name, std::uint32_t core_mask,
+                 std::function<void(SimThread &)> body, bool daemon)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    CREV_ASSERT((core_mask & ((1u << num_cores_) - 1)) == core_mask);
+    const auto id = static_cast<unsigned>(threads_.size());
+    threads_.emplace_back(new SimThread(*this, id, std::move(name),
+                                        core_mask, daemon,
+                                        std::move(body)));
+    SimThread *t = threads_.back().get();
+    if (current_ != nullptr)
+        t->clock_ = current_->clock_;
+    t->host_ = std::thread([t] { t->threadMain(); });
+    return t;
+}
+
+void
+Scheduler::setQuantumScale(SimThread &t, double scale)
+{
+    CREV_ASSERT(scale > 0);
+    t.quantum_scale_ = scale;
+}
+
+Cycles
+Scheduler::maxClock() const
+{
+    Cycles m = 0;
+    for (const auto &t : threads_)
+        m = std::max(m, t->clock_);
+    return m;
+}
+
+SimThread *
+Scheduler::chooseNext()
+{
+    // Requires mtx_ held. Pick the schedulable thread with the smallest
+    // effective start time; promote sleepers whose wake time arrived.
+    SimThread *best = nullptr;
+    Cycles best_est = kInfinity;
+    unsigned best_core = 0;
+
+    for (auto &tp : threads_) {
+        SimThread *t = tp.get();
+        Cycles base;
+        switch (t->status_) {
+          case ThreadStatus::kReady:
+            base = t->clock_;
+            break;
+          case ThreadStatus::kSleeping: {
+            base = t->wake_time_;
+            // A sleeper whose wake time fell inside the last STW window
+            // is held by the kernel until the world restarts.
+            if (base >= last_stw_begin_ && base < last_stw_end_)
+                base = last_stw_end_;
+            break;
+          }
+          default:
+            continue;
+        }
+        if (stw_active_ && t != stw_owner_)
+            continue;
+
+        // Best core for this thread first.
+        Cycles t_est = 0;
+        unsigned t_core = 0;
+        bool have_core = false;
+        for (unsigned c = 0; c < num_cores_; ++c) {
+            if (!(t->core_mask_ & (1u << c)))
+                continue;
+            const Cycles est = std::max(core_free_at_[c], base);
+            if (!have_core || est < t_est) {
+                t_est = est;
+                t_core = c;
+                have_core = true;
+            }
+        }
+        if (!have_core)
+            continue;
+        // Tie-break by the thread's own clock (round-robin fairness
+        // on a shared core), then by id (determinism).
+        const bool better =
+            best == nullptr || t_est < best_est ||
+            (t_est == best_est &&
+             (t->clock_ < best->clock_ ||
+              (t->clock_ == best->clock_ && t->id_ < best->id_)));
+        if (better) {
+            best = t;
+            best_est = t_est;
+            best_core = t_core;
+        }
+    }
+
+    if (best) {
+        if (best->status_ == ThreadStatus::kSleeping) {
+            Cycles w = best->wake_time_;
+            if (w >= last_stw_begin_ && w < last_stw_end_)
+                w = last_stw_end_;
+            best->clock_ = std::max(best->clock_, w);
+        }
+        best->status_ = ThreadStatus::kReady;
+        best->clock_ = std::max(best->clock_, best_est);
+        best->core_ = best_core;
+    }
+    return best;
+}
+
+void
+Scheduler::updateYieldHorizon(SimThread &running)
+{
+    // Requires mtx_ held. The horizon is the earlier of the preemption
+    // quantum and the point where another schedulable thread would fall
+    // more than yield_slack behind us.
+    Cycles horizon =
+        running.clock_ +
+        static_cast<Cycles>(static_cast<double>(cm_.quantum) *
+                            running.quantum_scale_);
+    for (auto &tp : threads_) {
+        SimThread *t = tp.get();
+        if (t == &running)
+            continue;
+        Cycles base;
+        if (t->status_ == ThreadStatus::kReady) {
+            base = t->clock_;
+        } else if (t->status_ == ThreadStatus::kSleeping) {
+            base = t->wake_time_;
+        } else {
+            continue;
+        }
+        if (stw_active_ && t != stw_owner_)
+            continue;
+        horizon = std::min(horizon, base + cm_.yield_slack);
+    }
+    running.yield_horizon_ = std::max(horizon, running.clock_ + 1);
+}
+
+void
+Scheduler::grant(SimThread *t)
+{
+    // Requires mtx_ held.
+    const unsigned c = t->core_;
+    t->clock_ = std::max(t->clock_, core_free_at_[c]);
+    if (core_last_thread_[c] != t && core_last_thread_[c] != nullptr) {
+        t->clock_ += cm_.ctx_switch;
+        t->busy_ += cm_.ctx_switch;
+    }
+    core_last_thread_[c] = t;
+    t->status_ = ThreadStatus::kRunning;
+    updateYieldHorizon(*t);
+    current_ = t;
+    t->cv_.notify_one();
+}
+
+void
+Scheduler::handoff(SimThread &self, ThreadStatus new_status)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    self.status_ = new_status;
+    core_free_at_[self.core_] = self.clock_;
+
+    // Direct switch: pick the successor here instead of bouncing
+    // through the scheduler loop (halves host context switches).
+    SimThread *next = chooseNext();
+    if (next == &self) {
+        // Still the best candidate: continue without a host switch.
+        grant(next);
+        return;
+    }
+    if (next != nullptr) {
+        grant(next);
+    } else {
+        // Nothing runnable: let the scheduler loop decide (shutdown,
+        // deadlock detection).
+        current_ = nullptr;
+        sched_cv_.notify_one();
+    }
+    self.cv_.wait(lk,
+                  [&self] { return self.status_ == ThreadStatus::kRunning; });
+}
+
+void
+Scheduler::block(SimThread &self)
+{
+    handoff(self, ThreadStatus::kBlocked);
+}
+
+void
+Scheduler::wake(SimThread &t, Cycles at)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    if (t.status_ != ThreadStatus::kBlocked)
+        return;
+    t.status_ = ThreadStatus::kReady;
+    t.clock_ = std::max({t.clock_, at, last_stw_end_ <= at ? Cycles{0}
+                                                           : last_stw_end_});
+    if (current_ != nullptr)
+        current_->yield_horizon_ =
+            std::min(current_->yield_horizon_, t.clock_ + cm_.yield_slack);
+}
+
+Cycles
+Scheduler::stopTheWorld(SimThread &self)
+{
+    // Drain threads with smaller clocks first so the park times below
+    // are accurate.
+    self.yieldNow();
+
+    std::unique_lock<std::mutex> lk(mtx_);
+    CREV_ASSERT(!stw_active_);
+    stw_active_ = true;
+    stw_owner_ = &self;
+
+    Cycles begin = self.clock_;
+    for (auto &tp : threads_)
+        if (tp.get() != &self && tp->status_ == ThreadStatus::kReady)
+            begin = std::max(begin, tp->clock_);
+    begin += cm_.ipi * num_cores_;
+    self.busy_ += begin - self.clock_;
+    self.clock_ = begin;
+    last_stw_begin_ = begin;
+    self.yield_horizon_ = kInfinity;
+    return begin;
+}
+
+void
+Scheduler::resumeWorld(SimThread &self)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    CREV_ASSERT(stw_active_ && stw_owner_ == &self);
+    const Cycles end = self.clock_;
+    last_stw_end_ = end;
+    stw_active_ = false;
+    stw_owner_ = nullptr;
+    for (auto &tp : threads_)
+        if (tp.get() != &self && tp->status_ == ThreadStatus::kReady)
+            tp->clock_ = std::max(tp->clock_, end);
+    updateYieldHorizon(self);
+}
+
+void
+Scheduler::run()
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    CREV_ASSERT(!started_);
+    started_ = true;
+
+    for (;;) {
+        // Initiate shutdown once every non-daemon thread has finished.
+        bool user_alive = false;
+        bool any_alive = false;
+        for (auto &tp : threads_) {
+            if (tp->status_ != ThreadStatus::kDone) {
+                any_alive = true;
+                if (!tp->daemon_)
+                    user_alive = true;
+            }
+        }
+        if (!any_alive)
+            break;
+        if (!user_alive) {
+            // Repeated every iteration: a daemon may block once more
+            // while draining; its contract is to exit once it observes
+            // shuttingDown().
+            shutting_down_ = true;
+            for (auto &tp : threads_) {
+                if (tp->status_ == ThreadStatus::kBlocked ||
+                    tp->status_ == ThreadStatus::kSleeping) {
+                    tp->status_ = ThreadStatus::kReady;
+                }
+            }
+        }
+
+        SimThread *next = chooseNext();
+        if (next == nullptr) {
+            panic("scheduler deadlock: threads alive but none runnable");
+        }
+        grant(next);
+        sched_cv_.wait(lk, [this] { return current_ == nullptr; });
+    }
+
+    lk.unlock();
+    for (auto &tp : threads_)
+        if (tp->host_.joinable())
+            tp->host_.join();
+}
+
+} // namespace crev::sim

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Deterministic cooperative virtual-time scheduler.
+ *
+ * Every simulated thread is backed by a host thread, but exactly one
+ * simulated thread executes at a time: the scheduler hands a token to
+ * the runnable thread with the smallest virtual clock (conservative
+ * discrete-event execution). Simulated threads are pinned to cores via
+ * a core mask; threads sharing a core are timesliced with a preemption
+ * quantum. Because scheduling decisions depend only on virtual clocks,
+ * entire runs are deterministic and race-free, yet workload bodies are
+ * written as ordinary sequential C++.
+ *
+ * The scheduler also provides the stop-the-world service used by the
+ * revokers: parked threads' clocks are advanced to the STW end time,
+ * while threads sleeping past the window are unaffected — reproducing
+ * the paper's observation that STW phases can hide inside idle time
+ * (§5.2 Discussion).
+ */
+
+#ifndef CREV_SIM_SCHEDULER_H_
+#define CREV_SIM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/types.h"
+#include "cap/capability.h"
+#include "sim/cost_model.h"
+
+namespace crev::sim {
+
+class Scheduler;
+
+/** Lifecycle states of a simulated thread. */
+enum class ThreadStatus {
+    kReady,    //!< runnable, waiting for the token
+    kRunning,  //!< holds the token
+    kSleeping, //!< waiting for virtual time to pass
+    kBlocked,  //!< waiting for an explicit wake()
+    kDone,     //!< body returned
+};
+
+/**
+ * A simulated thread: a virtual clock, a capability register file, and
+ * a pinned set of cores. Workload code receives a reference and calls
+ * accrue()/sleep()/reg() as it executes.
+ */
+class SimThread
+{
+  public:
+    static constexpr unsigned kNumRegs = 32;
+
+    SimThread(const SimThread &) = delete;
+    SimThread &operator=(const SimThread &) = delete;
+
+    const std::string &name() const { return name_; }
+    unsigned id() const { return id_; }
+
+    /** Core the thread is currently scheduled on. */
+    unsigned core() const { return core_; }
+
+    /** Current virtual time of this thread. */
+    Cycles now() const { return clock_; }
+
+    /** Cycles spent executing (excludes sleep and CPU wait). */
+    Cycles busyCycles() const { return busy_; }
+
+    /**
+     * Account @p c cycles of work. May hand the token to another
+     * thread if this one has run past its yield horizon.
+     */
+    void
+    accrue(Cycles c)
+    {
+        clock_ += c;
+        busy_ += c;
+        if (clock_ >= yield_horizon_ && noyield_depth_ == 0)
+            yieldSlow();
+    }
+
+    /** Accrue without permitting a yield (critical sections). */
+    void
+    accrueNoYield(Cycles c)
+    {
+        clock_ += c;
+        busy_ += c;
+    }
+
+    /** Explicit scheduling point (e.g. an idle server loop). */
+    void yieldNow();
+
+    /** Sleep until virtual time @p t (no CPU consumed). */
+    void sleepUntil(Cycles t);
+    /** Sleep for @p dt cycles. */
+    void sleep(Cycles dt) { sleepUntil(clock_ + dt); }
+
+    /** Capability register file (scanned during STW phases). */
+    cap::Capability &reg(unsigned i);
+    const cap::Capability &reg(unsigned i) const;
+
+    /** Whole register file, for the revoker's STW scan. */
+    std::vector<cap::Capability> &registerFile() { return regs_; }
+
+    /** RAII guard suppressing yields (virtual critical section). */
+    class NoYield
+    {
+      public:
+        explicit NoYield(SimThread &t) : t_(t) { ++t_.noyield_depth_; }
+        ~NoYield() { --t_.noyield_depth_; }
+
+      private:
+        SimThread &t_;
+    };
+
+    Scheduler &scheduler() { return sched_; }
+
+  private:
+    friend class Scheduler;
+
+    SimThread(Scheduler &sched, unsigned id, std::string name,
+              std::uint32_t core_mask, bool daemon,
+              std::function<void(SimThread &)> body);
+
+    void yieldSlow();
+    void threadMain();
+
+    Scheduler &sched_;
+    const unsigned id_;
+    const std::string name_;
+    const std::uint32_t core_mask_;
+    const bool daemon_;
+    std::function<void(SimThread &)> body_;
+
+    // --- state below is written only by the owning host thread or by
+    // the scheduler while the thread is parked (mutex hand-off orders
+    // all accesses) ---
+    Cycles clock_ = 0;
+    Cycles busy_ = 0;
+    Cycles yield_horizon_ = 0;
+    Cycles wake_time_ = 0; //!< for kSleeping
+    unsigned core_ = 0;
+    int noyield_depth_ = 0;
+    ThreadStatus status_ = ThreadStatus::kReady;
+    /** Relative preemption quantum scale (<1 shortens; §7.7 knob). */
+    double quantum_scale_ = 1.0;
+
+    std::vector<cap::Capability> regs_;
+    std::condition_variable cv_;
+    std::thread host_;
+};
+
+/**
+ * The scheduler: owns all simulated threads and the single execution
+ * token.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(unsigned num_cores, const CostModel &cm);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Create a simulated thread pinned to the cores in @p core_mask.
+     * Daemon threads (the revoker) do not keep the machine alive: when
+     * every non-daemon thread finishes, shuttingDown() becomes true
+     * and blocked daemons are woken to exit.
+     */
+    SimThread *spawn(std::string name, std::uint32_t core_mask,
+                     std::function<void(SimThread &)> body,
+                     bool daemon = false);
+
+    /** Run until all non-daemon threads complete (then join daemons). */
+    void run();
+
+    /** Block the calling thread until wake()d. */
+    void block(SimThread &self);
+
+    /**
+     * Make @p t runnable no earlier than virtual time @p at (callers
+     * pass their own now()). No-op if @p t is not blocked.
+     */
+    void wake(SimThread &t, Cycles at);
+
+    /** True once all non-daemon threads have finished. */
+    bool shuttingDown() const { return shutting_down_; }
+
+    /**
+     * Begin a stop-the-world phase on behalf of @p self. Returns the
+     * STW begin time; the caller performs its world-stopped work
+     * (accruing cycles) and then calls resumeWorld().
+     */
+    Cycles stopTheWorld(SimThread &self);
+
+    /** End the stop-the-world phase; parked threads resume at stw end. */
+    void resumeWorld(SimThread &self);
+
+    /** All threads ever spawned (the revoker scans register files). */
+    const std::vector<std::unique_ptr<SimThread>> &threads() const
+    {
+        return threads_;
+    }
+
+    /** Largest virtual clock across all threads (wall-clock metric). */
+    Cycles maxClock() const;
+
+    const CostModel &costs() const { return cm_; }
+    unsigned numCores() const { return num_cores_; }
+
+    /** Set a thread's preemption-quantum scale (§7.7 tuning knob). */
+    void setQuantumScale(SimThread &t, double scale);
+
+  private:
+    friend class SimThread;
+
+    /** Pick the next thread to grant; nullptr if none runnable. */
+    SimThread *chooseNext();
+    /** Grant the token to @p t (scheduler loop side). */
+    void grant(SimThread *t);
+    /** Called by a running thread to return the token. */
+    void handoff(SimThread &self, ThreadStatus new_status);
+    /** Recompute a running thread's yield horizon hint. */
+    void updateYieldHorizon(SimThread &running);
+
+    const unsigned num_cores_;
+    const CostModel cm_;
+
+    std::mutex mtx_;
+    std::condition_variable sched_cv_;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    SimThread *current_ = nullptr;
+    bool started_ = false;
+    bool shutting_down_ = false;
+
+    // Stop-the-world state.
+    bool stw_active_ = false;
+    SimThread *stw_owner_ = nullptr;
+    Cycles last_stw_begin_ = 0;
+    Cycles last_stw_end_ = 0;
+
+    // Per-core timeline: when the core's last slice ended and who ran.
+    std::vector<Cycles> core_free_at_;
+    std::vector<SimThread *> core_last_thread_;
+};
+
+} // namespace crev::sim
+
+#endif // CREV_SIM_SCHEDULER_H_

@@ -1,0 +1,65 @@
+#include "sim/sync.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace crev::sim {
+
+void
+SimMutex::lock(SimThread &self)
+{
+    while (owner_ != nullptr) {
+        CREV_ASSERT(owner_ != &self); // no recursive locking
+        ++contended_;
+        waiters_.push_back(&self);
+        self.scheduler().block(self);
+        // Re-contend on wake; remove stale queue entry if still there.
+        auto it = std::find(waiters_.begin(), waiters_.end(), &self);
+        if (it != waiters_.end())
+            waiters_.erase(it);
+    }
+    owner_ = &self;
+}
+
+bool
+SimMutex::tryLock(SimThread &self)
+{
+    if (owner_ != nullptr)
+        return false;
+    owner_ = &self;
+    return true;
+}
+
+void
+SimMutex::unlock(SimThread &self)
+{
+    CREV_ASSERT(owner_ == &self);
+    owner_ = nullptr;
+    if (!waiters_.empty()) {
+        SimThread *next = waiters_.front();
+        waiters_.erase(waiters_.begin());
+        self.scheduler().wake(*next, self.now());
+    }
+}
+
+void
+SimEvent::wait(SimThread &self)
+{
+    waiters_.push_back(&self);
+    self.scheduler().block(self);
+    auto it = std::find(waiters_.begin(), waiters_.end(), &self);
+    if (it != waiters_.end())
+        waiters_.erase(it);
+}
+
+void
+SimEvent::notifyAll(SimThread &self)
+{
+    std::vector<SimThread *> to_wake;
+    to_wake.swap(waiters_);
+    for (SimThread *t : to_wake)
+        self.scheduler().wake(*t, self.now());
+}
+
+} // namespace crev::sim

@@ -1,0 +1,133 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace crev::stats {
+
+void
+Samples::add(double v)
+{
+    values_.push_back(v);
+    dirty_ = true;
+}
+
+void
+Samples::addAll(const std::vector<double> &vs)
+{
+    values_.insert(values_.end(), vs.begin(), vs.end());
+    dirty_ = true;
+}
+
+void
+Samples::ensureSorted() const
+{
+    if (dirty_) {
+        sorted_ = values_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+Samples::min() const
+{
+    CREV_ASSERT(!values_.empty());
+    ensureSorted();
+    return sorted_.front();
+}
+
+double
+Samples::max() const
+{
+    CREV_ASSERT(!values_.empty());
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+Samples::sum() const
+{
+    return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double
+Samples::mean() const
+{
+    CREV_ASSERT(!values_.empty());
+    return sum() / static_cast<double>(values_.size());
+}
+
+double
+Samples::stddev() const
+{
+    CREV_ASSERT(!values_.empty());
+    const double m = mean();
+    double acc = 0;
+    for (double v : values_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double
+Samples::percentile(double q) const
+{
+    CREV_ASSERT(!values_.empty());
+    CREV_ASSERT(q >= 0.0 && q <= 1.0);
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Boxplot
+boxplot(const Samples &s)
+{
+    Boxplot b;
+    if (s.empty())
+        return b;
+    b.min = s.min();
+    b.p25 = s.percentile(0.25);
+    b.median = s.median();
+    b.p75 = s.percentile(0.75);
+    b.max = s.max();
+    b.mean = s.mean();
+    b.n = s.count();
+    return b;
+}
+
+double
+geomean(const std::vector<double> &vs)
+{
+    CREV_ASSERT(!vs.empty());
+    double acc = 0;
+    for (double v : vs) {
+        CREV_ASSERT(v > 0.0);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(vs.size()));
+}
+
+std::vector<double>
+cdfAt(const Samples &s, const std::vector<double> &points)
+{
+    std::vector<double> sorted = s.values();
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (double p : points) {
+        const auto it = std::upper_bound(sorted.begin(), sorted.end(), p);
+        out.push_back(static_cast<double>(it - sorted.begin()) /
+                      static_cast<double>(sorted.size()));
+    }
+    return out;
+}
+
+} // namespace crev::stats

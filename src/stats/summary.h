@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sample-set summaries: percentiles, boxplots, CDFs, geomean.
+ *
+ * Every bench binary reports through these so the output format is
+ * uniform across the reproduction of the paper's figures and tables.
+ */
+
+#ifndef CREV_STATS_SUMMARY_H_
+#define CREV_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crev::stats {
+
+/**
+ * A growable collection of double-valued samples with exact quantile
+ * queries. Samples are stored; sorting is performed lazily.
+ */
+class Samples
+{
+  public:
+    void add(double v);
+    void addAll(const std::vector<double> &vs);
+
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    double min() const;
+    double max() const;
+    double sum() const;
+    double mean() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    /** Exact quantile by linear interpolation; q in [0, 1]. */
+    double percentile(double q) const;
+    double median() const { return percentile(0.5); }
+
+    /** Read-only access to the (unsorted) raw samples. */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = true;
+};
+
+/** Five-number boxplot summary plus mean, as used by figs. 8 and 9. */
+struct Boxplot
+{
+    double min = 0;
+    double p25 = 0;
+    double median = 0;
+    double p75 = 0;
+    double max = 0;
+    double mean = 0;
+    std::size_t n = 0;
+};
+
+/** Compute a boxplot summary of @p s. */
+Boxplot boxplot(const Samples &s);
+
+/** Geometric mean of a list of (positive) values. */
+double geomean(const std::vector<double> &vs);
+
+/**
+ * Evaluate the empirical CDF of @p s at each of @p points, returning the
+ * fraction of samples <= the point (fig. 7's normalized CDF).
+ */
+std::vector<double> cdfAt(const Samples &s,
+                          const std::vector<double> &points);
+
+} // namespace crev::stats
+
+#endif // CREV_STATS_SUMMARY_H_

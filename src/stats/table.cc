@@ -1,0 +1,77 @@
+#include "stats/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace crev::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    CREV_ASSERT(!header_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    CREV_ASSERT(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c == 0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << "  " << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+Table::fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::pct(double ratio, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+    return buf;
+}
+
+} // namespace crev::stats

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width text table printer used by every bench binary so that the
+ * reproduced rows of the paper's tables and figures print uniformly.
+ */
+
+#ifndef CREV_STATS_TABLE_H_
+#define CREV_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace crev::stats {
+
+/** A simple left-aligned-first-column text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table, header first, with a separator rule. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double v, int digits = 2);
+    /** Format helper: value as a percentage string, e.g. "12.3%". */
+    static std::string pct(double ratio, int digits = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace crev::stats
+
+#endif // CREV_STATS_TABLE_H_

@@ -1,0 +1,197 @@
+#include "vm/address_space.h"
+
+#include "base/logging.h"
+#include "cap/compression.h"
+
+namespace crev::vm {
+
+AddressSpace::AddressSpace(mem::PhysMem &pm) : pm_(pm) {}
+
+Addr
+AddressSpace::reserve(Addr length, bool cap_store)
+{
+    CREV_ASSERT(length > 0);
+    const Addr req = roundUp(length, kPageSize);
+    const Addr align =
+        std::max<Addr>(cap::representableAlignment(req), kPageSize);
+    const Addr padded = roundUp(cap::representableLength(req), kPageSize);
+
+    const Addr base = roundUp(next_va_, align);
+    next_va_ = base + padded;
+    CREV_ASSERT(next_va_ <= kHeapCeiling);
+
+    Reservation r;
+    r.base = base;
+    r.length = padded;
+    r.requested = req;
+    r.mapped_bytes = req;
+    reservations_[base] = r;
+    mapped_bytes_ += req;
+
+    // Representability padding starts life as guard pages
+    // (paper footnote 26); they are part of the reservation but any
+    // touch faults.
+    for (Addr va = base; va < base + padded; va += kPageSize) {
+        Pte &p = pages_[va];
+        p = Pte{};
+        p.cap_store = cap_store;
+        p.write = true;
+    }
+    for (Addr va = base + req; va < base + padded; va += kPageSize)
+        guardPage(va);
+    return base;
+}
+
+void
+AddressSpace::guardPage(Addr va)
+{
+    guarded_.insert(pageBase(va));
+}
+
+void
+AddressSpace::unmap(Addr base, Addr length)
+{
+    CREV_ASSERT(pageOffset(base) == 0);
+    Reservation *r = reservationFor(base);
+    CREV_ASSERT(r != nullptr);
+    CREV_ASSERT(base + length <= r->base + r->requested);
+    CREV_ASSERT(r->state == ReservationState::kActive);
+
+    for (Addr va = base; va < base + length; va += kPageSize) {
+        if (guarded_.count(va))
+            continue;
+        auto it = pages_.find(va);
+        CREV_ASSERT(it != pages_.end());
+        if (it->second.valid) {
+            pm_.freeFrame(it->second.pfn);
+            freed_frames_.push_back(it->second.pfn);
+            it->second.valid = false;
+            it->second.pfn = 0;
+            --resident_;
+        }
+        guardPage(va);
+        CREV_ASSERT(r->mapped_bytes >= kPageSize);
+        r->mapped_bytes -= kPageSize;
+        mapped_bytes_ -= kPageSize;
+    }
+
+    if (r->mapped_bytes == 0) {
+        r->state = ReservationState::kQuarantined;
+        newly_quarantined_.push_back(r);
+    }
+}
+
+std::vector<Reservation *>
+AddressSpace::takeNewlyQuarantined()
+{
+    std::vector<Reservation *> out;
+    out.swap(newly_quarantined_);
+    return out;
+}
+
+void
+AddressSpace::release(Reservation *r)
+{
+    CREV_ASSERT(r->state == ReservationState::kQuarantined);
+    r->state = ReservationState::kFreed;
+    for (Addr va = r->base; va < r->base + r->length; va += kPageSize)
+        pages_.erase(va);
+    // Virtual addresses are never recycled: address-space non-reuse is
+    // exactly the property revocation protects.
+}
+
+Reservation *
+AddressSpace::reservationFor(Addr va)
+{
+    auto it = reservations_.upper_bound(va);
+    if (it == reservations_.begin())
+        return nullptr;
+    --it;
+    Reservation &r = it->second;
+    if (va >= r.base && va < r.base + r.length)
+        return &r;
+    return nullptr;
+}
+
+Pte &
+AddressSpace::pte(Addr va)
+{
+    return pages_[pageBase(va)];
+}
+
+Pte *
+AddressSpace::findPte(Addr va)
+{
+    auto it = pages_.find(pageBase(va));
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+bool
+AddressSpace::inShadow(Addr va)
+{
+    return va >= kShadowBase &&
+           va < shadowByteFor(kHeapCeiling) + kPageSize;
+}
+
+FaultKind
+AddressSpace::classify(Addr va, bool is_store, bool is_cap_store) const
+{
+    const Addr page = pageBase(va);
+    if (guarded_.count(page))
+        return FaultKind::kGuard;
+
+    auto pit = pages_.find(page);
+    const Pte *p = pit == pages_.end() ? nullptr : &pit->second;
+
+    if (p == nullptr) {
+        // Shadow region: implicit kernel-provided anonymous object.
+        if (inShadow(va))
+            return FaultKind::kDemandZero;
+        return FaultKind::kNotMapped;
+    }
+    if (!p->valid)
+        return FaultKind::kDemandZero;
+    if (is_store && !p->write)
+        return FaultKind::kWriteProtect;
+    if (is_cap_store && !p->cap_store)
+        return FaultKind::kCapStore;
+    return FaultKind::kNone;
+}
+
+Pte &
+AddressSpace::makeResident(Addr va)
+{
+    const Addr page = pageBase(va);
+    CREV_ASSERT(guarded_.count(page) == 0);
+    Pte &p = pages_[page];
+    if (!p.valid) {
+        if (inShadow(va)) {
+            // The shadow bitmap never carries capabilities.
+            p.cap_store = false;
+            p.write = true;
+        }
+        p.pfn = pm_.allocFrame();
+        p.valid = true;
+        ++resident_;
+    }
+    return p;
+}
+
+void
+AddressSpace::forEachResidentPage(
+    const std::function<void(Addr, Pte &)> &fn)
+{
+    for (auto &[va, p] : pages_)
+        if (p.valid)
+            fn(va, p);
+}
+
+std::vector<Addr>
+AddressSpace::takeFreedFrames()
+{
+    std::vector<Addr> out;
+    out.swap(freed_frames_);
+    return out;
+}
+
+} // namespace crev::vm

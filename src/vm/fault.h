@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Faults surfaced to simulated user code as C++ exceptions.
+ *
+ * Guard-page touches and capability violations terminate the simulated
+ * instruction stream the way a signal would; example programs catch
+ * them to demonstrate that use-after-reallocation is fail-stop.
+ */
+
+#ifndef CREV_VM_FAULT_H_
+#define CREV_VM_FAULT_H_
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "base/types.h"
+#include "vm/pte.h"
+
+namespace crev::vm {
+
+/** An unrecoverable memory fault (SIGSEGV analogue). */
+class MemoryFault : public std::runtime_error
+{
+  public:
+    MemoryFault(FaultKind kind, Addr va)
+        : std::runtime_error("memory fault at va 0x" + hex(va)),
+          kind_(kind), va_(va)
+    {
+    }
+
+    FaultKind kind() const { return kind_; }
+    Addr va() const { return va_; }
+
+  private:
+    static std::string
+    hex(Addr a)
+    {
+        char buf[20];
+        std::snprintf(buf, sizeof(buf), "%llx",
+                      static_cast<unsigned long long>(a));
+        return buf;
+    }
+
+    FaultKind kind_;
+    Addr va_;
+};
+
+/** A capability violation (tag clear, bounds, permissions). */
+class CapabilityFault : public std::runtime_error
+{
+  public:
+    enum class Kind { kTag, kBounds, kPermission };
+
+    CapabilityFault(Kind kind, Addr va)
+        : std::runtime_error(describe(kind)), kind_(kind), va_(va)
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    Addr va() const { return va_; }
+
+  private:
+    static const char *
+    describe(Kind k)
+    {
+        switch (k) {
+          case Kind::kTag:
+            return "capability fault: tag cleared";
+          case Kind::kBounds:
+            return "capability fault: out of bounds";
+          case Kind::kPermission:
+            return "capability fault: missing permission";
+        }
+        return "capability fault";
+    }
+
+    Kind kind_;
+    Addr va_;
+};
+
+} // namespace crev::vm
+
+#endif // CREV_VM_FAULT_H_

@@ -1,0 +1,296 @@
+#include "vm/mmu.h"
+
+#include "base/logging.h"
+#include "cap/compression.h"
+#include "vm/fault.h"
+
+namespace crev::vm {
+
+Mmu::Mmu(mem::PhysMem &pm, mem::MemorySystem &ms, AddressSpace &as,
+         const sim::CostModel &cm)
+    : pm_(pm), ms_(ms), as_(as), cm_(cm),
+      core_gen_(ms.numCores(), 0)
+{
+    tlbs_.reserve(ms.numCores());
+    for (unsigned c = 0; c < ms.numCores(); ++c)
+        tlbs_.emplace_back();
+}
+
+Tlb &
+Mmu::tlb(unsigned core)
+{
+    CREV_ASSERT(core < tlbs_.size());
+    return tlbs_[core];
+}
+
+unsigned
+Mmu::coreGen(unsigned core) const
+{
+    CREV_ASSERT(core < core_gen_.size());
+    return core_gen_[core];
+}
+
+void
+Mmu::flipAllCoreGens(sim::SimThread &t)
+{
+    gen_ ^= 1u;
+    for (auto &g : core_gen_)
+        g = gen_;
+    // Generation checks are made against TLB-resident PTE copies; the
+    // flip takes effect immediately on all cores (they are already
+    // synchronised: this happens inside the STW window).
+    t.accrueNoYield(cm_.pte_update);
+}
+
+void
+Mmu::shootdownPage(sim::SimThread &t, Addr va)
+{
+    const Addr page = pageBase(va);
+    for (auto &tlb : tlbs_)
+        tlb.invalidatePage(pageOf(page));
+    ++stats_.tlb_shootdowns;
+    t.accrueNoYield(cm_.tlb_shootdown);
+}
+
+void
+Mmu::purgeFreedFrames()
+{
+    for (Addr pfn : as_.takeFreedFrames())
+        ms_.invalidateFrame(pfn);
+}
+
+Addr
+Mmu::translate(sim::SimThread &t, Addr va, bool is_store,
+               bool is_cap_store, Pte *pte_out)
+{
+    const unsigned core = t.core();
+    const Addr vpn = pageOf(va);
+
+    for (;;) {
+        const Pte *cached = tlbs_[core].lookup(vpn);
+        if (cached != nullptr && cached->valid) {
+            if (is_store && !cached->write) {
+                // Fall through to the slow path for a precise check.
+            } else if (is_cap_store && !cached->cap_store) {
+                // Fall through likewise.
+            } else {
+                if (pte_out != nullptr)
+                    *pte_out = *cached;
+                return (cached->pfn << kPageBits) | pageOffset(va);
+            }
+        }
+
+        // TLB miss (or cached entry is insufficient): walk.
+        t.accrue(cm_.tlb_fill);
+        const FaultKind fk = as_.classify(va, is_store, is_cap_store);
+        switch (fk) {
+          case FaultKind::kNone:
+            break;
+          case FaultKind::kDemandZero: {
+            t.accrue(cm_.trap + cm_.page_fault_service);
+            Pte &p = as_.makeResident(va);
+            // New mappings adopt the current load generation so a
+            // fresh page never traps spuriously (§4.1: pages kept up
+            // to date).
+            p.clg = gen_;
+            ++stats_.demand_faults;
+            break;
+          }
+          case FaultKind::kNotMapped:
+          case FaultKind::kGuard:
+            t.accrue(cm_.trap);
+            throw MemoryFault(fk, va);
+          case FaultKind::kWriteProtect:
+          case FaultKind::kCapStore:
+            t.accrue(cm_.trap);
+            throw MemoryFault(fk, va);
+          case FaultKind::kLoadBarrier:
+            panic("classify() does not raise load-barrier faults");
+        }
+
+        Pte *p = as_.findPte(va);
+        CREV_ASSERT(p != nullptr && p->valid);
+        tlbs_[core].insert(vpn, *p);
+        // Loop: the next iteration hits in the TLB and re-checks.
+    }
+}
+
+template <typename Fn>
+void
+Mmu::forSegments(Addr va, std::size_t len, Fn fn)
+{
+    while (len > 0) {
+        const std::size_t in_page = static_cast<std::size_t>(
+            std::min<Addr>(len, kPageSize - pageOffset(va)));
+        fn(va, in_page);
+        va += in_page;
+        len -= in_page;
+    }
+}
+
+void
+Mmu::loadData(sim::SimThread &t, Addr va, void *out, std::size_t len)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    forSegments(va, len, [&](Addr seg_va, std::size_t seg_len) {
+        const Addr paddr = translate(t, seg_va, false, false);
+        t.accrue(ms_.access(t.core(), paddr, seg_len, false));
+        pm_.read(paddr, dst, seg_len);
+        dst += seg_len;
+    });
+}
+
+void
+Mmu::storeData(sim::SimThread &t, Addr va, const void *in,
+               std::size_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    forSegments(va, len, [&](Addr seg_va, std::size_t seg_len) {
+        const Addr paddr = translate(t, seg_va, true, false);
+        t.accrue(ms_.access(t.core(), paddr, seg_len, true));
+        pm_.write(paddr, src, seg_len);
+        src += seg_len;
+    });
+}
+
+std::uint64_t
+Mmu::loadU64(sim::SimThread &t, Addr va)
+{
+    std::uint64_t v = 0;
+    loadData(t, va, &v, sizeof(v));
+    return v;
+}
+
+void
+Mmu::storeU64(sim::SimThread &t, Addr va, std::uint64_t v)
+{
+    storeData(t, va, &v, sizeof(v));
+}
+
+cap::Capability
+Mmu::loadCap(sim::SimThread &t, Addr va)
+{
+    CREV_ASSERT(va % kGranuleSize == 0);
+    const unsigned core = t.core();
+
+    for (;;) {
+        Pte snapshot;
+        const Addr paddr = translate(t, va, false, false, &snapshot);
+        const bool tagged = pm_.tagAt(paddr);
+
+        // The load barrier: a tagged load from a stale-generation page
+        // (or an always-trap page, §7.6) traps before the value
+        // reaches the register file.
+        if (tagged &&
+            (snapshot.clg != core_gen_[core] || snapshot.cap_load_trap)) {
+            CREV_ASSERT(handler_ != nullptr);
+            ++stats_.load_barrier_faults;
+            t.accrue(cm_.trap);
+            tlbs_[core].invalidatePage(pageOf(va));
+            handler_(t, va);
+            continue; // self-healing: retry the load
+        }
+
+        t.accrue(ms_.access(core, paddr, kGranuleSize, false));
+        cap::CapBits bits;
+        const bool tag = pm_.loadCap(paddr, bits);
+        cap::Capability c = cap::decode(bits, tag);
+        // CHERIoT-style inline filter (§6.3): strip revoked
+        // capabilities on their way into the register file.
+        if (c.tag && filter_ && filter_(t, c))
+            c.tag = false;
+        return c;
+    }
+}
+
+void
+Mmu::storeCap(sim::SimThread &t, Addr va, const cap::Capability &c)
+{
+    CREV_ASSERT(va % kGranuleSize == 0);
+    const Addr paddr = translate(t, va, true, c.tag);
+    t.accrue(ms_.access(t.core(), paddr, kGranuleSize, true));
+    pm_.storeCap(paddr, cap::encode(c), c.tag);
+    if (c.tag) {
+        Pte *p = as_.findPte(va);
+        CREV_ASSERT(p != nullptr);
+        if (!p->cap_dirty || !p->cap_ever) {
+            // Hardware-managed dirty bit update (§4.2).
+            p->cap_dirty = true;
+            p->cap_ever = true;
+            t.accrue(cm_.pte_update);
+            tlbs_[t.core()].insert(pageOf(va), *p);
+        }
+    }
+}
+
+cap::Capability
+Mmu::kernelLoadCap(sim::SimThread &t, Addr va)
+{
+    CREV_ASSERT(va % kGranuleSize == 0);
+    Pte *p = as_.findPte(va);
+    CREV_ASSERT(p != nullptr && p->valid);
+    const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
+    t.accrue(ms_.access(t.core(), paddr, kGranuleSize, false));
+    cap::CapBits bits;
+    const bool tag = pm_.loadCap(paddr, bits);
+    return cap::decode(bits, tag);
+}
+
+void
+Mmu::kernelClearTag(sim::SimThread &t, Addr va)
+{
+    Pte *p = as_.findPte(va);
+    CREV_ASSERT(p != nullptr && p->valid);
+    const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
+    t.accrue(ms_.access(t.core(), paddr, 1, true));
+    pm_.clearTag(paddr);
+}
+
+cap::Capability
+Mmu::peekCap(Addr va)
+{
+    Pte *p = as_.findPte(va);
+    CREV_ASSERT(p != nullptr && p->valid);
+    const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
+    cap::CapBits bits;
+    const bool tag = pm_.loadCap(paddr, bits);
+    return cap::decode(bits, tag);
+}
+
+bool
+Mmu::peekTag(Addr va)
+{
+    Pte *p = as_.findPte(va);
+    if (p == nullptr || !p->valid)
+        return false;
+    return pm_.tagAt((p->pfn << kPageBits) | pageOffset(va));
+}
+
+bool
+Mmu::pageHasTags(Addr va)
+{
+    Pte *p = as_.findPte(va);
+    if (p == nullptr || !p->valid)
+        return false;
+    return pm_.frameHasTags(p->pfn);
+}
+
+void
+Mmu::chargeRead(sim::SimThread &t, Addr va, std::size_t len)
+{
+    Pte *p = as_.findPte(va);
+    CREV_ASSERT(p != nullptr && p->valid);
+    t.accrue(ms_.access(t.core(), (p->pfn << kPageBits) | pageOffset(va),
+                        len, false));
+}
+
+void
+Mmu::chargeWrite(sim::SimThread &t, Addr va, std::size_t len)
+{
+    Pte *p = as_.findPte(va);
+    CREV_ASSERT(p != nullptr && p->valid);
+    t.accrue(ms_.access(t.core(), (p->pfn << kPageBits) | pageOffset(va),
+                        len, true));
+}
+
+} // namespace crev::vm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The memory management unit: translation, permission checks, the
+ * capability load barrier, and capability-dirty store tracking.
+ *
+ * Every simulated memory operation flows through here. The barrier
+ * semantics follow paper §4.1: each core carries a capability load
+ * generation register; a *tagged* capability load from a page whose
+ * (TLB-cached) PTE generation mismatches the core's traps into the
+ * registered handler — Reloaded's self-healing fault path — and then
+ * retries. Capability stores set the PTE's cap-dirty and cap-ever
+ * bits, hardware-DBM style (§4.2).
+ */
+
+#ifndef CREV_VM_MMU_H_
+#define CREV_VM_MMU_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.h"
+#include "cap/capability.h"
+#include "mem/memory_system.h"
+#include "mem/phys_mem.h"
+#include "sim/cost_model.h"
+#include "sim/scheduler.h"
+#include "vm/address_space.h"
+#include "vm/tlb.h"
+
+namespace crev::vm {
+
+/** MMU event counters. */
+struct MmuStats
+{
+    std::uint64_t demand_faults = 0;
+    std::uint64_t load_barrier_faults = 0;
+    std::uint64_t tlb_shootdowns = 0;
+};
+
+/** The machine's MMU (one per simulated process/machine). */
+class Mmu
+{
+  public:
+    /**
+     * Handler invoked on a capability load-generation fault. It runs
+     * on the faulting thread (costs accrue there), must bring the
+     * page's PTE up to the current generation, and is responsible for
+     * TLB shootdowns.
+     */
+    using LoadFaultHandler =
+        std::function<void(sim::SimThread &, Addr va)>;
+
+    /**
+     * Inline load filter (CHERIoT-style, paper §6.3): invoked for
+     * every *tagged* capability load with the decoded value; returning
+     * true strips the tag from the value entering the register file
+     * (the in-memory copy is untouched — not self-healing).
+     */
+    using LoadFilter =
+        std::function<bool(sim::SimThread &, const cap::Capability &)>;
+
+    Mmu(mem::PhysMem &pm, mem::MemorySystem &ms, AddressSpace &as,
+        const sim::CostModel &cm);
+
+    // --- user-mode access paths (barriered) ---
+
+    /** Load @p len bytes at @p va (may span pages). */
+    void loadData(sim::SimThread &t, Addr va, void *out,
+                  std::size_t len);
+    /** Store @p len bytes at @p va; clears overlapped tags. */
+    void storeData(sim::SimThread &t, Addr va, const void *in,
+                   std::size_t len);
+    std::uint64_t loadU64(sim::SimThread &t, Addr va);
+    void storeU64(sim::SimThread &t, Addr va, std::uint64_t v);
+
+    /** Tagged capability load; subject to the load barrier. */
+    cap::Capability loadCap(sim::SimThread &t, Addr va);
+    /** Capability store; sets cap-dirty/cap-ever when tagged. */
+    void storeCap(sim::SimThread &t, Addr va, const cap::Capability &c);
+
+    // --- kernel/revoker access paths (no barrier, no dirtying) ---
+
+    /** Load a capability bypassing the load barrier (sweeper). */
+    cap::Capability kernelLoadCap(sim::SimThread &t, Addr va);
+    /** Clear a granule's tag without touching dirty tracking. */
+    void kernelClearTag(sim::SimThread &t, Addr va);
+    /** Tag peek with no cost (the sweep charges line reads itself). */
+    bool peekTag(Addr va);
+    /** Whether any granule of the page containing @p va is tagged
+     *  right now (clean-page detection re-check; no cost). */
+    bool pageHasTags(Addr va);
+    /** Capability peek with no cost (value already on-chip after a
+     *  charged line read). */
+    cap::Capability peekCap(Addr va);
+    /** Charge a read of @p len bytes at @p va (sweep line fetches). */
+    void chargeRead(sim::SimThread &t, Addr va, std::size_t len);
+    /** Charge a write (tag clears dirty a line). */
+    void chargeWrite(sim::SimThread &t, Addr va, std::size_t len);
+
+    // --- load-generation plumbing ---
+
+    void setLoadFaultHandler(LoadFaultHandler h) { handler_ = std::move(h); }
+    void setLoadFilter(LoadFilter f) { filter_ = std::move(f); }
+    /** Current per-core generation bit. */
+    unsigned coreGen(unsigned core) const;
+    /** Flip every core's generation register (STW entry). */
+    void flipAllCoreGens(sim::SimThread &t);
+    /** The generation new PTEs should carry to be "current". */
+    unsigned currentGen() const { return gen_; }
+
+    // --- TLB management ---
+
+    Tlb &tlb(unsigned core);
+    /** Invalidate one page in all TLBs, charging the caller. */
+    void shootdownPage(sim::SimThread &t, Addr va);
+    /** Drop freed frames from all caches (frame reuse hygiene). */
+    void purgeFreedFrames();
+
+    const MmuStats &stats() const { return stats_; }
+    AddressSpace &addressSpace() { return as_; }
+    mem::PhysMem &physMem() { return pm_; }
+    mem::MemorySystem &memorySystem() { return ms_; }
+    const sim::CostModel &costs() const { return cm_; }
+
+  private:
+    /**
+     * Translate one intra-page access, resolving demand-zero faults
+     * and throwing MemoryFault on violations. Returns the physical
+     * address; @p pte_out receives the TLB-resident PTE snapshot.
+     */
+    Addr translate(sim::SimThread &t, Addr va, bool is_store,
+                   bool is_cap_store, Pte *pte_out = nullptr);
+
+    /** Per-page segment iteration helper. */
+    template <typename Fn>
+    void forSegments(Addr va, std::size_t len, Fn fn);
+
+    mem::PhysMem &pm_;
+    mem::MemorySystem &ms_;
+    AddressSpace &as_;
+    const sim::CostModel &cm_;
+    std::vector<Tlb> tlbs_;
+    std::vector<unsigned> core_gen_;
+    unsigned gen_ = 0;
+    LoadFaultHandler handler_;
+    LoadFilter filter_;
+    MmuStats stats_;
+};
+
+} // namespace crev::vm
+
+#endif // CREV_VM_MMU_H_

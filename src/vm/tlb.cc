@@ -1,0 +1,48 @@
+#include "vm/tlb.h"
+
+namespace crev::vm {
+
+const Pte *
+Tlb::lookup(Addr vpn) const
+{
+    auto it = entries_.find(vpn);
+    if (it == entries_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+}
+
+void
+Tlb::insert(Addr vpn, const Pte &pte)
+{
+    if (entries_.count(vpn) == 0) {
+        if (entries_.size() >= capacity_) {
+            // FIFO eviction keeps runs deterministic.
+            while (!fifo_.empty()) {
+                const Addr victim = fifo_.front();
+                fifo_.pop_front();
+                if (entries_.erase(victim) > 0)
+                    break;
+            }
+        }
+        fifo_.push_back(vpn);
+    }
+    entries_[vpn] = pte;
+}
+
+void
+Tlb::invalidatePage(Addr vpn)
+{
+    entries_.erase(vpn);
+}
+
+void
+Tlb::invalidateAll()
+{
+    entries_.clear();
+    fifo_.clear();
+}
+
+} // namespace crev::vm

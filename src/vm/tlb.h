@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A per-core translation lookaside buffer.
+ *
+ * Caches PTE snapshots keyed by virtual page number with FIFO
+ * replacement (deterministic). Shootdowns — needed whenever the
+ * revoker updates a PTE's generation or permissions — invalidate a
+ * single page on every core and are charged to the updater.
+ */
+
+#ifndef CREV_VM_TLB_H_
+#define CREV_VM_TLB_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "base/types.h"
+#include "vm/pte.h"
+
+namespace crev::vm {
+
+/** A single core's TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t capacity = 128) : capacity_(capacity) {}
+
+    /** Look up @p vpn; returns nullptr on miss. */
+    const Pte *lookup(Addr vpn) const;
+
+    /** Install a translation, evicting FIFO if full. */
+    void insert(Addr vpn, const Pte &pte);
+
+    /** Drop one page's translation. */
+    void invalidatePage(Addr vpn);
+
+    /** Drop everything (e.g. on generation flip). */
+    void invalidateAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, Pte> entries_;
+    std::deque<Addr> fifo_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+} // namespace crev::vm
+
+#endif // CREV_VM_TLB_H_

@@ -1,0 +1,150 @@
+#include "workload/grpc_qps.h"
+
+#include <memory>
+
+#include "base/logging.h"
+#include "sim/sync.h"
+
+namespace crev::workload {
+
+namespace {
+
+struct Message
+{
+    std::uint32_t id = 0;
+    Cycles sent_at = 0;
+    bool shutdown = false;
+};
+
+} // namespace
+
+alloc::QuarantinePolicy
+grpcPolicy()
+{
+    alloc::QuarantinePolicy policy;
+    policy.alloc_ratio = 1.0 / 3.0;
+    policy.min_bytes = 64 * 1024;
+    return policy;
+}
+
+GrpcResult
+runGrpcQps(core::Strategy strategy, const GrpcConfig &cfg,
+           std::uint64_t seed)
+{
+    core::MachineConfig mc;
+    mc.strategy = strategy;
+    mc.policy = grpcPolicy();
+    mc.seed = seed;
+    // The revoker is unpinned across the server's cores: it competes
+    // for CPU with foreground work (paper §5.3).
+    mc.revoker_core_mask = cfg.server_core_mask;
+    mc.revoker_quantum_scale = cfg.revoker_quantum_scale;
+    mc.audit = cfg.audit;
+    core::Machine m(mc);
+
+    auto request_q = std::make_shared<sim::SimQueue<Message>>();
+    auto reply_q = std::make_shared<sim::SimQueue<Message>>();
+    auto result = std::make_shared<GrpcResult>();
+
+    // --- server worker threads, sharing the server cores ---
+    for (unsigned s = 0; s < cfg.server_threads; ++s) {
+        m.spawnMutator(
+            "grpc-server" + std::to_string(s), cfg.server_core_mask,
+            [=](core::Mutator &ctx) {
+                auto &rng = ctx.rng();
+
+                // Connection/session state per worker.
+                struct Obj
+                {
+                    cap::Capability c;
+                    std::size_t size;
+                };
+                std::vector<Obj> session;
+                for (int i = 0; i < 1200; ++i) {
+                    const std::size_t size = 2048 << rng.below(2);
+                    session.push_back({ctx.malloc(size), size});
+                    ctx.store64(session.back().c, 0, i);
+                }
+
+                for (;;) {
+                    Message msg;
+                    Cycles enq = 0;
+                    if (!request_q->pop(ctx.thread(), msg, enq) ||
+                        msg.shutdown) {
+                        return;
+                    }
+
+                    // Deserialize / handle / serialize: message
+                    // buffers are allocated, linked, touched, freed.
+                    std::vector<Obj> bufs;
+                    bufs.reserve(cfg.allocs_per_msg);
+                    for (unsigned a = 0; a < cfg.allocs_per_msg;
+                         ++a) {
+                        const std::size_t size =
+                            128u << rng.below(4); // 128..1024
+                        bufs.push_back({ctx.malloc(size), size});
+                        ctx.store64(bufs.back().c, 0, msg.id);
+                        // Explicit terminator: reused memory may hold
+                        // a stale tagged capability here.
+                        ctx.storeCap(bufs.back().c, 16,
+                                     a > 0 ? bufs[a - 1].c
+                                           : cap::Capability::null());
+                    }
+                    for (int k = 0; k < 3; ++k) {
+                        const auto &o =
+                            session[rng.below(session.size())];
+                        ctx.readBytes(o.c, 0,
+                                      std::min<std::size_t>(o.size,
+                                                            256));
+                    }
+                    ctx.compute(cfg.compute_per_msg);
+                    for (auto &b : bufs)
+                        ctx.free(b.c);
+
+                    reply_q->push(ctx.thread(), msg);
+                }
+            });
+    }
+
+    // --- client: keeps `outstanding` messages in flight ---
+    m.spawnMutator("grpc-client", 1u << 0, [=](core::Mutator &ctx) {
+        std::uint32_t sent = 0;
+        std::uint32_t received = 0;
+        const Cycles start = ctx.now();
+
+        const std::uint32_t initial = std::min<std::uint32_t>(
+            cfg.outstanding, cfg.total_messages);
+        for (; sent < initial; ++sent)
+            request_q->push(ctx.thread(),
+                            Message{sent, ctx.now(), false});
+
+        while (received < cfg.total_messages) {
+            Message reply;
+            Cycles enq = 0;
+            if (!reply_q->pop(ctx.thread(), reply, enq))
+                break;
+            ++received;
+            result->latency_ms.add(
+                cyclesToMillis(ctx.now() - reply.sent_at));
+            if (sent < cfg.total_messages) {
+                request_q->push(ctx.thread(),
+                                Message{sent, ctx.now(), false});
+                ++sent;
+            }
+        }
+
+        const Cycles elapsed = ctx.now() - start;
+        result->qps = static_cast<double>(received) /
+                      (static_cast<double>(elapsed) / kCyclesPerSecond);
+
+        // Shut the server workers down.
+        for (unsigned s = 0; s < cfg.server_threads; ++s)
+            request_q->push(ctx.thread(), Message{0, 0, true});
+    });
+
+    m.run();
+    result->metrics = m.metrics();
+    return std::move(*result);
+}
+
+} // namespace crev::workload

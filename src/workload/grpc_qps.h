@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A gRPC-QPS-like multithreaded message workload (paper §5.3).
+ *
+ * The server is two threads sharing cores 2 and 3; the background
+ * revoker is *unpinned across the same two cores*, so revocation
+ * directly competes with foreground work — the paper's setup for
+ * exposing preemption-quantum tail latencies (§5.3, §7.7). A client
+ * keeps a fixed number of messages outstanding (20 channels x 4) and
+ * measures per-message latency percentiles and aggregate QPS.
+ */
+
+#ifndef CREV_WORKLOAD_GRPC_QPS_H_
+#define CREV_WORKLOAD_GRPC_QPS_H_
+
+#include <cstdint>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "stats/summary.h"
+
+namespace crev::workload {
+
+/** QPS benchmark parameters. */
+struct GrpcConfig
+{
+    std::uint32_t total_messages = 20000;
+    unsigned outstanding = 80; //!< 20 channels x 4 in-flight
+    unsigned server_threads = 2;
+    unsigned allocs_per_msg = 6;
+    Cycles compute_per_msg = 80'000;
+    /** Cores the server (and the unpinned revoker) run on. */
+    std::uint32_t server_core_mask = (1u << 2) | (1u << 3);
+    /** §7.7 knob: preemption-quantum scale for the revoker. */
+    double revoker_quantum_scale = 1.0;
+    /** Run the revocation-invariant audit after every epoch. */
+    bool audit = false;
+};
+
+/** QPS benchmark results. */
+struct GrpcResult
+{
+    stats::Samples latency_ms;
+    double qps = 0;
+    core::RunMetrics metrics;
+};
+
+/** Run the QPS workload under @p strategy. */
+GrpcResult runGrpcQps(core::Strategy strategy, const GrpcConfig &cfg,
+                      std::uint64_t seed = 1);
+
+/** The quarantine policy used for gRPC runs. */
+alloc::QuarantinePolicy grpcPolicy();
+
+} // namespace crev::workload
+
+#endif // CREV_WORKLOAD_GRPC_QPS_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A pgbench-like transactional client/server workload (paper §5.2).
+ *
+ * A client thread (core 0, outside the measured cores) issues
+ * transactions to a server thread pinned to core 3; the revoker runs
+ * on core 2, matching the paper's pinning regime. Each transaction
+ * allocates, touches, and frees a parse/plan/execute-sized batch of
+ * objects — pgbench's dominant revocation-relevant behaviour is
+ * exactly this very high free:allocated ratio at a small live heap
+ * (Table 2: F:A 2534, ~15 revocations/second).
+ *
+ * Unscheduled mode issues transactions serially with client think
+ * time (the workload is not steadily CPU-bound: §5.2's Discussion
+ * notes the server is on-core only ~half the time, which is what lets
+ * stop-the-world phases hide in idle gaps). Rate mode (--rate, Table
+ * 1) issues on a fixed schedule; per-transaction latency is measured
+ * from actual transmission, ignoring schedule lag.
+ */
+
+#ifndef CREV_WORKLOAD_PGBENCH_H_
+#define CREV_WORKLOAD_PGBENCH_H_
+
+#include <cstdint>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "stats/summary.h"
+
+namespace crev::workload {
+
+/** pgbench run parameters (scaled from the paper's 170k tx). */
+struct PgbenchConfig
+{
+    std::uint32_t transactions = 4000;
+    /** 0 = unscheduled (serial, think-time-paced); else tx/sec. */
+    double rate_tps = 0.0;
+    /** Mean client think time between serial transactions, cycles. */
+    Cycles think_cycles = 1'200'000;
+    /** Objects allocated per transaction (sets the very high
+     *  freed:allocated ratio that characterises pgbench). */
+    unsigned allocs_per_tx = 32;
+    /** ALU work per transaction. */
+    Cycles compute_per_tx = 400'000;
+    /** Run the revocation-invariant audit after every epoch. */
+    bool audit = false;
+};
+
+/** Results of a pgbench run. */
+struct PgbenchResult
+{
+    /** Per-transaction latency in milliseconds (from actual send). */
+    stats::Samples latency_ms;
+    /** Schedule lag per transaction in ms (rate mode only). */
+    stats::Samples lag_ms;
+    core::RunMetrics metrics;
+};
+
+/** Run pgbench against a machine built with @p strategy. */
+PgbenchResult runPgbench(core::Strategy strategy,
+                         const PgbenchConfig &cfg,
+                         std::uint64_t seed = 1);
+
+/** The quarantine policy used for pgbench runs. */
+alloc::QuarantinePolicy pgbenchPolicy();
+
+} // namespace crev::workload
+
+#endif // CREV_WORKLOAD_PGBENCH_H_

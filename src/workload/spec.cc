@@ -1,0 +1,315 @@
+#include "workload/spec.h"
+
+#include "base/logging.h"
+
+namespace crev::workload {
+
+namespace {
+
+/**
+ * Build the profile table. Live-heap sizes follow paper Table 2
+ * scaled ~128x down; churn (total allocations) is chosen so the
+ * freed:allocated ordering of Table 2 is preserved: omnetpp >>
+ * xalancbmk >> hmmer > astar > gobmk, with bzip2/sjeng at zero.
+ */
+std::vector<SpecProfile>
+buildProfiles()
+{
+    std::vector<SpecProfile> ps;
+
+    {
+        // XML DOM churn: many small nodes, pointer-rich.
+        SpecProfile p;
+        p.name = "xalancbmk";
+        p.sizes = {{32, 0.30}, {64, 0.30}, {96, 0.20},
+                   {128, 0.10}, {256, 0.07}, {1024, 0.03}};
+        p.target_live = 40000;  // ~4.6 MiB live
+        p.total_allocs = 400000;
+        p.ops_per_churn = 2;
+        p.cap_store_rate = 0.18;
+        p.cap_load_rate = 0.50;
+        p.data_rate = 0.60;
+        p.data_touch_bytes = 512;
+        p.compute_per_op = 600;
+        ps.push_back(p);
+    }
+    {
+        // Discrete-event simulator: heavy small-object event churn.
+        SpecProfile p;
+        p.name = "omnetpp";
+        p.sizes = {{64, 0.40}, {128, 0.30}, {256, 0.20}, {512, 0.10}};
+        p.target_live = 20000;  // ~2.9 MiB live
+        p.total_allocs = 500000;
+        p.ops_per_churn = 3;
+        p.cap_store_rate = 0.15;
+        p.cap_load_rate = 0.45;
+        p.data_rate = 0.70;
+        p.data_touch_bytes = 512;
+        p.compute_per_op = 800;
+        ps.push_back(p);
+    }
+    {
+        // Path search: nodes plus large map arrays, chase-heavy.
+        SpecProfile p;
+        p.name = "astar";
+        p.sizes = {{48, 0.60}, {256, 0.25}, {16384, 0.10},
+                   {131072, 0.05}};
+        p.target_live = 220;    // ~1.9 MiB live
+        p.total_allocs = 3300;
+        p.ops_per_churn = 150;
+        p.cap_store_rate = 0.25;
+        p.cap_load_rate = 0.50;
+        p.data_rate = 0.80;
+        p.data_touch_bytes = 1024;
+        p.compute_per_op = 2000;
+        ps.push_back(p);
+    }
+    {
+        // Sequence profile search: medium buffers, compute-heavy.
+        SpecProfile p;
+        p.name = "hmmer_nph3";
+        p.sizes = {{1024, 0.30}, {2048, 0.30}, {4096, 0.25},
+                   {8192, 0.15}};
+        p.target_live = 128;    // ~0.39 MiB live
+        p.total_allocs = 5300;
+        p.ops_per_churn = 20;
+        p.cap_store_rate = 0.10;
+        p.cap_load_rate = 0.10;
+        p.data_rate = 0.90;
+        p.data_touch_bytes = 512;
+        p.compute_per_op = 5000;
+        ps.push_back(p);
+    }
+    {
+        SpecProfile p;
+        p.name = "hmmer_retro";
+        p.sizes = {{1024, 0.30}, {2048, 0.30}, {4096, 0.25},
+                   {8192, 0.15}};
+        p.target_live = 52;     // ~0.16 MiB live
+        p.total_allocs = 1500;
+        p.ops_per_churn = 20;
+        p.cap_store_rate = 0.10;
+        p.cap_load_rate = 0.10;
+        p.data_rate = 0.90;
+        p.data_touch_bytes = 512;
+        p.compute_per_op = 5000;
+        ps.push_back(p);
+    }
+    {
+        // Go engine: modest heap, little churn, compute-bound.
+        SpecProfile p;
+        p.name = "gobmk";
+        p.sizes = {{32, 0.40}, {64, 0.30}, {256, 0.20}, {2048, 0.10}};
+        p.target_live = 3400;   // ~1.0 MiB live
+        p.total_allocs = 5800;
+        p.ops_per_churn = 15;
+        p.cap_store_rate = 0.15;
+        p.cap_load_rate = 0.25;
+        p.data_rate = 0.50;
+        p.data_touch_bytes = 128;
+        p.compute_per_op = 3500;
+        ps.push_back(p);
+    }
+    {
+        // Quantum register simulation: few large arrays, streaming.
+        SpecProfile p;
+        p.name = "libquantum";
+        p.sizes = {{262144, 1.0}};
+        p.target_live = 12;     // ~3 MiB live
+        p.total_allocs = 40;
+        p.ops_per_churn = 3000;
+        p.init_fill = true;
+        p.cap_store_rate = 0.02;
+        p.cap_load_rate = 0.02;
+        p.data_rate = 0.95;
+        p.data_touch_bytes = 2048;
+        p.compute_per_op = 1000;
+        ps.push_back(p);
+    }
+    {
+        // Compression: buffers allocated once, then pure compute —
+        // never engages revocation (paper fig. 1 note).
+        SpecProfile p;
+        p.name = "bzip2";
+        p.sizes = {{65536, 1.0}};
+        p.target_live = 30;     // ~1.9 MiB live
+        p.init_fill = true;
+        p.total_allocs = 0;
+        p.pure_ops = 150000;
+        p.cap_store_rate = 0.0;
+        p.cap_load_rate = 0.0;
+        p.data_rate = 0.95;
+        p.data_touch_bytes = 1024;
+        p.compute_per_op = 250;
+        ps.push_back(p);
+    }
+    {
+        // Chess engine: fixed hash tables, compute only — never
+        // engages revocation.
+        SpecProfile p;
+        p.name = "sjeng";
+        p.sizes = {{16384, 1.0}};
+        p.target_live = 40;     // ~0.64 MiB live
+        p.total_allocs = 0;
+        p.pure_ops = 150000;
+        p.cap_store_rate = 0.05;
+        p.cap_load_rate = 0.10;
+        p.data_rate = 0.80;
+        p.data_touch_bytes = 128;
+        p.compute_per_op = 350;
+        ps.push_back(p);
+    }
+    return ps;
+}
+
+} // namespace
+
+const std::vector<SpecProfile> &
+specProfiles()
+{
+    static const std::vector<SpecProfile> ps = buildProfiles();
+    return ps;
+}
+
+const SpecProfile &
+specProfile(const std::string &name)
+{
+    for (const auto &p : specProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown SPEC profile: %s", name.c_str());
+}
+
+std::vector<std::string>
+revokingSpecNames()
+{
+    return {"xalancbmk",   "omnetpp", "astar",     "hmmer_nph3",
+            "hmmer_retro", "gobmk",   "libquantum"};
+}
+
+alloc::QuarantinePolicy
+specPolicy()
+{
+    alloc::QuarantinePolicy policy;
+    policy.alloc_ratio = 1.0 / 3.0; // paper §5: 1/4 of total heap
+    policy.min_bytes = 64 * 1024;   // paper's 8 MiB, scaled 128x
+    return policy;
+}
+
+void
+runSpec(core::Machine &m, const SpecProfile &profile)
+{
+    m.spawnMutator("app", 1u << 3, [profile](core::Mutator &ctx) {
+        struct Obj
+        {
+            cap::Capability c;
+            std::size_t size;
+        };
+        auto &rng = ctx.rng();
+
+        // Weighted size picker.
+        double total_w = 0;
+        for (const auto &b : profile.sizes)
+            total_w += b.weight;
+        auto pick_size = [&] {
+            double r = rng.uniform() * total_w;
+            for (const auto &b : profile.sizes) {
+                if (r < b.weight)
+                    return b.size;
+                r -= b.weight;
+            }
+            return profile.sizes.back().size;
+        };
+
+        std::vector<Obj> live;
+        live.reserve(profile.target_live);
+
+        auto new_obj = [&] {
+            const std::size_t size = pick_size();
+            Obj o{ctx.malloc(size), size};
+            ctx.store64(o.c, 0, rng.next());
+            if (profile.init_fill && size >= 64)
+                ctx.fill(o.c, 32, size - 32, 0);
+            return o;
+        };
+
+        auto extras = [&](std::uint64_t tick) {
+            if (rng.chance(profile.cap_store_rate) && live.size() > 1) {
+                const auto a = rng.below(live.size());
+                const auto b = rng.below(live.size());
+                if (live[a].size >= 32)
+                    ctx.storeCap(live[a].c, 16, live[b].c);
+            }
+            if (rng.chance(profile.cap_load_rate) && !live.empty()) {
+                const auto a = rng.below(live.size());
+                if (live[a].size >= 32) {
+                    const cap::Capability p =
+                        ctx.loadCap(live[a].c, 16);
+                    // The link may be untagged (never set, overwritten
+                    // by data, or revoked): defensive tag check before
+                    // the chase, as hardened CHERI code does. Chases
+                    // are read-only: writing through a link that might
+                    // dangle would corrupt the baseline allocator's
+                    // in-band free lists (that is the attack, not the
+                    // workload).
+                    if (p.tag)
+                        ctx.load64(p, 0);
+                }
+            }
+            if (rng.chance(profile.data_rate) && !live.empty()) {
+                const auto a = rng.below(live.size());
+                const std::size_t n =
+                    std::min(profile.data_touch_bytes, live[a].size);
+                // Touch a random region of the object so large arrays
+                // (libquantum, bzip2) are actually paged in and
+                // streamed over, not just their first lines.
+                const Addr max_off = live[a].size - n;
+                const Addr off =
+                    max_off == 0 ? 0 : 8 * rng.below(max_off / 8 + 1);
+                if (rng.chance(0.5) || off <= 24) {
+                    ctx.readBytes(live[a].c, off, n);
+                } else {
+                    // Writes stay clear of the capability slot at 16.
+                    ctx.fill(live[a].c, off, n,
+                             static_cast<std::uint8_t>(tick));
+                }
+            }
+            ctx.compute(profile.compute_per_op);
+        };
+
+        // Ramp-up to the steady-state live heap.
+        for (std::size_t i = 0; i < profile.target_live; ++i)
+            live.push_back(new_obj());
+
+        // Steady-state churn: replace a random object, then perform
+        // the benchmark's characteristic amount of real work per byte
+        // freed.
+        for (std::uint64_t n = 0; n < profile.total_allocs; ++n) {
+            const auto idx = rng.below(live.size());
+            ctx.free(live[idx].c);
+            live[idx] = new_obj();
+            for (unsigned k = 0; k < profile.ops_per_churn; ++k)
+                extras(n);
+        }
+
+        // Allocation-free phase (compute/data-bound benchmarks).
+        for (std::uint64_t n = 0; n < profile.pure_ops; ++n)
+            extras(n);
+    });
+    m.run();
+}
+
+core::RunMetrics
+runSpecOn(core::Strategy strategy, const SpecProfile &profile,
+          std::uint64_t seed)
+{
+    core::MachineConfig cfg;
+    cfg.strategy = strategy;
+    cfg.policy = specPolicy();
+    cfg.seed = seed;
+    core::Machine m(cfg);
+    runSpec(m, profile);
+    return m.metrics();
+}
+
+} // namespace crev::workload

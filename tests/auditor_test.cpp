@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Meta-tests of the invariant auditor itself: a checker that can never
+ * fire is worthless, so these tests sabotage the revoker in controlled
+ * ways and assert the auditor *detects* the resulting stale
+ * capabilities — in memory, registers, and kernel hoards.
+ *
+ * The memory sabotage reproduces the clean-page-detection bug the
+ * audit caught during development (DESIGN.md §7b): clearing a page's
+ * cap_ever bit makes every sweep skip its contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "revoker/auditor.h"
+#include "vm/address_space.h"
+
+namespace crev {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Mutator;
+using core::Strategy;
+
+/** Run one revocation epoch without letting the shim dequarantine
+ *  (drain() would unpaint and erase the audit set). */
+void
+oneEpoch(Machine &m, Mutator &ctx)
+{
+    auto *rev = m.revokerOrNull();
+    ASSERT_NE(rev, nullptr);
+    const auto target = m.kernel().epoch().dequarantineTarget(
+        m.kernel().epoch().value());
+    rev->requestEpoch(ctx.thread());
+    rev->waitForEpochCounter(ctx.thread(), target);
+}
+
+MachineConfig
+reloadedCfg()
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kReloaded;
+    cfg.audit = false; // we run the auditor by hand
+    cfg.policy.min_bytes = 1 << 20;
+    return cfg;
+}
+
+TEST(Auditor, CleanRunReportsNoViolations)
+{
+    Machine m(reloadedCfg());
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability holder = ctx.malloc(64);
+        const cap::Capability victim = ctx.malloc(64);
+        ctx.storeCap(holder, 0, victim);
+        ctx.free(victim);
+        m.heap().drain(ctx.thread());
+
+        revoker::Auditor aud(m.scheduler(), m.mmu(), m.kernel(),
+                             *m.revokerOrNull());
+        EXPECT_TRUE(aud.findViolations().empty());
+        EXPECT_EQ(aud.audits(), 1u);
+    });
+    m.run();
+}
+
+TEST(Auditor, DetectsMemoryCapabilityHiddenFromSweeps)
+{
+    Machine m(reloadedCfg());
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability holder = ctx.malloc(64);
+        const cap::Capability victim = ctx.malloc(64);
+        ctx.storeCap(holder, 0, victim);
+
+        // Sabotage: mark the holder's page capability-clean so the
+        // sweep skips its contents — the exact effect of the historic
+        // clean-page-detection race.
+        vm::Pte *p = m.addressSpace().findPte(holder.base);
+        ASSERT_NE(p, nullptr);
+        p->cap_ever = false;
+
+        ctx.free(victim);
+        oneEpoch(m, ctx);
+
+        revoker::Auditor aud(m.scheduler(), m.mmu(), m.kernel(),
+                             *m.revokerOrNull());
+        const auto violations = aud.findViolations();
+        ASSERT_EQ(violations.size(), 1u);
+        EXPECT_NE(violations[0].find("memory"), std::string::npos);
+        EXPECT_NE(violations[0].find("quarantined"),
+                  std::string::npos);
+    });
+    m.run();
+}
+
+TEST(Auditor, DetectsRegisterEscapees)
+{
+    // Registers written *after* the STW scan (modelling an unscanned
+    // hoard) must be caught by the audit.
+    Machine m(reloadedCfg());
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability victim = ctx.malloc(64);
+        ctx.free(victim);
+        oneEpoch(m, ctx);
+        // Plant the (still-host-held) stale capability back into the
+        // register file after the epoch finished.
+        ctx.thread().reg(9) = victim;
+
+        revoker::Auditor aud(m.scheduler(), m.mmu(), m.kernel(),
+                             *m.revokerOrNull());
+        const auto violations = aud.findViolations();
+        ASSERT_EQ(violations.size(), 1u);
+        EXPECT_NE(violations[0].find("registers"), std::string::npos);
+        ctx.thread().reg(9) = cap::Capability::null();
+    });
+    m.run();
+}
+
+TEST(Auditor, DetectsHoardEscapees)
+{
+    Machine m(reloadedCfg());
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability victim = ctx.malloc(64);
+        ctx.free(victim);
+        oneEpoch(m, ctx);
+        // Plant into the kernel hoard post-epoch.
+        const std::size_t slot = ctx.hoardPut(victim);
+
+        revoker::Auditor aud(m.scheduler(), m.mmu(), m.kernel(),
+                             *m.revokerOrNull());
+        const auto violations = aud.findViolations();
+        ASSERT_EQ(violations.size(), 1u);
+        EXPECT_NE(violations[0].find("hoard"), std::string::npos);
+        ctx.hoardTake(slot);
+    });
+    m.run();
+}
+
+TEST(Auditor, DequarantineClearsTheAuditSet)
+{
+    // After memory is recycled, new capabilities to the same base are
+    // legitimate and must not be flagged.
+    MachineConfig cfg = reloadedCfg();
+    cfg.policy.min_bytes = 4 * 1024; // recycle quickly
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability holder = ctx.malloc(64);
+        // Churn one size class so bases are reused across epochs.
+        for (int i = 0; i < 300; ++i) {
+            const cap::Capability c = ctx.malloc(512);
+            ctx.storeCap(holder, 0, c);
+            ctx.free(c);
+        }
+        m.heap().drain(ctx.thread());
+        // Mint a fresh object (very likely on a recycled base) and
+        // hold it everywhere.
+        const cap::Capability fresh = ctx.malloc(512);
+        ctx.storeCap(holder, 0, fresh);
+        ctx.thread().reg(4) = fresh;
+
+        revoker::Auditor aud(m.scheduler(), m.mmu(), m.kernel(),
+                             *m.revokerOrNull());
+        EXPECT_TRUE(aud.findViolations().empty());
+    });
+    m.run();
+}
+
+} // namespace
+} // namespace crev

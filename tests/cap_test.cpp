@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit and property tests for the capability model and its
+ * CHERI-Concentrate-style compression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "cap/capability.h"
+#include "cap/compression.h"
+
+namespace crev::cap {
+namespace {
+
+TEST(Capability, NullIsUntagged)
+{
+    const Capability c = Capability::null();
+    EXPECT_FALSE(c.tag);
+    EXPECT_EQ(c.base, 0u);
+    EXPECT_EQ(c.top, 0u);
+}
+
+TEST(Capability, RootCoversRequestedRange)
+{
+    const Capability c = Capability::root(0x4000'0000, 0x4010'0000);
+    EXPECT_TRUE(c.tag);
+    EXPECT_EQ(c.base, 0x4000'0000u);
+    EXPECT_EQ(c.top, 0x4010'0000u);
+    EXPECT_EQ(c.address, c.base);
+    EXPECT_TRUE(c.hasPerms(kPermAll));
+}
+
+TEST(Capability, SetBoundsIsMonotonic)
+{
+    const Capability root = Capability::root(0x4000'0000, 0x4001'0000);
+    const Capability sub = root.setBounds(0x4000'0100, 0x4000'0200);
+    EXPECT_TRUE(sub.tag);
+    EXPECT_EQ(sub.base, 0x4000'0100u);
+    EXPECT_EQ(sub.top, 0x4000'0200u);
+
+    // Escaping the parent's bounds must untag.
+    EXPECT_FALSE(root.setBounds(0x3fff'0000, 0x4000'0100).tag);
+    EXPECT_FALSE(root.setBounds(0x4000'0000, 0x4002'0000).tag);
+    // Inverted bounds untag.
+    EXPECT_FALSE(root.setBounds(0x4000'0200, 0x4000'0100).tag);
+    // Deriving from an untagged capability stays untagged.
+    Capability dead = root;
+    dead.tag = false;
+    EXPECT_FALSE(dead.setBounds(0x4000'0100, 0x4000'0200).tag);
+}
+
+TEST(Capability, SetAddressInBoundsKeepsTag)
+{
+    const Capability c = Capability::root(0x4000'0000, 0x4000'1000);
+    const Capability moved = c.setAddress(0x4000'0800);
+    EXPECT_TRUE(moved.tag);
+    EXPECT_EQ(moved.address, 0x4000'0800u);
+    EXPECT_EQ(moved.base, c.base);
+}
+
+TEST(Capability, SetAddressFarOutOfBoundsUntags)
+{
+    // Paper footnote 9: bases cannot be taken out of bounds without
+    // rendering the capability useless.
+    const Capability c = Capability::root(0x4000'0000, 0x4000'1000);
+    const Capability far = c.setAddress(0x7000'0000);
+    EXPECT_FALSE(far.tag);
+    EXPECT_EQ(far.address, 0x7000'0000u);
+}
+
+TEST(Capability, OnePastEndStaysRepresentable)
+{
+    const Capability c = Capability::root(0x4000'0000, 0x4000'1000);
+    EXPECT_TRUE(c.setAddress(c.top).tag);
+}
+
+TEST(Capability, InBounds)
+{
+    const Capability c =
+        Capability::root(0x4000'0000, 0x4000'0100).setAddress(
+            0x4000'00f8);
+    EXPECT_TRUE(c.inBounds(8));
+    EXPECT_FALSE(c.inBounds(16));
+}
+
+TEST(Capability, AndPermsShrinksOnly)
+{
+    const Capability c = Capability::root(0x4000'0000, 0x4000'1000);
+    const Capability ro = c.andPerms(kPermLoad | kPermLoadCap);
+    EXPECT_TRUE(ro.hasPerms(kPermLoad));
+    EXPECT_FALSE(ro.hasPerms(kPermStore));
+}
+
+TEST(Compression, SmallRegionsAreBytePrecise)
+{
+    for (Addr len : {1ull, 16ull, 100ull, 4096ull, 8192ull}) {
+        EXPECT_EQ(exponentFor(len), 0u) << len;
+        EXPECT_EQ(representableLength(len), len);
+        EXPECT_EQ(representableAlignment(len), 1u);
+    }
+}
+
+TEST(Compression, LargeRegionsGainAlignment)
+{
+    EXPECT_GT(exponentFor(8193), 0u);
+    EXPECT_GT(exponentFor(1 << 20), 0u);
+    // Rounded length is never smaller and alignment divides it.
+    for (Addr len : {8193ull, 12345ull, 65536ull, 1048577ull}) {
+        const Addr r = representableLength(len);
+        EXPECT_GE(r, len);
+        EXPECT_EQ(r % representableAlignment(len), 0u);
+    }
+}
+
+TEST(Compression, RoundTripExactForAlignedBounds)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr len = 1 + rng.below(1 << 22);
+        const Addr align = representableAlignment(len);
+        const Addr rlen = representableLength(len);
+        const Addr base =
+            roundUp(0x4000'0000 + rng.below(1ull << 34), align);
+        Capability c;
+        c.base = base;
+        c.top = base + rlen;
+        c.address = base + rng.below(rlen + 1);
+        c.perms = kPermAll;
+        c.tag = true;
+        const Capability d = decode(encode(c), true);
+        ASSERT_EQ(d.base, c.base) << "len=" << len;
+        ASSERT_EQ(d.top, c.top) << "len=" << len;
+        ASSERT_EQ(d.address, c.address);
+        ASSERT_EQ(d.perms, c.perms);
+    }
+}
+
+TEST(Compression, RoundTripWithinRepresentableRange)
+{
+    // Cursors anywhere inside the representable region must decode to
+    // the same bounds.
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr len = 16 + rng.below(1 << 20);
+        const Addr align = representableAlignment(len);
+        const Addr base =
+            roundUp(0x1000'0000 + rng.below(1ull << 30), align);
+        Capability c;
+        c.base = base;
+        c.top = base + representableLength(len);
+        c.address = base;
+        c.perms = kPermAll;
+        c.tag = true;
+        const ReprRange rr = representableRange(c);
+        ASSERT_LE(rr.repr_base, c.base);
+        ASSERT_GE(rr.repr_top, c.top);
+        const Addr span = rr.repr_top - rr.repr_base;
+        const Addr probe = rr.repr_base + rng.below(span);
+        Capability moved = c;
+        moved.address = probe;
+        const Capability d = decode(encode(moved), true);
+        ASSERT_EQ(d.base, c.base)
+            << "probe=" << std::hex << probe << " base=" << base
+            << " len=" << len;
+        ASSERT_EQ(d.top, c.top);
+    }
+}
+
+TEST(Compression, RevocationProbeUsesExactBase)
+{
+    // The property revocation depends on: any capability derived from
+    // an allocation decodes (from memory) with the allocation's exact
+    // base, so one painted bit at the base granule suffices.
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr size = 16 * (1 + rng.below(512)); // up to 8 KiB
+        const Addr base = 0x4000'0000 + 16 * rng.below(1 << 20);
+        const Capability obj =
+            Capability::root(roundDown(base, 16),
+                             roundDown(base, 16) + size);
+        const Addr off = 16 * rng.below(size / 16);
+        const Capability inner = obj.setAddress(obj.base + off);
+        const Capability restored = decode(encode(inner), true);
+        ASSERT_EQ(restored.base, obj.base);
+    }
+}
+
+} // namespace
+} // namespace crev::cap

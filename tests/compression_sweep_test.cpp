@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Parameterized property sweeps over the capability compression
+ * format: per-exponent round-trip exactness, representable-range
+ * geometry, monotonicity of derivation under rounding, and the
+ * allocator-facing alignment/length helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "cap/capability.h"
+#include "cap/compression.h"
+
+namespace crev::cap {
+namespace {
+
+/** One sweep instance per exponent. */
+class ExponentSweep : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    /** A length guaranteed to need exactly the given exponent. */
+    static Addr
+    lengthForExponent(unsigned e)
+    {
+        // kMaxUnits = 2^13; lengths in (kMaxUnits << (e-1),
+        // kMaxUnits << e] need exponent e.
+        const Addr max_units = Addr{1} << 13;
+        if (e == 0)
+            return max_units - 5;
+        return (max_units << (e - 1)) + (Addr{1} << e);
+    }
+};
+
+TEST_P(ExponentSweep, ExponentForIsMinimal)
+{
+    const unsigned e = GetParam();
+    const Addr len = lengthForExponent(e);
+    EXPECT_EQ(exponentFor(len), e);
+    if (e > 0) {
+        // One unit less (at the smaller granularity) fits in e-1...
+        EXPECT_LE(exponentFor((Addr{1} << 13) << (e - 1)), e - 1 + 1);
+    }
+}
+
+TEST_P(ExponentSweep, AlignmentAndLengthAgree)
+{
+    const unsigned e = GetParam();
+    const Addr len = lengthForExponent(e);
+    const Addr align = representableAlignment(len);
+    EXPECT_EQ(align, Addr{1} << e);
+    const Addr rlen = representableLength(len);
+    EXPECT_GE(rlen, len);
+    EXPECT_EQ(rlen % align, 0u);
+    // Idempotent: an already-representable length is unchanged.
+    EXPECT_EQ(representableLength(rlen), rlen);
+}
+
+TEST_P(ExponentSweep, RoundTripAtAlignedBases)
+{
+    const unsigned e = GetParam();
+    const Addr len = lengthForExponent(e);
+    const Addr align = representableAlignment(len);
+    const Addr rlen = representableLength(len);
+    Rng rng(1000 + e);
+    for (int i = 0; i < 400; ++i) {
+        const Addr base =
+            roundUp(0x1000'0000 + rng.below(1ull << 36), align);
+        Capability c;
+        c.base = base;
+        c.top = base + rlen;
+        c.address = base + rng.below(rlen + 1);
+        c.perms = kPermAll;
+        c.tag = true;
+        const Capability d = decode(encode(c), true);
+        ASSERT_EQ(d.base, c.base);
+        ASSERT_EQ(d.top, c.top);
+        ASSERT_EQ(d.address, c.address);
+    }
+}
+
+TEST_P(ExponentSweep, ReprRangeContainsBoundsWithSlack)
+{
+    const unsigned e = GetParam();
+    const Addr len = lengthForExponent(e);
+    const Addr align = representableAlignment(len);
+    const Addr base = roundUp(Addr{0x2000'0000}, align);
+    Capability c;
+    c.base = base;
+    c.top = base + representableLength(len);
+    c.address = base;
+    c.tag = true;
+    const ReprRange rr = representableRange(c);
+    EXPECT_LE(rr.repr_base, c.base);
+    EXPECT_GE(rr.repr_top, c.top);
+    // The slack below the base is 2^12 units of 2^E (clamped at 0).
+    if (c.base >= (Addr{1} << (12 + e)))
+        EXPECT_EQ(c.base - rr.repr_base, Addr{1} << (12 + e));
+}
+
+TEST_P(ExponentSweep, CursorEdgesOfReprRange)
+{
+    const unsigned e = GetParam();
+    const Addr len = lengthForExponent(e);
+    const Addr align = representableAlignment(len);
+    const Addr base = roundUp(Addr{0x4000'0000}, align);
+    Capability c;
+    c.base = base;
+    c.top = base + representableLength(len);
+    c.address = base;
+    c.perms = kPermAll;
+    c.tag = true;
+    const ReprRange rr = representableRange(c);
+    // Just inside: stays tagged and decodes to the same bounds.
+    const Capability lo = c.setAddress(rr.repr_base);
+    EXPECT_TRUE(lo.tag);
+    const Capability lo_rt = decode(encode(lo), true);
+    EXPECT_EQ(lo_rt.base, c.base);
+    const Capability hi = c.setAddress(rr.repr_top - 1);
+    EXPECT_TRUE(hi.tag);
+    // Just outside: untagged.
+    if (rr.repr_base > 0)
+        EXPECT_FALSE(c.setAddress(rr.repr_base - 1).tag);
+    EXPECT_FALSE(c.setAddress(rr.repr_top).tag);
+}
+
+TEST_P(ExponentSweep, DerivationStaysMonotonicUnderRounding)
+{
+    // Sub-bounds requests at arbitrary (aligned-to-16) offsets either
+    // produce a subset of the parent or come back untagged — never a
+    // superset.
+    const unsigned e = GetParam();
+    const Addr len = lengthForExponent(e);
+    const Addr align = representableAlignment(len);
+    const Addr base = roundUp(Addr{0x3000'0000}, align);
+    const Capability parent =
+        Capability::root(base, base + representableLength(len));
+    Rng rng(2000 + e);
+    for (int i = 0; i < 300; ++i) {
+        const Addr off =
+            roundDown(rng.below(parent.length()), 16);
+        const Addr sub_len =
+            1 + rng.below(parent.length() - off);
+        const Capability sub =
+            parent.setBounds(parent.base + off,
+                             parent.base + off + sub_len);
+        if (sub.tag) {
+            ASSERT_GE(sub.base, parent.base);
+            ASSERT_LE(sub.top, parent.top);
+            ASSERT_GE(sub.top - sub.base, sub_len);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ExponentSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 8u,
+                                           12u, 16u, 20u),
+                         [](const ::testing::TestParamInfo<unsigned> &i) {
+                             return "E" + std::to_string(i.param);
+                         });
+
+TEST(CompressionEdge, ZeroLengthCapability)
+{
+    const Capability c = Capability::root(0x1000, 0x1000);
+    EXPECT_EQ(c.length(), 0u);
+    const Capability d = decode(encode(c), true);
+    EXPECT_EQ(d.base, d.top);
+    EXPECT_FALSE(c.inBounds(1));
+}
+
+TEST(CompressionEdge, UntaggedGarbageDecodesWithoutFaulting)
+{
+    // Sweeps inspect tags before interpreting; but decode itself must
+    // be total over arbitrary bit patterns.
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        CapBits bits;
+        bits.lo = rng.next();
+        bits.hi = rng.next();
+        const Capability c = decode(bits, false);
+        EXPECT_FALSE(c.tag);
+    }
+}
+
+} // namespace
+} // namespace crev::cap

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the kernel layer: epoch counter protocol, capability
+ * hoards, and mmap/munmap with reservation quarantine (paper §6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "kern/kernel.h"
+#include "vm/address_space.h"
+#include "vm/fault.h"
+
+namespace crev {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Mutator;
+using core::Strategy;
+
+TEST(EpochCounter, DequarantineTargets)
+{
+    kern::EpochCounter e;
+    // Idle (even): wait for +2 — one revocation begins and ends.
+    EXPECT_EQ(e.dequarantineTarget(0), 2u);
+    EXPECT_EQ(e.dequarantineTarget(4), 6u);
+    // In progress (odd): the running epoch may already have passed our
+    // paints, so wait for the *next* full epoch: +3.
+    EXPECT_EQ(e.dequarantineTarget(1), 4u);
+    EXPECT_EQ(e.dequarantineTarget(5), 8u);
+}
+
+TEST(KernelHoard, PutTakeRoundTrip)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [](Mutator &ctx) {
+        const cap::Capability c = ctx.malloc(64);
+        const std::size_t slot = ctx.hoardPut(c);
+        const cap::Capability back = ctx.hoardTake(slot);
+        EXPECT_TRUE(back.tag);
+        EXPECT_EQ(back.base, c.base);
+        // The slot is recycled.
+        const std::size_t slot2 = ctx.hoardPut(c);
+        EXPECT_EQ(slot2, slot);
+    });
+    m.run();
+}
+
+TEST(Kernel, MmapReturnsBoundedRootCapability)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability c =
+            m.kernel().sysMmap(ctx.thread(), 3 * kPageSize);
+        EXPECT_TRUE(c.tag);
+        EXPECT_EQ(c.length(), 3 * kPageSize);
+        EXPECT_EQ(c.base % kPageSize, 0u);
+    });
+    m.run();
+}
+
+TEST(Kernel, MunmapMakesRangeGuardAndFreesFrames)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        sim::SimThread &t = ctx.thread();
+        const cap::Capability c =
+            m.kernel().sysMmap(t, 2 * kPageSize);
+        m.mmu().storeU64(t, c.base, 42);
+        const std::size_t frames = m.physMem().framesInUse();
+        m.kernel().sysMunmap(t, c.base, 2 * kPageSize);
+        EXPECT_LT(m.physMem().framesInUse(), frames);
+        // UAF through the stale capability faults on the guard.
+        EXPECT_THROW(m.mmu().loadU64(t, c.base), vm::MemoryFault);
+    });
+    m.run();
+}
+
+TEST(Kernel, UnmappedReservationRevokedAfterEpoch)
+{
+    // §6.2: a capability referencing a fully unmapped reservation is
+    // revoked by the sweep, and the reservation is only released after
+    // the epoch.
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kReloaded;
+    cfg.audit = true;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        sim::SimThread &t = ctx.thread();
+        const cap::Capability mapping =
+            m.kernel().sysMmap(t, 2 * kPageSize);
+
+        // Stash a capability to the mapping in a heap object.
+        const cap::Capability holder = ctx.malloc(64);
+        ctx.storeCap(holder, 0, mapping);
+
+        m.kernel().sysMunmap(t, mapping.base, 2 * kPageSize);
+
+        // Force a revocation epoch and wait for it.
+        auto *rev = m.revokerOrNull();
+        ASSERT_NE(rev, nullptr);
+        const auto target = m.kernel().epoch().dequarantineTarget(
+            m.kernel().epoch().value());
+        rev->requestEpoch(t);
+        rev->waitForEpochCounter(t, target);
+
+        // The stored capability has been erased.
+        const cap::Capability back = ctx.loadCap(holder, 0);
+        EXPECT_FALSE(back.tag);
+    });
+    m.run();
+    // The reservation was released after the epoch.
+    const auto metrics = m.metrics();
+    EXPECT_GE(metrics.epochs.size(), 1u);
+}
+
+TEST(Kernel, MunmapExcludedDuringSweep)
+{
+    // The quiesce hook makes munmap wait for an in-flight epoch; here
+    // we just check it is installed and harmless when idle.
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kCornucopia;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        sim::SimThread &t = ctx.thread();
+        const cap::Capability c = m.kernel().sysMmap(t, kPageSize);
+        m.kernel().sysMunmap(t, c.base, kPageSize); // must not hang
+    });
+    m.run();
+}
+
+} // namespace
+} // namespace crev

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for tagged physical memory, the cache model, and the
+ * bus-traffic-counting memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/compression.h"
+#include "mem/cache.h"
+#include "mem/memory_system.h"
+#include "mem/phys_mem.h"
+
+namespace crev::mem {
+namespace {
+
+TEST(PhysMem, AllocZeroedAndReuse)
+{
+    PhysMem pm;
+    const Addr a = pm.allocFrame();
+    pm.frame(a).bytes[0] = 0xAB;
+    pm.frame(a).tags.set(0);
+    pm.freeFrame(a);
+    const Addr b = pm.allocFrame();
+    EXPECT_EQ(a, b); // free list recycles
+    EXPECT_EQ(pm.frame(b).bytes[0], 0);
+    EXPECT_FALSE(pm.frame(b).tags.test(0)); // zeroed on reuse
+}
+
+TEST(PhysMem, PeakTracksHighWater)
+{
+    PhysMem pm;
+    const Addr a = pm.allocFrame();
+    const Addr b = pm.allocFrame();
+    pm.freeFrame(a);
+    pm.freeFrame(b);
+    pm.allocFrame();
+    EXPECT_EQ(pm.peakFrames(), 2u);
+    EXPECT_EQ(pm.framesInUse(), 1u);
+}
+
+TEST(PhysMem, DataWriteClearsOverlappedTags)
+{
+    PhysMem pm;
+    const Addr pfn = pm.allocFrame();
+    const Addr base = pfn << kPageBits;
+
+    cap::Capability c = cap::Capability::root(0x1000, 0x2000);
+    pm.storeCap(base + 16, cap::encode(c), true);
+    EXPECT_TRUE(pm.tagAt(base + 16));
+
+    // A one-byte data store anywhere in the granule clears its tag.
+    const std::uint8_t byte = 0xFF;
+    pm.write(base + 20, &byte, 1);
+    EXPECT_FALSE(pm.tagAt(base + 16));
+}
+
+TEST(PhysMem, CapRoundTrip)
+{
+    PhysMem pm;
+    const Addr pfn = pm.allocFrame();
+    const Addr base = pfn << kPageBits;
+    const cap::Capability c =
+        cap::Capability::root(0x4000'0000, 0x4000'0100);
+    pm.storeCap(base, cap::encode(c), c.tag);
+    cap::CapBits bits;
+    const bool tag = pm.loadCap(base, bits);
+    EXPECT_TRUE(tag);
+    const cap::Capability d = cap::decode(bits, tag);
+    EXPECT_EQ(d.base, c.base);
+    EXPECT_EQ(d.top, c.top);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(CacheConfig{1024, 2});
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1020, false).hit); // same 64B line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionAndDirtyWriteback)
+{
+    // 2-way, 8 sets of 64B lines => 1 KiB; lines 0x0000, 0x2000,
+    // 0x4000 map to the same set (stride = sets * 64 = 512).
+    Cache c(CacheConfig{1024, 2});
+    c.access(0x0000, true);  // dirty
+    c.access(0x0200, false); // same set, way 2
+    const CacheResult r = c.access(0x0400, false); // evicts 0x0000
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evicted_dirty);
+    EXPECT_EQ(r.victim_line, 0x0000u);
+    EXPECT_FALSE(c.contains(0x0000));
+    EXPECT_TRUE(c.contains(0x0200));
+}
+
+TEST(Cache, InvalidateLineDropsWithoutWriteback)
+{
+    Cache c(CacheConfig{1024, 2});
+    c.access(0x1000, true);
+    c.invalidateLine(0x1000);
+    EXPECT_FALSE(c.contains(0x1000));
+    const CacheResult r = c.access(0x1000, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.evicted_dirty);
+}
+
+TEST(MemorySystem, LatenciesByLevel)
+{
+    MemLatency lat;
+    MemorySystem ms(2, CacheConfig{1024, 2}, CacheConfig{4096, 4}, lat);
+    // Cold: L1 miss + LLC miss => full DRAM latency.
+    EXPECT_EQ(ms.access(0, 0x1000, 8, false),
+              lat.l1_hit + lat.llc_hit + lat.dram);
+    // Warm L1.
+    EXPECT_EQ(ms.access(0, 0x1000, 8, false), lat.l1_hit);
+    // Other core: misses its own L1, hits shared LLC.
+    EXPECT_EQ(ms.access(1, 0x1000, 8, false),
+              lat.l1_hit + lat.llc_hit);
+}
+
+TEST(MemorySystem, BusTransactionsCountedPerCore)
+{
+    MemLatency lat;
+    MemorySystem ms(2, CacheConfig{1024, 2}, CacheConfig{4096, 4}, lat);
+    ms.access(0, 0x1000, 8, false);
+    ms.access(1, 0x9000, 8, false);
+    ms.access(1, 0x9000, 8, false); // hit: no new traffic
+    EXPECT_EQ(ms.counters(0).bus_reads, 1u);
+    EXPECT_EQ(ms.counters(1).bus_reads, 1u);
+    EXPECT_EQ(ms.totalCounters().busTransactions(), 2u);
+}
+
+TEST(MemorySystem, MultiLineAccessTouchesEachLine)
+{
+    MemLatency lat;
+    MemorySystem ms(1, CacheConfig{1024, 2}, CacheConfig{4096, 4}, lat);
+    // 128 bytes starting at a line boundary: two lines.
+    ms.access(0, 0x1000, 128, false);
+    EXPECT_EQ(ms.counters(0).accesses, 2u);
+    // Crossing a boundary with a small access also touches two lines.
+    ms.access(0, 0x203C, 8, false);
+    EXPECT_EQ(ms.counters(0).accesses, 4u);
+}
+
+TEST(MemorySystem, InvalidateFramePurgesAllLevels)
+{
+    MemLatency lat;
+    MemorySystem ms(1, CacheConfig{1024, 2}, CacheConfig{4096, 4}, lat);
+    ms.access(0, 5 << kPageBits, 8, true);
+    ms.invalidateFrame(5);
+    // Re-access goes all the way to DRAM again.
+    EXPECT_EQ(ms.access(0, 5 << kPageBits, 8, false),
+              lat.l1_hit + lat.llc_hit + lat.dram);
+}
+
+} // namespace
+} // namespace crev::mem

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Cross-cutting temporal-safety scenarios beyond the basic UAF tests:
+ * capabilities hiding in blocked threads' register files (the §4.4
+ * kernel-hoard problem), repeated mmap/munmap reservation quarantine
+ * (§6.2) under churn, address-space non-reuse, and quarantine policy
+ * mechanics (blocking, drain, thresholds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "vm/address_space.h"
+#include "vm/fault.h"
+
+namespace crev {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Mutator;
+using core::Strategy;
+
+/** Strategies that provide temporal safety. */
+const Strategy kSafe[] = {Strategy::kCheriVoke, Strategy::kCornucopia,
+                          Strategy::kReloaded,
+                          Strategy::kCheriotFilter};
+
+class SafetyTest : public ::testing::TestWithParam<Strategy>
+{
+};
+
+TEST_P(SafetyTest, BlockedThreadRegistersAreScanned)
+{
+    // A thread parked off-core holds a dangling capability in its
+    // (kernel-saved) register file across a whole revocation epoch;
+    // the STW scan must heal it before the thread runs again.
+    MachineConfig cfg;
+    cfg.strategy = GetParam();
+    cfg.audit = true;
+    cfg.policy.min_bytes = 1 << 20;
+    Machine m(cfg);
+
+    sim::SimThread *sleeper_thread = nullptr;
+    bool checked = false;
+
+    sleeper_thread = m.spawnMutator(
+        "sleeper", 1u << 1, [&](Mutator &ctx) {
+            const cap::Capability victim = ctx.malloc(128);
+            ctx.thread().reg(3) = victim;
+            // Park for a long time; the other thread frees and
+            // revokes meanwhile.
+            ctx.sleep(50'000'000);
+            EXPECT_FALSE(ctx.thread().reg(3).tag)
+                << "register of a parked thread escaped the scan";
+            checked = true;
+        });
+
+    m.spawnMutator("worker", 1u << 3, [&](Mutator &ctx) {
+        // Wait until the sleeper has allocated and parked.
+        ctx.sleep(1'000'000);
+        // Free the sleeper's object *by base* through the shim: model
+        // a producer/consumer handoff where the worker owns the free.
+        // (Reconstruct the capability from the sleeper's register.)
+        const cap::Capability victim = sleeper_thread->reg(3);
+        ASSERT_TRUE(victim.tag);
+        ctx.free(victim);
+        m.heap().drain(ctx.thread());
+    });
+
+    m.run();
+    EXPECT_TRUE(checked);
+}
+
+TEST_P(SafetyTest, HoardedCapabilityAcrossManyEpochs)
+{
+    MachineConfig cfg;
+    cfg.strategy = GetParam();
+    cfg.audit = true;
+    cfg.policy.min_bytes = 8 * 1024;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability victim = ctx.malloc(64);
+        const std::size_t slot = ctx.hoardPut(victim);
+        ctx.free(victim);
+        // Keep churning: many epochs pass with the pointer hoarded.
+        for (int i = 0; i < 600; ++i)
+            ctx.free(ctx.malloc(1024));
+        m.heap().drain(ctx.thread());
+        EXPECT_FALSE(ctx.hoardTake(slot).tag);
+    });
+    m.run();
+}
+
+TEST_P(SafetyTest, MappingQuarantineUnderChurn)
+{
+    // §6.2 under load: repeatedly mmap/munmap while heap churn drives
+    // revocation; stored capabilities to unmapped reservations must
+    // die, and their VA ranges must never be handed out again.
+    MachineConfig cfg;
+    cfg.strategy = GetParam();
+    cfg.audit = true;
+    cfg.policy.min_bytes = 16 * 1024;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        std::vector<std::pair<Addr, Addr>> dead_ranges;
+        const cap::Capability holder = ctx.malloc(256);
+
+        for (int round = 0; round < 12; ++round) {
+            const cap::Capability map =
+                m.kernel().sysMmap(ctx.thread(), 4 * kPageSize);
+            // No new reservation may overlap a dead one.
+            for (const auto &[b, t] : dead_ranges) {
+                EXPECT_TRUE(map.top <= b || map.base >= t)
+                    << "unmapped reservation VA was recycled";
+            }
+            ctx.store64(map, 0, round);
+            ctx.storeCap(holder, 16 * (round % 8), map);
+            m.kernel().sysMunmap(ctx.thread(), map.base,
+                                 map.length());
+            dead_ranges.push_back({map.base, map.top});
+            // Heap churn to force epochs.
+            for (int i = 0; i < 40; ++i)
+                ctx.free(ctx.malloc(512));
+        }
+        m.heap().drain(ctx.thread());
+        for (int s = 0; s < 8; ++s) {
+            EXPECT_FALSE(ctx.loadCap(holder, 16 * s).tag)
+                << "capability to unmapped reservation survived";
+        }
+    });
+    m.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, SafetyTest, ::testing::ValuesIn(kSafe),
+    [](const ::testing::TestParamInfo<Strategy> &info) {
+        switch (info.param) {
+          case Strategy::kCheriVoke:
+            return "CheriVoke";
+          case Strategy::kCornucopia:
+            return "Cornucopia";
+          case Strategy::kReloaded:
+            return "Reloaded";
+          case Strategy::kCheriotFilter:
+            return "CheriotFilter";
+          default:
+            return "Other";
+        }
+    });
+
+// ---------------------------------------------------------------- //
+// Quarantine policy mechanics
+// ---------------------------------------------------------------- //
+
+TEST(QuarantinePolicy, BlocksWhenBothBuffersAwait)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kReloaded;
+    cfg.policy.min_bytes = 4 * 1024; // tiny: constant pressure
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [](Mutator &ctx) {
+        for (int i = 0; i < 400; ++i)
+            ctx.free(ctx.malloc(2048));
+    });
+    m.run();
+    EXPECT_GT(m.metrics().quarantine.blocked_ops, 0u)
+        << "allocation pressure should hit the mrs blocking path";
+}
+
+TEST(QuarantinePolicy, QuarantineAtTriggerTracksThreshold)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kReloaded;
+    cfg.policy.min_bytes = 32 * 1024;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [](Mutator &ctx) {
+        // Live heap ~1 MiB so the ratio term dominates the floor.
+        std::vector<cap::Capability> live;
+        for (int i = 0; i < 256; ++i)
+            live.push_back(ctx.malloc(4096));
+        for (int i = 0; i < 3000; ++i)
+            ctx.free(ctx.malloc(1024));
+        for (auto &c : live)
+            ctx.free(c);
+    });
+    m.run();
+    const auto q = m.metrics().quarantine;
+    ASSERT_GT(q.revocations_triggered, 2u);
+    const double ratio =
+        q.meanQuarantineAtTrigger() / q.meanAllocAtTrigger();
+    // Policy: trigger just past 1/3 of the allocated heap. The mean
+    // overshoots because frees keep landing in the second buffer
+    // while the first awaits its epoch — the paper's fig. 3
+    // observation ("much of the overshoot arises from quarantine").
+    EXPECT_GT(ratio, 0.30);
+    EXPECT_LT(ratio, 0.80);
+}
+
+TEST(QuarantinePolicy, DrainEmptiesQuarantine)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kCornucopia;
+    cfg.policy.min_bytes = 1 << 20;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        for (int i = 0; i < 64; ++i)
+            ctx.free(ctx.malloc(512));
+        EXPECT_GT(m.heap().quarantineBytes(), 0u);
+        m.heap().drain(ctx.thread());
+        EXPECT_EQ(m.heap().quarantineBytes(), 0u);
+    });
+    m.run();
+}
+
+TEST(QuarantinePolicy, PaintOnlyStillRecyclesMemory)
+{
+    // Paint+sync provides no safety but must still cycle quarantine
+    // through its (instant) epochs, or memory would leak.
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kPaintOnly;
+    cfg.policy.min_bytes = 8 * 1024;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [](Mutator &ctx) {
+        for (int i = 0; i < 2000; ++i)
+            ctx.free(ctx.malloc(1024));
+    });
+    m.run();
+    // If nothing recycled, peak RSS would be ~2000 KiB of pages; with
+    // recycling it stays bounded by the policy.
+    EXPECT_LT(m.metrics().peak_rss_pages, 400u);
+}
+
+} // namespace
+} // namespace crev

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the statistics utilities behind every bench.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace crev::stats {
+namespace {
+
+TEST(Samples, BasicMoments)
+{
+    Samples s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Samples, PercentileInterpolates)
+{
+    Samples s;
+    s.add(0.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.9), 9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+}
+
+TEST(Samples, PercentileSingleSample)
+{
+    Samples s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 7.0);
+}
+
+TEST(Samples, LazySortSurvivesInterleavedAdds)
+{
+    Samples s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Boxplot, FiveNumberSummary)
+{
+    Samples s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    const Boxplot b = boxplot(s);
+    EXPECT_DOUBLE_EQ(b.min, 1.0);
+    EXPECT_DOUBLE_EQ(b.max, 100.0);
+    EXPECT_NEAR(b.median, 50.5, 1e-9);
+    EXPECT_NEAR(b.p25, 25.75, 1e-9);
+    EXPECT_NEAR(b.p75, 75.25, 1e-9);
+    EXPECT_EQ(b.n, 100u);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Cdf, FractionAtPoints)
+{
+    Samples s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    const auto cdf = cdfAt(s, {0.5, 1.0, 2.5, 4.0, 9.0});
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+    EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+    EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+    EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+} // namespace
+} // namespace crev::stats
