@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_filter.dir/ablation_load_filter.cpp.o"
+  "CMakeFiles/ablation_load_filter.dir/ablation_load_filter.cpp.o.d"
+  "ablation_load_filter"
+  "ablation_load_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

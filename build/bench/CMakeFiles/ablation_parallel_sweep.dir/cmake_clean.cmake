@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_sweep.dir/ablation_parallel_sweep.cpp.o"
+  "CMakeFiles/ablation_parallel_sweep.dir/ablation_parallel_sweep.cpp.o.d"
+  "ablation_parallel_sweep"
+  "ablation_parallel_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_spec_wallclock.dir/fig1_spec_wallclock.cpp.o"
+  "CMakeFiles/fig1_spec_wallclock.dir/fig1_spec_wallclock.cpp.o.d"
+  "fig1_spec_wallclock"
+  "fig1_spec_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_spec_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

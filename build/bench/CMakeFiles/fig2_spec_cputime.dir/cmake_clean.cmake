@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_spec_cputime.dir/fig2_spec_cputime.cpp.o"
+  "CMakeFiles/fig2_spec_cputime.dir/fig2_spec_cputime.cpp.o.d"
+  "fig2_spec_cputime"
+  "fig2_spec_cputime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_spec_cputime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

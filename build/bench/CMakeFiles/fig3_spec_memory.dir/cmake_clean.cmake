@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_spec_memory.dir/fig3_spec_memory.cpp.o"
+  "CMakeFiles/fig3_spec_memory.dir/fig3_spec_memory.cpp.o.d"
+  "fig3_spec_memory"
+  "fig3_spec_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_spec_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spec_bus.dir/fig4_spec_bus.cpp.o"
+  "CMakeFiles/fig4_spec_bus.dir/fig4_spec_bus.cpp.o.d"
+  "fig4_spec_bus"
+  "fig4_spec_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spec_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_pgbench_time.cpp" "bench/CMakeFiles/fig5_pgbench_time.dir/fig5_pgbench_time.cpp.o" "gcc" "bench/CMakeFiles/fig5_pgbench_time.dir/fig5_pgbench_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/crev_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crev_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/crev_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/revoker/CMakeFiles/crev_revoker.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/crev_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crev_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crev_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/crev_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/crev_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pgbench_bus.dir/fig6_pgbench_bus.cpp.o"
+  "CMakeFiles/fig6_pgbench_bus.dir/fig6_pgbench_bus.cpp.o.d"
+  "fig6_pgbench_bus"
+  "fig6_pgbench_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pgbench_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

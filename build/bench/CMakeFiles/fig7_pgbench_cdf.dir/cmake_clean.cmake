@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pgbench_cdf.dir/fig7_pgbench_cdf.cpp.o"
+  "CMakeFiles/fig7_pgbench_cdf.dir/fig7_pgbench_cdf.cpp.o.d"
+  "fig7_pgbench_cdf"
+  "fig7_pgbench_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pgbench_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

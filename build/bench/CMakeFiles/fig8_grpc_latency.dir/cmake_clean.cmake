@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_grpc_latency.dir/fig8_grpc_latency.cpp.o"
+  "CMakeFiles/fig8_grpc_latency.dir/fig8_grpc_latency.cpp.o.d"
+  "fig8_grpc_latency"
+  "fig8_grpc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_grpc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_phase_times.dir/fig9_phase_times.cpp.o"
+  "CMakeFiles/fig9_phase_times.dir/fig9_phase_times.cpp.o.d"
+  "fig9_phase_times"
+  "fig9_phase_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_phase_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

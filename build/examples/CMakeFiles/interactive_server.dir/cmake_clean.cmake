@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_server.dir/interactive_server.cpp.o"
+  "CMakeFiles/interactive_server.dir/interactive_server.cpp.o.d"
+  "interactive_server"
+  "interactive_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uaf_attack.dir/uaf_attack.cpp.o"
+  "CMakeFiles/uaf_attack.dir/uaf_attack.cpp.o.d"
+  "uaf_attack"
+  "uaf_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uaf_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_alloc.dir/quarantine.cc.o"
+  "CMakeFiles/crev_alloc.dir/quarantine.cc.o.d"
+  "CMakeFiles/crev_alloc.dir/snmalloc_lite.cc.o"
+  "CMakeFiles/crev_alloc.dir/snmalloc_lite.cc.o.d"
+  "libcrev_alloc.a"
+  "libcrev_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_base.dir/logging.cc.o"
+  "CMakeFiles/crev_base.dir/logging.cc.o.d"
+  "libcrev_base.a"
+  "libcrev_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

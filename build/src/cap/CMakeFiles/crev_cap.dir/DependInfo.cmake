@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cap/capability.cc" "src/cap/CMakeFiles/crev_cap.dir/capability.cc.o" "gcc" "src/cap/CMakeFiles/crev_cap.dir/capability.cc.o.d"
+  "/root/repo/src/cap/compression.cc" "src/cap/CMakeFiles/crev_cap.dir/compression.cc.o" "gcc" "src/cap/CMakeFiles/crev_cap.dir/compression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/crev_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

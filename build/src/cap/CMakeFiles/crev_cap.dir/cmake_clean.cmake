@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_cap.dir/capability.cc.o"
+  "CMakeFiles/crev_cap.dir/capability.cc.o.d"
+  "CMakeFiles/crev_cap.dir/compression.cc.o"
+  "CMakeFiles/crev_cap.dir/compression.cc.o.d"
+  "libcrev_cap.a"
+  "libcrev_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for crev_cap.
+# This may be replaced when dependencies are built.

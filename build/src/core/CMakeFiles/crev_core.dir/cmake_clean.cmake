@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_core.dir/machine.cc.o"
+  "CMakeFiles/crev_core.dir/machine.cc.o.d"
+  "CMakeFiles/crev_core.dir/metrics.cc.o"
+  "CMakeFiles/crev_core.dir/metrics.cc.o.d"
+  "CMakeFiles/crev_core.dir/mutator.cc.o"
+  "CMakeFiles/crev_core.dir/mutator.cc.o.d"
+  "libcrev_core.a"
+  "libcrev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_kern.dir/kernel.cc.o"
+  "CMakeFiles/crev_kern.dir/kernel.cc.o.d"
+  "libcrev_kern.a"
+  "libcrev_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrev_kern.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_mem.dir/cache.cc.o"
+  "CMakeFiles/crev_mem.dir/cache.cc.o.d"
+  "CMakeFiles/crev_mem.dir/memory_system.cc.o"
+  "CMakeFiles/crev_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/crev_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/crev_mem.dir/phys_mem.cc.o.d"
+  "libcrev_mem.a"
+  "libcrev_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revoker/auditor.cc" "src/revoker/CMakeFiles/crev_revoker.dir/auditor.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/auditor.cc.o.d"
+  "/root/repo/src/revoker/bitmap.cc" "src/revoker/CMakeFiles/crev_revoker.dir/bitmap.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/bitmap.cc.o.d"
+  "/root/repo/src/revoker/cheriot_filter.cc" "src/revoker/CMakeFiles/crev_revoker.dir/cheriot_filter.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/cheriot_filter.cc.o.d"
+  "/root/repo/src/revoker/cherivoke.cc" "src/revoker/CMakeFiles/crev_revoker.dir/cherivoke.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/cherivoke.cc.o.d"
+  "/root/repo/src/revoker/cornucopia.cc" "src/revoker/CMakeFiles/crev_revoker.dir/cornucopia.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/cornucopia.cc.o.d"
+  "/root/repo/src/revoker/paint_only.cc" "src/revoker/CMakeFiles/crev_revoker.dir/paint_only.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/paint_only.cc.o.d"
+  "/root/repo/src/revoker/reloaded.cc" "src/revoker/CMakeFiles/crev_revoker.dir/reloaded.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/reloaded.cc.o.d"
+  "/root/repo/src/revoker/revoker.cc" "src/revoker/CMakeFiles/crev_revoker.dir/revoker.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/revoker.cc.o.d"
+  "/root/repo/src/revoker/sweep.cc" "src/revoker/CMakeFiles/crev_revoker.dir/sweep.cc.o" "gcc" "src/revoker/CMakeFiles/crev_revoker.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/crev_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/crev_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crev_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/crev_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crev_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/crev_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crev_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

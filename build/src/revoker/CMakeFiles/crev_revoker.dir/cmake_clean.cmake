@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_revoker.dir/auditor.cc.o"
+  "CMakeFiles/crev_revoker.dir/auditor.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/bitmap.cc.o"
+  "CMakeFiles/crev_revoker.dir/bitmap.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/cheriot_filter.cc.o"
+  "CMakeFiles/crev_revoker.dir/cheriot_filter.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/cherivoke.cc.o"
+  "CMakeFiles/crev_revoker.dir/cherivoke.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/cornucopia.cc.o"
+  "CMakeFiles/crev_revoker.dir/cornucopia.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/paint_only.cc.o"
+  "CMakeFiles/crev_revoker.dir/paint_only.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/reloaded.cc.o"
+  "CMakeFiles/crev_revoker.dir/reloaded.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/revoker.cc.o"
+  "CMakeFiles/crev_revoker.dir/revoker.cc.o.d"
+  "CMakeFiles/crev_revoker.dir/sweep.cc.o"
+  "CMakeFiles/crev_revoker.dir/sweep.cc.o.d"
+  "libcrev_revoker.a"
+  "libcrev_revoker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_revoker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for crev_revoker.
+# This may be replaced when dependencies are built.

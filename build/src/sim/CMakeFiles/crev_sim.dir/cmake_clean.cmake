@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_sim.dir/scheduler.cc.o"
+  "CMakeFiles/crev_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/crev_sim.dir/sync.cc.o"
+  "CMakeFiles/crev_sim.dir/sync.cc.o.d"
+  "libcrev_sim.a"
+  "libcrev_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

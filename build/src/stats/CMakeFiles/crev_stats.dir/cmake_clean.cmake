@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_stats.dir/summary.cc.o"
+  "CMakeFiles/crev_stats.dir/summary.cc.o.d"
+  "CMakeFiles/crev_stats.dir/table.cc.o"
+  "CMakeFiles/crev_stats.dir/table.cc.o.d"
+  "libcrev_stats.a"
+  "libcrev_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_vm.dir/address_space.cc.o"
+  "CMakeFiles/crev_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/crev_vm.dir/mmu.cc.o"
+  "CMakeFiles/crev_vm.dir/mmu.cc.o.d"
+  "CMakeFiles/crev_vm.dir/tlb.cc.o"
+  "CMakeFiles/crev_vm.dir/tlb.cc.o.d"
+  "libcrev_vm.a"
+  "libcrev_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

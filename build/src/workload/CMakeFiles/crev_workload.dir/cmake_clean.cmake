@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crev_workload.dir/grpc_qps.cc.o"
+  "CMakeFiles/crev_workload.dir/grpc_qps.cc.o.d"
+  "CMakeFiles/crev_workload.dir/pgbench.cc.o"
+  "CMakeFiles/crev_workload.dir/pgbench.cc.o.d"
+  "CMakeFiles/crev_workload.dir/spec.cc.o"
+  "CMakeFiles/crev_workload.dir/spec.cc.o.d"
+  "libcrev_workload.a"
+  "libcrev_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crev_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
