@@ -88,7 +88,9 @@ QuarantineShim::maybeBlock(sim::SimThread &t)
         ++stats_.blocked_ops;
         const std::uint64_t target =
             std::min(buffers_[0].target, buffers_[1].target);
+        const Cycles wait_begin = t.now();
         revoker_->waitForEpochCounter(t, target);
+        stats_.blocked_cycles += t.now() - wait_begin;
         if (t.scheduler().shuttingDown())
             return;
     }
@@ -140,6 +142,9 @@ QuarantineShim::free(sim::SimThread &t, const cap::Capability &c)
     b.bytes += size;
     quarantine_bytes_ += size;
     stats_.sum_freed_bytes += size;
+    stats_.max_quarantine_bytes =
+        std::max<std::uint64_t>(stats_.max_quarantine_bytes,
+                                quarantine_bytes_);
 
     maybeTrigger(t);
 }

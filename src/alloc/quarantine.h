@@ -49,6 +49,11 @@ struct QuarantineStats
     std::uint64_t sum_alloc_at_trigger = 0; //!< Σ live heap @ trigger
     std::uint64_t sum_quar_at_trigger = 0;  //!< Σ quarantine @ trigger
     std::uint64_t blocked_ops = 0;       //!< ops that had to wait
+    /** Virtual cycles mutators spent blocked on quarantine
+     *  backpressure (sums each wait's duration). */
+    std::uint64_t blocked_cycles = 0;
+    /** High-water mark of bytes held in quarantine. */
+    std::uint64_t max_quarantine_bytes = 0;
 
     double
     meanAllocAtTrigger() const

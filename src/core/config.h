@@ -12,7 +12,9 @@
 #include "alloc/quarantine.h"
 #include "mem/cache.h"
 #include "mem/memory_system.h"
+#include "revoker/watchdog.h"
 #include "sim/cost_model.h"
+#include "sim/fault_injector.h"
 
 namespace crev::core {
 
@@ -34,8 +36,9 @@ const char *strategyName(Strategy s);
 
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
-    Strategy::kBaseline, Strategy::kPaintOnly, Strategy::kCheriVoke,
-    Strategy::kCornucopia, Strategy::kReloaded};
+    Strategy::kBaseline,   Strategy::kPaintOnly,
+    Strategy::kCheriVoke,  Strategy::kCornucopia,
+    Strategy::kReloaded,   Strategy::kCheriotFilter};
 
 /** Full machine configuration. */
 struct MachineConfig
@@ -65,6 +68,13 @@ struct MachineConfig
     unsigned background_sweepers = 1;
     /** §7.7: preemption-quantum scale for revoker threads. */
     double revoker_quantum_scale = 1.0;
+
+    /** Chaos-campaign fault plan (disabled by default: no injector is
+     *  even constructed, so existing runs are bit-identical). */
+    sim::FaultPlan faults;
+    /** Epoch watchdog tuning; the watchdog daemon is spawned when
+     *  this is enabled or fault injection is on. */
+    revoker::WatchdogPolicy watchdog;
 
     std::uint64_t seed = 1;
 };

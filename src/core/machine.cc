@@ -39,6 +39,14 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     mmu_ = std::make_unique<vm::Mmu>(pm_, *ms_, *as_, sched_->costs());
     kernel_ = std::make_unique<kern::Kernel>(*mmu_, sched_->costs());
 
+    if (cfg.faults.enabled) {
+        injector_ = std::make_unique<sim::FaultInjector>(cfg.faults);
+        if (cfg.faults.mem_spike_period > 0)
+            mmu_->setAccessPenaltyHook([this](sim::SimThread &t) {
+                return injector_->memAccessPenalty(t.now());
+            });
+    }
+
     if (cfg.strategy == Strategy::kBaseline) {
         snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
         shim_ = std::make_unique<alloc::QuarantineShim>(
@@ -53,6 +61,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     opts.always_trap_clean_pages = cfg.always_trap_clean;
     opts.background_sweepers = cfg.background_sweepers;
     opts.audit = cfg.audit;
+    opts.injector = injector_.get();
 
     switch (cfg.strategy) {
       case Strategy::kPaintOnly:
@@ -141,7 +150,42 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
                 /*daemon=*/true);
             sched_->setQuantumScale(*helper,
                                     cfg.revoker_quantum_scale);
+            rel->registerSweeper(helper);
         }
+    }
+
+    // The epoch watchdog rides along whenever faults can wedge an
+    // epoch (or when explicitly enabled); without it, existing runs
+    // keep their exact thread set and scheduling order.
+    if (cfg.watchdog.enabled || cfg.faults.enabled) {
+        watchdog_ = std::make_unique<revoker::EpochWatchdog>(
+            *sched_, *revoker_, *mmu_, *kernel_, cfg.watchdog);
+        if (cfg.strategy == Strategy::kReloaded) {
+            auto *rel = static_cast<revoker::ReloadedRevoker *>(
+                revoker_.get());
+            watchdog_->setRespawnFn(
+                [this, rel](sim::SimThread &) -> sim::SimThread * {
+                    sim::SimThread *nt = sched_->spawn(
+                        "revoker-helper-r" +
+                            std::to_string(respawn_count_++),
+                        cfg_.revoker_core_mask,
+                        [rel](sim::SimThread &self) {
+                            rel->helperBody(self);
+                        },
+                        /*daemon=*/true);
+                    sched_->setQuantumScale(
+                        *nt, cfg_.revoker_quantum_scale);
+                    rel->registerSweeper(nt);
+                    return nt;
+                });
+        }
+        sim::SimThread *wd = sched_->spawn(
+            "watchdog", cfg.revoker_core_mask,
+            [this](sim::SimThread &self) {
+                watchdog_->daemonBody(self);
+            },
+            /*daemon=*/true);
+        sched_->setQuantumScale(*wd, cfg.revoker_quantum_scale);
     }
 }
 
@@ -198,6 +242,10 @@ Machine::metrics() const
     m.quarantine = shim_->stats();
     m.allocator = snm_->stats();
     m.mmu = mmu_->stats();
+    if (watchdog_)
+        m.recovery = watchdog_->stats();
+    if (injector_)
+        m.faults_injected = injector_->counters();
     return m;
 }
 

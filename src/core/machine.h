@@ -35,6 +35,8 @@
 #include "revoker/auditor.h"
 #include "revoker/bitmap.h"
 #include "revoker/revoker.h"
+#include "revoker/watchdog.h"
+#include "sim/fault_injector.h"
 #include "sim/scheduler.h"
 #include "vm/address_space.h"
 #include "vm/mmu.h"
@@ -84,6 +86,8 @@ class Machine
     mem::PhysMem &physMem() { return pm_; }
     mem::MemorySystem &memorySystem() { return *ms_; }
     revoker::RevocationBitmap *bitmapOrNull() { return bitmap_.get(); }
+    sim::FaultInjector *faultInjectorOrNull() { return injector_.get(); }
+    revoker::EpochWatchdog *watchdogOrNull() { return watchdog_.get(); }
 
   private:
     MachineConfig cfg_;
@@ -94,8 +98,11 @@ class Machine
     std::unique_ptr<vm::Mmu> mmu_;
     std::unique_ptr<kern::Kernel> kernel_;
     std::unique_ptr<revoker::RevocationBitmap> bitmap_;
+    std::unique_ptr<sim::FaultInjector> injector_;
     std::unique_ptr<revoker::Revoker> revoker_;
+    std::unique_ptr<revoker::EpochWatchdog> watchdog_;
     std::unique_ptr<revoker::Auditor> auditor_;
+    unsigned respawn_count_ = 0;
     std::unique_ptr<alloc::SnmallocLite> snm_;
     std::unique_ptr<alloc::QuarantineShim> shim_;
     std::vector<std::unique_ptr<Mutator>> mutators_;

@@ -17,19 +17,35 @@ RunMetrics::revocationsPerSecond() const
     return s > 0 ? static_cast<double>(epochs.size()) / s : 0.0;
 }
 
+std::size_t
+RunMetrics::degradedEpochs() const
+{
+    std::size_t n = 0;
+    for (const auto &e : epochs)
+        if (e.recovery.degraded)
+            ++n;
+    return n;
+}
+
 std::string
 RunMetrics::summary() const
 {
-    char buf[256];
+    char buf[384];
     std::snprintf(
         buf, sizeof(buf),
         "wall=%.3fms cpu=%.3fms bus=%llu rss=%zupg epochs=%zu "
-        "revoked=%llu faults=%llu",
+        "revoked=%llu faults=%llu blocked=%llu/%.3fms maxq=%lluB "
+        "degraded=%zu",
         cyclesToMillis(wall_cycles), cyclesToMillis(cpu_cycles),
         static_cast<unsigned long long>(bus_transactions_total),
         peak_rss_pages, epochs.size(),
         static_cast<unsigned long long>(sweep.caps_revoked),
-        static_cast<unsigned long long>(mmu.load_barrier_faults));
+        static_cast<unsigned long long>(mmu.load_barrier_faults),
+        static_cast<unsigned long long>(quarantine.blocked_ops),
+        cyclesToMillis(quarantine.blocked_cycles),
+        static_cast<unsigned long long>(
+            quarantine.max_quarantine_bytes),
+        degradedEpochs());
     return buf;
 }
 

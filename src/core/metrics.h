@@ -20,6 +20,8 @@
 #include "mem/memory_system.h"
 #include "revoker/revoker.h"
 #include "revoker/sweep.h"
+#include "revoker/watchdog.h"
+#include "sim/fault_injector.h"
 #include "vm/mmu.h"
 
 namespace crev::core {
@@ -48,6 +50,14 @@ struct RunMetrics
     alloc::QuarantineStats quarantine;
     alloc::AllocStats allocator;
     vm::MmuStats mmu;
+
+    /** Watchdog recovery activity (all-zero when none was spawned). */
+    revoker::RecoveryStats recovery;
+    /** Faults actually injected (all-zero without a fault plan). */
+    sim::FaultCounters faults_injected;
+
+    /** Epochs that needed an emergency STW sweep to complete. */
+    std::size_t degradedEpochs() const;
 
     /** Simulated wall-clock seconds. */
     double wallSeconds() const;

@@ -43,7 +43,7 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
     // Registers and hoards may hold pre-epoch capabilities that never
     // pass through a load again; scan them world-stopped. No
     // generation machinery exists to flip.
-    const Cycles begin = sched_.stopTheWorld(self);
+    const Cycles begin = stwBegin(self);
     scanRegistersAndHoards(self);
     timing.stw_duration = self.now() - begin;
     sched_.resumeWorld(self);
@@ -78,7 +78,7 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
     }
     timing.concurrent_duration = self.now() - cbegin;
 
-    epoch.advance(self); // even
+    finishEpoch(self); // even
     timings_.push_back(timing);
 }
 

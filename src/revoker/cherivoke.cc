@@ -14,7 +14,7 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
     snapshotAuditSet();
 
     EpochTiming timing;
-    const Cycles begin = sched_.stopTheWorld(self);
+    const Cycles begin = stwBegin(self);
 
     scanRegistersAndHoards(self);
 
@@ -36,7 +36,7 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
     timing.stw_duration = self.now() - begin;
     sched_.resumeWorld(self);
 
-    epoch.advance(self); // even: complete
+    finishEpoch(self); // even: complete
     timings_.push_back(timing);
 }
 

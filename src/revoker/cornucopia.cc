@@ -43,7 +43,7 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
 
     // Phase 2 (stop-the-world): registers, hoards, and every page
     // re-dirtied while phase 1 ran.
-    const Cycles begin = sched_.stopTheWorld(self);
+    const Cycles begin = stwBegin(self);
     scanRegistersAndHoards(self);
     std::vector<Addr> redirtied;
     as.forEachResidentPage([&](Addr va, vm::Pte &p) {
@@ -59,7 +59,7 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
     timing.stw_duration = self.now() - begin;
     sched_.resumeWorld(self);
 
-    epoch.advance(self); // even
+    finishEpoch(self); // even
     timings_.push_back(timing);
 }
 

@@ -29,7 +29,7 @@ class PaintOnlyRevoker : public Revoker
         // guarantee, so there is nothing to audit.
         kernel_.epoch().advance(self);
         self.accrue(mmu_.costs().syscall);
-        kernel_.epoch().advance(self);
+        finishEpoch(self);
         timings_.push_back(EpochTiming{});
     }
 };

@@ -1,6 +1,7 @@
 #include "revoker/reloaded.h"
 
 #include "base/logging.h"
+#include "sim/fault_injector.h"
 #include "vm/address_space.h"
 
 namespace crev::revoker {
@@ -14,8 +15,39 @@ ReloadedRevoker::ReloadedRevoker(sim::Scheduler &sched, vm::Mmu &mmu,
 }
 
 void
+ReloadedRevoker::faultDone(sim::SimThread &t)
+{
+    // Degraded recovery may have voided the in-flight count while this
+    // handler was still running; never underflow past that reset.
+    if (faults_in_flight_ > 0)
+        --faults_in_flight_;
+    fault_done_event_.notifyAll(t);
+}
+
+void
 ReloadedRevoker::handleLoadFault(sim::SimThread &t, Addr fault_va)
 {
+    deliverLoadFault(t, fault_va, /*primary=*/true);
+    // Stale-TLB style duplicate: the same trap is delivered twice; the
+    // second delivery finds the page healed and exits early, costing
+    // only handler time. Accounting must stay balanced.
+    if (opts_.injector != nullptr &&
+        opts_.injector->duplicateFaultDelivery(t))
+        deliverLoadFault(t, fault_va, /*primary=*/false);
+}
+
+void
+ReloadedRevoker::deliverLoadFault(sim::SimThread &t, Addr fault_va,
+                                  bool primary)
+{
+    // A "dropped" delivery models a lost completion notification: the
+    // hardware trap still runs and the page still heals (safety is
+    // untouched), but the epoch never learns the fault retired —
+    // faults_in_flight_ leaks and the epoch wedges until the watchdog
+    // steps in.
+    const bool lost = primary && opts_.injector != nullptr &&
+                      opts_.injector->dropFaultDelivery(t);
+
     const Cycles t0 = t.now();
     const Addr va = pageBase(fault_va);
     vm::AddressSpace &as = mmu_.addressSpace();
@@ -30,10 +62,11 @@ ReloadedRevoker::handleLoadFault(sim::SimThread &t, Addr fault_va)
     CREV_ASSERT(p != nullptr && p->valid);
     if (p->clg == gen && !p->cap_load_trap) {
         pmap.unlock(t);
-        fault_time_ += t.now() - t0;
-        ++fault_count_;
-        --faults_in_flight_;
-        fault_done_event_.notifyAll(t);
+        if (!lost) {
+            fault_time_ += t.now() - t0;
+            ++fault_count_;
+            faultDone(t);
+        }
         return;
     }
     pmap.unlock(t);
@@ -63,10 +96,11 @@ ReloadedRevoker::handleLoadFault(sim::SimThread &t, Addr fault_va)
     }
     pmap.unlock(t);
 
-    fault_time_ += t.now() - t0;
-    ++fault_count_;
-    --faults_in_flight_;
-    fault_done_event_.notifyAll(t);
+    if (!lost) {
+        fault_time_ += t.now() - t0;
+        ++fault_count_;
+        faultDone(t);
+    }
 }
 
 Addr
@@ -75,6 +109,19 @@ ReloadedRevoker::nextWork()
     if (work_next_ >= work_.size())
         return 0;
     return work_[work_next_++];
+}
+
+void
+ReloadedRevoker::collectStalePages()
+{
+    const unsigned gen = mmu_.currentGen();
+    work_.clear();
+    work_next_ = 0;
+    mmu_.addressSpace().forEachResidentPage(
+        [&](Addr va, vm::Pte &p) {
+            if (p.clg != gen && !p.cap_load_trap)
+                work_.push_back(va);
+        });
 }
 
 void
@@ -100,7 +147,7 @@ ReloadedRevoker::visitPage(sim::SimThread &t, Addr va)
 
     pmap.lock(t);
     if (p->valid && (p->clg != gen || p->cap_load_trap)) {
-        // Re-verify cleanliness under the lock (see handleLoadFault):
+        // Re-verify cleanliness under the lock (see deliverLoadFault):
         // a store during the lockless sweep invalidates the verdict.
         clean = clean && !mmu_.pageHasTags(va);
         if (clean && opts_.clean_page_detection)
@@ -123,15 +170,35 @@ ReloadedRevoker::visitPage(sim::SimThread &t, Addr va)
 void
 ReloadedRevoker::helperBody(sim::SimThread &self)
 {
+    sim::FaultInjector *inj = opts_.injector;
     for (;;) {
         while (!epoch_active_) {
             if (sched_.shuttingDown())
                 return;
             helper_event_.wait(self);
         }
+        // A force-completed epoch can leave epoch_active_ set through
+        // shutdown; without this check the helper would spin here.
+        if (sched_.shuttingDown())
+            return;
         ++helpers_busy_;
-        for (Addr va = nextWork(); va != 0; va = nextWork())
+        busy_helper_ids_.insert(self.id());
+        for (Addr va = nextWork(); va != 0; va = nextWork()) {
+            if (inj != nullptr) {
+                if (inj->sweeperKill(self)) {
+                    // Die mid-item, taking the popped page and our
+                    // helpers_busy_ slot to the grave — precisely the
+                    // wounds reapDeadSweepers() and the leftover
+                    // rescan in doEpoch() exist to heal.
+                    return;
+                }
+                const Cycles stall = inj->sweeperStall(self);
+                if (stall > 0)
+                    self.sleep(stall);
+            }
             visitPage(self, va);
+        }
+        busy_helper_ids_.erase(self.id());
         --helpers_busy_;
         helper_done_event_.notifyAll(self);
         // Wait for the epoch flag to drop before re-arming.
@@ -141,10 +208,36 @@ ReloadedRevoker::helperBody(sim::SimThread &self)
 }
 
 void
+ReloadedRevoker::nudge(sim::SimThread &caller)
+{
+    Revoker::nudge(caller);
+    helper_event_.notifyAll(caller);
+    helper_done_event_.notifyAll(caller);
+    fault_done_event_.notifyAll(caller);
+}
+
+std::vector<sim::SimThread *>
+ReloadedRevoker::reapDeadSweepers(sim::SimThread &self)
+{
+    auto dead = Revoker::reapDeadSweepers(self);
+    bool repaired = false;
+    for (sim::SimThread *t : dead) {
+        if (busy_helper_ids_.erase(t->id()) > 0) {
+            CREV_ASSERT(helpers_busy_ > 0);
+            --helpers_busy_;
+            repaired = true;
+        }
+    }
+    if (repaired)
+        helper_done_event_.notifyAll(self);
+    return dead;
+}
+
+void
 ReloadedRevoker::doEpoch(sim::SimThread &self)
 {
     kern::EpochCounter &epoch = kernel_.epoch();
-    vm::AddressSpace &as = mmu_.addressSpace();
+    sim::FaultInjector *inj = opts_.injector;
 
     epoch.advance(self); // odd
     snapshotAuditSet();
@@ -154,7 +247,7 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
     // Short STW phase: flip the per-core load generations (PTEs are
     // untouched — §4.1's one-update-per-epoch property) and scan
     // registers and kernel hoards.
-    const Cycles begin = sched_.stopTheWorld(self);
+    const Cycles begin = stwBegin(self);
     mmu_.flipAllCoreGens(self);
     scanRegistersAndHoards(self);
     timing.stw_duration = self.now() - begin;
@@ -164,28 +257,55 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
     // generation. Foreground faults race us benignly (visitPage
     // rechecks under the pmap lock; page visits are idempotent).
     const Cycles cbegin = self.now();
-    const unsigned gen = mmu_.currentGen();
-    work_.clear();
-    work_next_ = 0;
-    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
-        if (p.clg != gen && !p.cap_load_trap)
-            work_.push_back(va);
-    });
+    collectStalePages();
 
     epoch_active_ = true;
     helper_event_.notifyAll(self);
-    for (Addr va = nextWork(); va != 0; va = nextWork())
+    for (Addr va = nextWork(); va != 0; va = nextWork()) {
+        if (inj != nullptr) {
+            const Cycles stall = inj->sweeperStall(self);
+            if (stall > 0)
+                self.sleep(stall);
+        }
         visitPage(self, va);
-    while (helpers_busy_ > 0)
+    }
+    while (helpers_busy_ > 0 && !sched_.shuttingDown() &&
+           !recoveryRequested() && !forceCompleted())
         helper_done_event_.wait(self);
     epoch_active_ = false;
     helper_event_.notifyAll(self);
 
+    // A helper killed mid-item can take a popped page to the grave:
+    // anything still stale after the drain is revisited here (in
+    // healthy epochs one extra scan finds nothing). Terminates
+    // because every visit publishes the page's disposition.
+    for (;;) {
+        collectStalePages();
+        if (work_.empty())
+            break;
+        for (Addr va = nextWork(); va != 0; va = nextWork())
+            visitPage(self, va);
+    }
+
     // The epoch is not over until in-flight foreground fault handlers
     // have published their pages (they also belong to this epoch's
     // accounting).
-    while (faults_in_flight_ > 0 && !sched_.shuttingDown())
+    while (faults_in_flight_ > 0 && !sched_.shuttingDown() &&
+           !recoveryRequested() && !forceCompleted())
         fault_done_event_.wait(self);
+
+    if (recoveryRequested() || forceCompleted()) {
+        // Degradation: a lost fault completion (or similar) wedged the
+        // epoch. If the watchdog has not already completed it by fiat,
+        // run the emergency sweep ourselves; either way the in-flight
+        // count is void — it counts notifications, not obligations,
+        // and the sweep discharged every obligation.
+        if (!forceCompleted()) {
+            timing.stw_duration += emergencyStwSweep(self);
+            currentRecovery().degraded = true;
+        }
+        faults_in_flight_ = 0;
+    }
 
     timing.concurrent_duration = self.now() - cbegin;
     // Delta accounting so that every fault (including rare stale-TLB
@@ -196,7 +316,7 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
     fault_time_recorded_ = fault_time_;
     fault_count_recorded_ = fault_count_;
 
-    epoch.advance(self); // even
+    finishEpoch(self); // even (skipped if the watchdog got there first)
     timings_.push_back(timing);
 }
 

@@ -13,11 +13,19 @@
  * never swept twice per epoch, and capability stores during revocation
  * need no tracking: any stored capability was itself loaded through
  * the barrier (the central invariant, §3.2).
+ *
+ * This strategy carries the machinery the chaos campaigns target:
+ * helper sweepers can be stalled or killed, and load-fault completion
+ * notifications can be dropped or duplicated. Every injection point
+ * preserves the safety invariant (pages still heal; sweeps still
+ * happen) and damages only *liveness* accounting — which the recovery
+ * protocol in the Revoker base plus the EpochWatchdog then repairs.
  */
 
 #ifndef CREV_REVOKER_RELOADED_H_
 #define CREV_REVOKER_RELOADED_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "revoker/revoker.h"
@@ -42,14 +50,37 @@ class ReloadedRevoker : public Revoker
 
     /**
      * Body for an auxiliary background sweeper thread (§7.1); the
-     * Machine spawns (background_sweepers - 1) of these as daemons.
+     * Machine spawns (background_sweepers - 1) of these as daemons,
+     * and the watchdog's respawn callback spawns replacements.
      */
     void helperBody(sim::SimThread &self);
+
+    /** Also wakes the helper and fault-completion waits. */
+    void nudge(sim::SimThread &caller) override;
+
+    /**
+     * Base reaping plus repair of the busy-helper accounting a dead
+     * helper abandoned (so the epoch's helper drain can complete).
+     */
+    std::vector<sim::SimThread *>
+    reapDeadSweepers(sim::SimThread &self) override;
 
   protected:
     void doEpoch(sim::SimThread &self) override;
 
   private:
+    /**
+     * One fault delivery. @p primary distinguishes the real trap from
+     * an injected duplicate; only primaries can lose their completion
+     * notification (the page heals either way — only the epoch's
+     * in-flight accounting wedges, which is the watchdog's problem).
+     */
+    void deliverLoadFault(sim::SimThread &t, Addr fault_va,
+                          bool primary);
+
+    /** Retire one in-flight fault (underflow-safe after recovery). */
+    void faultDone(sim::SimThread &t);
+
     /**
      * Background visit of one page: recheck under the pmap lock,
      * sweep without it, publish the new generation, shoot down TLBs.
@@ -59,12 +90,16 @@ class ReloadedRevoker : public Revoker
     /** Pop the next background work item; 0 when drained. */
     Addr nextWork();
 
+    /** Refill work_ with the pages still carrying a stale generation. */
+    void collectStalePages();
+
     // Background work sharing (single-token execution makes plain
     // members safe).
     std::vector<Addr> work_;
     std::size_t work_next_ = 0;
     bool epoch_active_ = false;
     unsigned helpers_busy_ = 0;
+    std::unordered_set<unsigned> busy_helper_ids_;
     sim::SimEvent helper_event_;
     sim::SimEvent helper_done_event_;
 

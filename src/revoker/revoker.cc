@@ -1,6 +1,8 @@
 #include "revoker/revoker.h"
 
 #include "base/logging.h"
+#include "sim/fault_injector.h"
+#include "vm/address_space.h"
 
 namespace crev::revoker {
 
@@ -58,6 +60,148 @@ Revoker::onDequarantine(Addr base, Addr len)
 }
 
 void
+Revoker::nudge(sim::SimThread &caller)
+{
+    request_event_.notifyAll(caller);
+    epoch_event_.notifyAll(caller);
+}
+
+void
+Revoker::requestRecovery(sim::SimThread &caller)
+{
+    if (!epoch_in_progress_ || recovery_requested_)
+        return;
+    recovery_requested_ = true;
+    nudge(caller);
+}
+
+void
+Revoker::registerSweeper(sim::SimThread *t)
+{
+    sweepers_.push_back(t);
+}
+
+std::vector<sim::SimThread *>
+Revoker::reapDeadSweepers(sim::SimThread &)
+{
+    std::vector<sim::SimThread *> dead;
+    for (auto it = sweepers_.begin(); it != sweepers_.end();) {
+        if (sched_.finished(**it)) {
+            dead.push_back(*it);
+            it = sweepers_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return dead;
+}
+
+Cycles
+Revoker::stwBegin(sim::SimThread &self)
+{
+    if (opts_.injector != nullptr) {
+        // A lost-then-retried IPI: the initiating thread burns cycles
+        // before the world actually stops.
+        const Cycles delay = opts_.injector->stwEntryDelay(self);
+        if (delay > 0)
+            self.accrue(delay);
+    }
+    return sched_.stopTheWorld(self);
+}
+
+void
+Revoker::finishEpoch(sim::SimThread &self)
+{
+    if (force_completed_)
+        return; // the watchdog already advanced the counter for us
+    kernel_.epoch().advance(self);
+}
+
+Cycles
+Revoker::emergencyStwSweep(sim::SimThread &self)
+{
+    const Cycles begin = sched_.stopTheWorld(self);
+    scanRegistersAndHoards(self);
+
+    // Sweep by fiat: with the world stopped no mutator can load a
+    // stale capability, so visiting every page that ever held tags
+    // revokes everything painted — regardless of what state the
+    // wedged concurrent epoch left behind. Also heal every PTE so the
+    // machine leaves the epoch with a consistent generation and no
+    // pending traps.
+    vm::AddressSpace &as = mmu_.addressSpace();
+    const unsigned gen = mmu_.currentGen();
+    const auto &cm = mmu_.costs();
+    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
+        if (!p.valid)
+            return;
+        if (p.cap_ever)
+            sweep_.sweepPage(self, va);
+        if (p.clg != gen || p.cap_load_trap) {
+            p.clg = gen;
+            p.cap_load_trap = false;
+            p.cap_dirty = false;
+            self.accrue(cm.pte_update);
+            mmu_.shootdownPage(self, va);
+        }
+    });
+
+    const Cycles duration = self.now() - begin;
+    sched_.resumeWorld(self);
+    return duration;
+}
+
+void
+Revoker::forceCompleteEpoch(sim::SimThread &self)
+{
+    CREV_ASSERT(epoch_in_progress_);
+    CREV_ASSERT(kernel_.epoch().value() % 2 == 1);
+
+    emergencyStwSweep(self);
+    force_completed_ = true;
+    cur_recovery_.degraded = true;
+    cur_recovery_.forced = true;
+
+    // Complete the epoch on the daemon's behalf: counter to even,
+    // quarantined mappings reaped, waiters released. When the daemon
+    // eventually resumes, finishEpoch() skips its own advance.
+    kernel_.epoch().advance(self);
+    kernel_.reapQuarantinedMappings(self);
+    epoch_event_.notifyAll(self);
+    if (opts_.audit && audit_hook_)
+        audit_hook_();
+}
+
+void
+Revoker::emergencyEpoch(sim::SimThread &self)
+{
+    kern::EpochCounter &epoch = kernel_.epoch();
+    CREV_ASSERT(epoch.value() % 2 == 0);
+    request_pending_ = false;
+
+    const SweepStats before = sweep_.stats();
+    epoch.advance(self); // odd: epoch in progress
+    snapshotAuditSet();
+
+    EpochTiming timing;
+    timing.stw_duration = emergencyStwSweep(self);
+    timing.recovery.degraded = true;
+    timing.recovery.forced = true;
+
+    epoch.advance(self); // even: epoch complete
+    const SweepStats &after = sweep_.stats();
+    timing.pages_swept = after.pages_swept - before.pages_swept;
+    timing.caps_revoked = after.caps_revoked - before.caps_revoked;
+    timings_.push_back(timing);
+    ++epochs_;
+
+    kernel_.reapQuarantinedMappings(self);
+    epoch_event_.notifyAll(self);
+    if (opts_.audit && audit_hook_)
+        audit_hook_();
+}
+
+void
 Revoker::daemonBody(sim::SimThread &self)
 {
     for (;;) {
@@ -68,8 +212,16 @@ Revoker::daemonBody(sim::SimThread &self)
         }
         request_pending_ = false;
 
+        epoch_in_progress_ = true;
+        ++epoch_seq_;
+        epoch_started_at_ = self.now();
+        recovery_requested_ = false;
+        force_completed_ = false;
+        cur_recovery_ = EpochRecovery{};
+
         const SweepStats before = sweep_.stats();
         doEpoch(self);
+        epoch_in_progress_ = false;
         const SweepStats &after = sweep_.stats();
         ++epochs_;
         if (!timings_.empty()) {
@@ -77,6 +229,7 @@ Revoker::daemonBody(sim::SimThread &self)
                 after.pages_swept - before.pages_swept;
             timings_.back().caps_revoked =
                 after.caps_revoked - before.caps_revoked;
+            timings_.back().recovery = cur_recovery_;
         }
 
         // §6.2: release mapping-quarantined reservations whose epoch

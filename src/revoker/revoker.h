@@ -8,6 +8,16 @@
  * userspace trigger thread and the kernel worker together). Allocators
  * request epochs and wait on the public epoch counter; concrete
  * strategies implement doEpoch().
+ *
+ * The base class additionally owns the *recovery protocol* driven by
+ * the EpochWatchdog: every epoch is tracked (sequence number, start
+ * time, in-progress flag) so that a stuck epoch can be detected, and
+ * the degradation ladder — nudge blocked waits, reap/respawn dead
+ * sweeper threads, and finally an emergency CHERIvoke-style
+ * stop-the-world sweep — guarantees the epoch counter always advances
+ * even when background sweeping fails. That last property is what
+ * keeps QuarantineShim::drain()/maybeBlock() free of deadlock under
+ * injected faults.
  */
 
 #ifndef CREV_REVOKER_REVOKER_H_
@@ -26,7 +36,24 @@
 #include "sim/sync.h"
 #include "vm/mmu.h"
 
+namespace crev::sim {
+class FaultInjector;
+} // namespace crev::sim
+
 namespace crev::revoker {
+
+/** How (and whether) an epoch needed recovery to complete. */
+struct EpochRecovery
+{
+    /** Epoch was completed via an emergency STW sweep. */
+    bool degraded = false;
+    /** The watchdog — not the revoker daemon — completed the epoch. */
+    bool forced = false;
+    /** Watchdog nudges delivered while this epoch was overdue. */
+    std::uint32_t nudges = 0;
+    /** Dead sweeper threads respawned during this epoch. */
+    std::uint32_t respawns = 0;
+};
 
 /** Timing record for one revocation epoch (feeds fig. 9). */
 struct EpochTiming
@@ -37,6 +64,7 @@ struct EpochTiming
     std::uint64_t fault_count = 0;
     std::uint64_t pages_swept = 0;
     std::uint64_t caps_revoked = 0;
+    EpochRecovery recovery;         //!< how the epoch reached completion
 };
 
 /** Strategy-independent configuration knobs. */
@@ -50,6 +78,8 @@ struct RevokerOptions
     unsigned background_sweepers = 1;
     /** Run the whole-machine invariant audit after each epoch. */
     bool audit = false;
+    /** Fault injector for chaos campaigns (null: no injection). */
+    sim::FaultInjector *injector = nullptr;
 };
 
 /**
@@ -103,6 +133,67 @@ class Revoker
     using AuditHook = std::function<void()>;
     void setAuditHook(AuditHook h) { audit_hook_ = std::move(h); }
 
+    // --- recovery protocol (EpochWatchdog side) ---
+    //
+    // All of the state below is plain data: the scheduler's single
+    // execution token serialises every simulated thread, so the
+    // watchdog and the daemon never race in host terms.
+
+    /** True between doEpoch() entry and return on the daemon. */
+    bool epochInProgress() const { return epoch_in_progress_; }
+    /** Monotone count of epochs the daemon has started. */
+    std::uint64_t epochSeq() const { return epoch_seq_; }
+    /** Virtual time the in-progress epoch started. */
+    Cycles epochStartedAt() const { return epoch_started_at_; }
+    /** Whether an epoch request is waiting for the daemon. */
+    bool requestPending() const { return request_pending_; }
+    /** Whether the watchdog has asked for degraded completion. */
+    bool recoveryRequested() const { return recovery_requested_; }
+    /** Whether the watchdog force-completed the in-progress epoch. */
+    bool forceCompleted() const { return force_completed_; }
+
+    /**
+     * Re-notify every event a wedged daemon might be blocked on;
+     * harmless when nothing is stuck. Subclasses add their own events.
+     */
+    virtual void nudge(sim::SimThread &caller);
+
+    /**
+     * Ask the daemon to finish the in-progress epoch in degraded mode
+     * (emergency STW sweep) at its next recovery checkpoint.
+     */
+    void requestRecovery(sim::SimThread &caller);
+
+    /** Track a background sweeper thread for death detection. */
+    void registerSweeper(sim::SimThread *t);
+
+    /**
+     * Detect registered sweepers whose bodies have returned, remove
+     * them, and repair any epoch accounting they held (subclasses).
+     * Returns the dead threads so the watchdog can respawn them.
+     */
+    virtual std::vector<sim::SimThread *>
+    reapDeadSweepers(sim::SimThread &self);
+
+    /**
+     * Watchdog fallback for an unresponsive daemon stuck mid-epoch
+     * (counter odd): run the emergency sweep on the *calling* thread,
+     * advance the counter to even, and release epoch waiters. The
+     * daemon skips its own counter advance when it eventually resumes.
+     */
+    void forceCompleteEpoch(sim::SimThread &self);
+
+    /**
+     * Watchdog fallback for a pending request the daemon cannot take
+     * (still wedged inside a force-completed epoch): run one complete
+     * CHERIvoke-style epoch — advance to odd, snapshot, STW sweep,
+     * advance to even — entirely on the calling thread.
+     */
+    void emergencyEpoch(sim::SimThread &self);
+
+    /** Per-epoch recovery record being accumulated (watchdog notes). */
+    EpochRecovery &currentRecovery() { return cur_recovery_; }
+
   protected:
     /** Perform one full revocation epoch on the daemon thread. */
     virtual void doEpoch(sim::SimThread &self) = 0;
@@ -112,6 +203,29 @@ class Revoker
 
     /** Record the painted-set snapshot at epoch start (audit). */
     void snapshotAuditSet();
+
+    /**
+     * Enter stop-the-world, applying any injected entry delay (lost
+     * IPI model) first. All strategies stop the world through here.
+     */
+    Cycles stwBegin(sim::SimThread &self);
+
+    /**
+     * Advance the epoch counter to even at the end of doEpoch() —
+     * unless the watchdog already force-completed this epoch.
+     */
+    void finishEpoch(sim::SimThread &self);
+
+    /**
+     * CHERIvoke-style emergency sweep: stop the world, scan registers
+     * and hoards, sweep every page that has ever held capabilities,
+     * and heal all PTE generations. Deliberately takes no pmap lock:
+     * a parked mutator may hold it, and blocking inside a
+     * stop-the-world phase would deadlock the scheduler; with the
+     * world stopped, lock-free PTE access is the same fiat CheriVoke
+     * relies on. Returns the world-stopped duration.
+     */
+    Cycles emergencyStwSweep(sim::SimThread &self);
 
     sim::Scheduler &sched_;
     vm::Mmu &mmu_;
@@ -128,6 +242,15 @@ class Revoker
     std::uint64_t epochs_ = 0;
     std::unordered_set<Addr> audit_set_;
     AuditHook audit_hook_;
+
+    // Recovery-protocol state (see class comment).
+    bool epoch_in_progress_ = false;
+    std::uint64_t epoch_seq_ = 0;
+    Cycles epoch_started_at_ = 0;
+    bool recovery_requested_ = false;
+    bool force_completed_ = false;
+    EpochRecovery cur_recovery_;
+    std::vector<sim::SimThread *> sweepers_;
 };
 
 } // namespace crev::revoker

@@ -1,0 +1,103 @@
+#include "revoker/watchdog.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+Cycles
+EpochWatchdog::deadline() const
+{
+    const auto pages =
+        static_cast<double>(mmu_.addressSpace().residentPages());
+    const double budget =
+        pages * static_cast<double>(policy_.per_page_cycles) *
+        policy_.slack;
+    return std::max(policy_.min_deadline, static_cast<Cycles>(budget));
+}
+
+void
+EpochWatchdog::nudgeRound(sim::SimThread &self)
+{
+    const auto dead = rev_.reapDeadSweepers(self);
+    stats_.sweepers_reaped += dead.size();
+    for (std::size_t i = 0; i < dead.size(); ++i) {
+        if (!respawn_ ||
+            stats_.sweepers_respawned >= policy_.max_respawns)
+            break;
+        if (sim::SimThread *nt = respawn_(self); nt != nullptr) {
+            (void)nt; // the respawn callback registers it
+            ++stats_.sweepers_respawned;
+            ++rev_.currentRecovery().respawns;
+        }
+    }
+    rev_.nudge(self);
+    ++stats_.nudges;
+    ++rev_.currentRecovery().nudges;
+}
+
+void
+EpochWatchdog::daemonBody(sim::SimThread &self)
+{
+    std::uint64_t watched_seq = 0;
+    unsigned attempt = 0;
+
+    for (;;) {
+        self.sleep(policy_.poll_interval);
+        if (sched_.shuttingDown())
+            return;
+
+        if (rev_.epochInProgress() && rev_.forceCompleted()) {
+            // The epoch was already completed by fiat but the daemon
+            // remains wedged inside it. Keep nudging it home, and
+            // serve any new request it cannot take as a full
+            // emergency epoch so allocators never stall behind it.
+            if (rev_.requestPending()) {
+                rev_.emergencyEpoch(self);
+                ++stats_.emergency_epochs;
+            }
+            rev_.nudge(self);
+            continue;
+        }
+
+        if (!rev_.epochInProgress()) {
+            attempt = 0;
+            continue;
+        }
+        if (rev_.epochSeq() != watched_seq) {
+            watched_seq = rev_.epochSeq();
+            attempt = 0;
+        }
+
+        if (self.now() - rev_.epochStartedAt() <= deadline())
+            continue;
+
+        // Overdue: climb the degradation ladder.
+        if (attempt == 0)
+            ++stats_.deadline_misses;
+        if (attempt < policy_.max_nudges) {
+            nudgeRound(self);
+        } else if (attempt == policy_.max_nudges) {
+            rev_.requestRecovery(self);
+            ++stats_.recovery_requests;
+        } else if (kernel_.epoch().value() % 2 == 1) {
+            rev_.forceCompleteEpoch(self);
+            ++stats_.stw_fallbacks;
+        } else {
+            // Counter already even but doEpoch() has not returned:
+            // the daemon is wedged past the point of no safety
+            // consequence; keep waking it.
+            rev_.nudge(self);
+        }
+        ++attempt;
+
+        // Exponential backoff before re-judging the same epoch.
+        self.sleep(policy_.backoff_base << std::min(attempt, 6u));
+        if (sched_.shuttingDown())
+            return;
+    }
+}
+
+} // namespace crev::revoker

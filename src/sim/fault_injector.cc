@@ -1,0 +1,67 @@
+#include "sim/fault_injector.h"
+
+namespace crev::sim {
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed)
+{
+}
+
+bool
+FaultInjector::roll(SimThread &t, double prob)
+{
+    if (prob <= 0.0 || !inWindow(t.now()))
+        return false;
+    return rng_.chance(prob);
+}
+
+Cycles
+FaultInjector::sweeperStall(SimThread &t)
+{
+    if (!roll(t, plan_.sweeper_stall_prob))
+        return 0;
+    ++counters_.sweeper_stalls;
+    return plan_.sweeper_stall_cycles;
+}
+
+bool
+FaultInjector::sweeperKill(SimThread &t)
+{
+    if (counters_.sweeper_kills >= plan_.max_sweeper_kills)
+        return false;
+    if (!roll(t, plan_.sweeper_kill_prob))
+        return false;
+    ++counters_.sweeper_kills;
+    return true;
+}
+
+bool
+FaultInjector::dropFaultDelivery(SimThread &t)
+{
+    if (counters_.faults_dropped >= plan_.max_fault_drops)
+        return false;
+    if (!roll(t, plan_.fault_drop_prob))
+        return false;
+    ++counters_.faults_dropped;
+    return true;
+}
+
+bool
+FaultInjector::duplicateFaultDelivery(SimThread &t)
+{
+    if (!roll(t, plan_.fault_duplicate_prob))
+        return false;
+    ++counters_.faults_duplicated;
+    return true;
+}
+
+Cycles
+FaultInjector::stwEntryDelay(SimThread &t)
+{
+    if (!roll(t, plan_.stw_delay_prob))
+        return 0;
+    ++counters_.stw_delays;
+    return plan_.stw_delay_cycles;
+}
+
+} // namespace crev::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience testing.
+ *
+ * A FaultInjector turns a seeded FaultPlan into concrete fault
+ * decisions at well-defined instrumentation points: background-sweeper
+ * work loops (stall/kill), the capability-load fault delivery path
+ * (drop/duplicate), stop-the-world entry (delay), and the memory
+ * system (latency spikes). Because decisions are drawn from a
+ * dedicated xoshiro stream and the scheduler serialises all simulated
+ * threads, a given (plan, workload) pair replays the exact same fault
+ * sequence on every run — chaos campaigns are reproducible bit for
+ * bit, which is what lets the test suite assert that *recovery* is
+ * deterministic too.
+ *
+ * Probabilistic faults draw from the RNG only when their probability
+ * is nonzero and virtual time is inside [window_begin, window_end), so
+ * disabling one fault class never perturbs the decision stream of the
+ * others' plans.
+ */
+
+#ifndef CREV_SIM_FAULT_INJECTOR_H_
+#define CREV_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "sim/scheduler.h"
+
+namespace crev::sim {
+
+/** One seeded chaos scenario: which faults fire, how hard, and when. */
+struct FaultPlan
+{
+    /** Master switch; a disabled plan injects nothing and the Machine
+     *  builds no injector at all (zero overhead). */
+    bool enabled = false;
+
+    /** Seed of the decision stream (independent of the workload RNG). */
+    std::uint64_t seed = 0x5eed;
+
+    /** Virtual-time window in which probabilistic faults are armed. */
+    Cycles window_begin = 0;
+    Cycles window_end = ~static_cast<Cycles>(0);
+
+    // --- background sweeper faults (checked once per work item) ---
+
+    /** Probability that a sweeper stalls before its next page visit. */
+    double sweeper_stall_prob = 0.0;
+    /** How long a stalled sweeper sleeps (virtual cycles). */
+    Cycles sweeper_stall_cycles = 0;
+    /** Probability that a *helper* sweeper thread dies outright. */
+    double sweeper_kill_prob = 0.0;
+    /** Cap on kills so runs always retain a path to completion. */
+    unsigned max_sweeper_kills = 1;
+
+    // --- capability-load fault delivery (paper §4 barrier path) ---
+
+    /** Probability a fault's completion notification is lost. The trap
+     *  itself still runs (hardware took it), so safety holds; only the
+     *  epoch accounting wedges — exactly what the watchdog repairs. */
+    double fault_drop_prob = 0.0;
+    /** Cap on dropped completions per run. */
+    unsigned max_fault_drops = 8;
+    /** Probability a fault is delivered twice (stale-TLB style). */
+    double fault_duplicate_prob = 0.0;
+
+    // --- stop-the-world entry ---
+
+    /** Probability the revoker's STW entry is delayed (lost IPI). */
+    double stw_delay_prob = 0.0;
+    Cycles stw_delay_cycles = 0;
+
+    // --- memory-system latency spike (pure time window, no RNG) ---
+
+    /** Every @p mem_spike_period cycles, accesses in the first
+     *  @p mem_spike_duration cycles of the period pay an extra
+     *  @p mem_spike_extra cycles each. 0 disables. */
+    Cycles mem_spike_period = 0;
+    Cycles mem_spike_duration = 0;
+    Cycles mem_spike_extra = 0;
+};
+
+/** How many of each fault actually fired (RunMetrics observability). */
+struct FaultCounters
+{
+    std::uint64_t sweeper_stalls = 0;
+    std::uint64_t sweeper_kills = 0;
+    std::uint64_t faults_dropped = 0;
+    std::uint64_t faults_duplicated = 0;
+    std::uint64_t stw_delays = 0;
+};
+
+/** Draws fault decisions from a FaultPlan's seeded stream. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /** Stall duration for the next sweeper work item; 0 = no stall. */
+    Cycles sweeperStall(SimThread &t);
+
+    /** Whether a helper sweeper should die now (bounded by plan). */
+    bool sweeperKill(SimThread &t);
+
+    /** Whether this load-fault's completion should be lost (bounded). */
+    bool dropFaultDelivery(SimThread &t);
+
+    /** Whether this load-fault should be delivered a second time. */
+    bool duplicateFaultDelivery(SimThread &t);
+
+    /** Extra cycles to charge before entering stop-the-world. */
+    Cycles stwEntryDelay(SimThread &t);
+
+    /**
+     * Extra per-access memory latency at virtual time @p now. Pure
+     * function of time (consumes no RNG): safe to call on every
+     * simulated memory access without perturbing other decisions.
+     */
+    Cycles
+    memAccessPenalty(Cycles now) const
+    {
+        if (plan_.mem_spike_period == 0 || !inWindow(now))
+            return 0;
+        return (now % plan_.mem_spike_period) < plan_.mem_spike_duration
+                   ? plan_.mem_spike_extra
+                   : 0;
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultCounters &counters() const { return counters_; }
+
+  private:
+    bool
+    inWindow(Cycles now) const
+    {
+        return plan_.enabled && now >= plan_.window_begin &&
+               now < plan_.window_end;
+    }
+
+    /** Bernoulli draw, consuming RNG only for armed nonzero faults. */
+    bool roll(SimThread &t, double prob);
+
+    FaultPlan plan_;
+    Rng rng_;
+    FaultCounters counters_;
+};
+
+} // namespace crev::sim
+
+#endif // CREV_SIM_FAULT_INJECTOR_H_

@@ -125,6 +125,13 @@ Scheduler::setQuantumScale(SimThread &t, double scale)
     t.quantum_scale_ = scale;
 }
 
+bool
+Scheduler::finished(SimThread const &t)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    return t.status_ == ThreadStatus::kDone;
+}
+
 Cycles
 Scheduler::maxClock() const
 {

@@ -195,6 +195,13 @@ class Scheduler
     bool shuttingDown() const { return shutting_down_; }
 
     /**
+     * Whether @p t's body has returned (its host thread may still be
+     * joinable). The epoch watchdog uses this to detect sweeper
+     * threads that died mid-epoch.
+     */
+    bool finished(const SimThread &t);
+
+    /**
      * Begin a stop-the-world phase on behalf of @p self. Returns the
      * STW begin time; the caller performs its world-stopped work
      * (accruing cycles) and then calls resumeWorld().

@@ -134,7 +134,7 @@ Mmu::loadData(sim::SimThread &t, Addr va, void *out, std::size_t len)
     auto *dst = static_cast<std::uint8_t *>(out);
     forSegments(va, len, [&](Addr seg_va, std::size_t seg_len) {
         const Addr paddr = translate(t, seg_va, false, false);
-        t.accrue(ms_.access(t.core(), paddr, seg_len, false));
+        chargeAccess(t, t.core(), paddr, seg_len, false);
         pm_.read(paddr, dst, seg_len);
         dst += seg_len;
     });
@@ -147,7 +147,7 @@ Mmu::storeData(sim::SimThread &t, Addr va, const void *in,
     const auto *src = static_cast<const std::uint8_t *>(in);
     forSegments(va, len, [&](Addr seg_va, std::size_t seg_len) {
         const Addr paddr = translate(t, seg_va, true, false);
-        t.accrue(ms_.access(t.core(), paddr, seg_len, true));
+        chargeAccess(t, t.core(), paddr, seg_len, true);
         pm_.write(paddr, src, seg_len);
         src += seg_len;
     });
@@ -191,7 +191,7 @@ Mmu::loadCap(sim::SimThread &t, Addr va)
             continue; // self-healing: retry the load
         }
 
-        t.accrue(ms_.access(core, paddr, kGranuleSize, false));
+        chargeAccess(t, core, paddr, kGranuleSize, false);
         cap::CapBits bits;
         const bool tag = pm_.loadCap(paddr, bits);
         cap::Capability c = cap::decode(bits, tag);
@@ -208,7 +208,7 @@ Mmu::storeCap(sim::SimThread &t, Addr va, const cap::Capability &c)
 {
     CREV_ASSERT(va % kGranuleSize == 0);
     const Addr paddr = translate(t, va, true, c.tag);
-    t.accrue(ms_.access(t.core(), paddr, kGranuleSize, true));
+    chargeAccess(t, t.core(), paddr, kGranuleSize, true);
     pm_.storeCap(paddr, cap::encode(c), c.tag);
     if (c.tag) {
         Pte *p = as_.findPte(va);
@@ -230,7 +230,7 @@ Mmu::kernelLoadCap(sim::SimThread &t, Addr va)
     Pte *p = as_.findPte(va);
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
-    t.accrue(ms_.access(t.core(), paddr, kGranuleSize, false));
+    chargeAccess(t, t.core(), paddr, kGranuleSize, false);
     cap::CapBits bits;
     const bool tag = pm_.loadCap(paddr, bits);
     return cap::decode(bits, tag);
@@ -242,7 +242,7 @@ Mmu::kernelClearTag(sim::SimThread &t, Addr va)
     Pte *p = as_.findPte(va);
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
-    t.accrue(ms_.access(t.core(), paddr, 1, true));
+    chargeAccess(t, t.core(), paddr, 1, true);
     pm_.clearTag(paddr);
 }
 
@@ -280,8 +280,8 @@ Mmu::chargeRead(sim::SimThread &t, Addr va, std::size_t len)
 {
     Pte *p = as_.findPte(va);
     CREV_ASSERT(p != nullptr && p->valid);
-    t.accrue(ms_.access(t.core(), (p->pfn << kPageBits) | pageOffset(va),
-                        len, false));
+    chargeAccess(t, t.core(), (p->pfn << kPageBits) | pageOffset(va),
+                 len, false);
 }
 
 void
@@ -289,8 +289,8 @@ Mmu::chargeWrite(sim::SimThread &t, Addr va, std::size_t len)
 {
     Pte *p = as_.findPte(va);
     CREV_ASSERT(p != nullptr && p->valid);
-    t.accrue(ms_.access(t.core(), (p->pfn << kPageBits) | pageOffset(va),
-                        len, true));
+    chargeAccess(t, t.core(), (p->pfn << kPageBits) | pageOffset(va),
+                 len, true);
 }
 
 } // namespace crev::vm

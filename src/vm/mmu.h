@@ -60,6 +60,13 @@ class Mmu
     using LoadFilter =
         std::function<bool(sim::SimThread &, const cap::Capability &)>;
 
+    /**
+     * Extra latency charged on every memory access (fault injection's
+     * memory-contention spikes). Must be a pure function of the
+     * thread's virtual time.
+     */
+    using AccessPenaltyHook = std::function<Cycles(sim::SimThread &)>;
+
     Mmu(mem::PhysMem &pm, mem::MemorySystem &ms, AddressSpace &as,
         const sim::CostModel &cm);
 
@@ -102,6 +109,10 @@ class Mmu
 
     void setLoadFaultHandler(LoadFaultHandler h) { handler_ = std::move(h); }
     void setLoadFilter(LoadFilter f) { filter_ = std::move(f); }
+    void setAccessPenaltyHook(AccessPenaltyHook h)
+    {
+        penalty_ = std::move(h);
+    }
     /** Current per-core generation bit. */
     unsigned coreGen(unsigned core) const;
     /** Flip every core's generation register (STW entry). */
@@ -136,6 +147,17 @@ class Mmu
     template <typename Fn>
     void forSegments(Addr va, std::size_t len, Fn fn);
 
+    /** Charge one memory access, applying any injected penalty. */
+    void
+    chargeAccess(sim::SimThread &t, unsigned core, Addr paddr,
+                 std::size_t len, bool write)
+    {
+        Cycles c = ms_.access(core, paddr, len, write);
+        if (penalty_)
+            c += penalty_(t);
+        t.accrue(c);
+    }
+
     mem::PhysMem &pm_;
     mem::MemorySystem &ms_;
     AddressSpace &as_;
@@ -145,6 +167,7 @@ class Mmu
     unsigned gen_ = 0;
     LoadFaultHandler handler_;
     LoadFilter filter_;
+    AccessPenaltyHook penalty_;
     MmuStats stats_;
 };
 

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Chaos campaigns: seeded fault plans injected into every strategy,
+ * with the whole-machine invariant audit on. Three properties must
+ * survive every plan:
+ *
+ *   1. Temporal safety holds (the per-epoch audit panics otherwise).
+ *   2. No mutator blocks forever: the run completes, the epoch
+ *      counter rests even, and drain() empties the quarantine — even
+ *      when sweepers die or fault completions are lost (the watchdog's
+ *      degradation ladder guarantees counter advance).
+ *   3. Recovery is deterministic: identical seeds replay identical
+ *      fault sequences *and* identical recoveries, byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+
+namespace crev {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Mutator;
+using core::RunMetrics;
+using core::Strategy;
+
+/** Heap churn with capability links, register parking, and hoards —
+ *  enough surface for every injected fault class to land. */
+void
+churn(Machine &m, Mutator &ctx, int iters)
+{
+    struct Obj
+    {
+        cap::Capability c;
+        std::size_t size;
+    };
+    std::vector<Obj> live;
+    auto &rng = ctx.rng();
+
+    for (int i = 0; i < iters; ++i) {
+        const double dice = rng.uniform();
+        if (dice < 0.45 || live.size() < 4) {
+            const std::size_t size = 16 << rng.below(7);
+            live.push_back({ctx.malloc(size), size});
+            ctx.store64(live.back().c, 0, static_cast<uint64_t>(i));
+        } else if (dice < 0.80) {
+            const std::size_t idx = rng.below(live.size());
+            ctx.free(live[idx].c);
+            live[idx] = live.back();
+            live.pop_back();
+        } else if (dice < 0.90) {
+            const std::size_t a = rng.below(live.size());
+            const std::size_t b = rng.below(live.size());
+            if (live[a].size >= 32) {
+                ctx.storeCap(live[a].c, 16, live[b].c);
+                const cap::Capability back =
+                    ctx.loadCap(live[a].c, 16);
+                ASSERT_TRUE(back.tag);
+            }
+        } else if (dice < 0.95) {
+            ctx.thread().reg(1 + rng.below(8)) =
+                live[rng.below(live.size())].c;
+        } else {
+            const std::size_t slot =
+                ctx.hoardPut(live[rng.below(live.size())].c);
+            ASSERT_TRUE(ctx.hoardTake(slot).tag);
+        }
+    }
+    for (auto &o : live)
+        ctx.free(o.c);
+    m.heap().drain(ctx.thread());
+}
+
+struct Plan
+{
+    const char *name;
+    sim::FaultPlan faults;
+    unsigned sweepers = 1;
+};
+
+sim::FaultPlan
+base(std::uint64_t seed)
+{
+    sim::FaultPlan p;
+    p.enabled = true;
+    p.seed = seed;
+    return p;
+}
+
+/** The campaign: every scenario the harness can express, seeded. */
+std::vector<Plan>
+allPlans()
+{
+    std::vector<Plan> plans;
+
+    {
+        Plan p{"stall_sweeper", base(101), 2};
+        p.faults.sweeper_stall_prob = 0.10;
+        p.faults.sweeper_stall_cycles = 100'000;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"kill_sweeper", base(202), 3};
+        p.faults.sweeper_kill_prob = 0.5;
+        p.faults.max_sweeper_kills = 2;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"drop_faults", base(303), 1};
+        p.faults.fault_drop_prob = 0.5;
+        p.faults.max_fault_drops = 8;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"duplicate_faults", base(404), 1};
+        p.faults.fault_duplicate_prob = 0.3;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"stw_delay", base(505), 1};
+        p.faults.stw_delay_prob = 1.0;
+        p.faults.stw_delay_cycles = 50'000;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"mem_spike", base(606), 1};
+        p.faults.mem_spike_period = 100'000;
+        p.faults.mem_spike_duration = 20'000;
+        p.faults.mem_spike_extra = 50;
+        plans.push_back(p);
+    }
+    {
+        // A sweeper stall far past the watchdog deadline: recovery
+        // must fall all the way back to the emergency STW sweep.
+        Plan p{"hard_stall", base(707), 1};
+        p.faults.sweeper_stall_prob = 1.0;
+        p.faults.sweeper_stall_cycles = 30'000'000;
+        p.faults.window_end = 5'000'000;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"kill_and_drop", base(808), 3};
+        p.faults.sweeper_kill_prob = 0.5;
+        p.faults.max_sweeper_kills = 1;
+        p.faults.fault_drop_prob = 0.25;
+        p.faults.max_fault_drops = 4;
+        plans.push_back(p);
+    }
+    {
+        Plan p{"kitchen_sink", base(909), 2};
+        p.faults.sweeper_stall_prob = 0.05;
+        p.faults.sweeper_stall_cycles = 250'000;
+        p.faults.sweeper_kill_prob = 0.10;
+        p.faults.max_sweeper_kills = 1;
+        p.faults.fault_drop_prob = 0.10;
+        p.faults.max_fault_drops = 4;
+        p.faults.fault_duplicate_prob = 0.10;
+        p.faults.stw_delay_prob = 0.25;
+        p.faults.stw_delay_cycles = 25'000;
+        p.faults.mem_spike_period = 250'000;
+        p.faults.mem_spike_duration = 25'000;
+        p.faults.mem_spike_extra = 30;
+        plans.push_back(p);
+    }
+    return plans;
+}
+
+struct RunResult
+{
+    RunMetrics metrics;
+    std::uint64_t final_epoch_value = 0;
+    std::size_t final_quarantine_bytes = 0;
+};
+
+RunResult
+runChaos(Strategy s, const Plan &plan, int iters = 1200)
+{
+    MachineConfig cfg;
+    cfg.strategy = s;
+    cfg.audit = true;
+    cfg.policy.min_bytes = 32 * 1024; // revoke frequently
+    cfg.background_sweepers = plan.sweepers;
+    cfg.faults = plan.faults;
+    cfg.seed = 42;
+    Machine m(cfg);
+    RunResult r;
+    m.spawnMutator("app", 1u << 3, [&](Mutator &ctx) {
+        churn(m, ctx, iters);
+        r.final_epoch_value = m.kernel().epoch().value();
+        r.final_quarantine_bytes = m.heap().quarantineBytes();
+    });
+    m.run();
+    r.metrics = m.metrics();
+    return r;
+}
+
+/** The fields that must replay byte-identically across same-seed
+ *  runs, including every recovery and injection counter. */
+std::string
+fingerprint(const RunResult &r)
+{
+    const RunMetrics &m = r.metrics;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s|epoch=%llu|quar=%zu|misses=%llu nudges=%llu reaped=%llu "
+        "respawned=%llu recov=%llu stw=%llu emerg=%llu|stalls=%llu "
+        "kills=%llu drops=%llu dups=%llu delays=%llu",
+        m.summary().c_str(),
+        static_cast<unsigned long long>(r.final_epoch_value),
+        r.final_quarantine_bytes,
+        static_cast<unsigned long long>(m.recovery.deadline_misses),
+        static_cast<unsigned long long>(m.recovery.nudges),
+        static_cast<unsigned long long>(m.recovery.sweepers_reaped),
+        static_cast<unsigned long long>(m.recovery.sweepers_respawned),
+        static_cast<unsigned long long>(m.recovery.recovery_requests),
+        static_cast<unsigned long long>(m.recovery.stw_fallbacks),
+        static_cast<unsigned long long>(m.recovery.emergency_epochs),
+        static_cast<unsigned long long>(
+            m.faults_injected.sweeper_stalls),
+        static_cast<unsigned long long>(
+            m.faults_injected.sweeper_kills),
+        static_cast<unsigned long long>(
+            m.faults_injected.faults_dropped),
+        static_cast<unsigned long long>(
+            m.faults_injected.faults_duplicated),
+        static_cast<unsigned long long>(m.faults_injected.stw_delays));
+    return buf;
+}
+
+class ChaosPlanTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ChaosPlanTest, EveryStrategySurvivesWithAuditOn)
+{
+    const Plan plan = allPlans()[GetParam()];
+    for (Strategy s : core::kAllStrategies) {
+        SCOPED_TRACE(std::string(core::strategyName(s)) + " / " +
+                     plan.name);
+        const RunResult r = runChaos(s, plan);
+        // Liveness: the mutator ran to completion, the quarantine
+        // drained, and the epoch counter rests even (no epoch left
+        // half-open). Safety was asserted epoch-by-epoch by the audit.
+        EXPECT_EQ(r.final_epoch_value % 2, 0u);
+        EXPECT_EQ(r.final_quarantine_bytes, 0u);
+        if (s != Strategy::kBaseline) {
+            EXPECT_GT(r.metrics.epochs.size(), 0u);
+        }
+    }
+}
+
+TEST_P(ChaosPlanTest, RecoveryReplaysByteIdentically)
+{
+    const Plan plan = allPlans()[GetParam()];
+    // Reloaded exercises every injection point; CheriVoke covers the
+    // purely-STW path.
+    for (Strategy s : {Strategy::kReloaded, Strategy::kCheriVoke}) {
+        SCOPED_TRACE(std::string(core::strategyName(s)) + " / " +
+                     plan.name);
+        const std::string a = fingerprint(runChaos(s, plan));
+        const std::string b = fingerprint(runChaos(s, plan));
+        EXPECT_EQ(a, b);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlans, ChaosPlanTest, ::testing::Range<std::size_t>(0, 9),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        return std::string(allPlans()[info.param].name);
+    });
+
+TEST(ChaosRecovery, KilledSweepersAreReapedAndRespawned)
+{
+    const auto plans = allPlans();
+    const Plan &plan = plans[1]; // kill_sweeper
+    ASSERT_STREQ(plan.name, "kill_sweeper");
+    const RunResult r = runChaos(Strategy::kReloaded, plan, 2500);
+    const RunMetrics &m = r.metrics;
+    ASSERT_GT(m.faults_injected.sweeper_kills, 0u)
+        << "the plan must actually kill a sweeper";
+    // Every kill wedges the epoch's helper drain; the watchdog must
+    // have detected the death and repaired the accounting.
+    EXPECT_GT(m.recovery.deadline_misses, 0u);
+    EXPECT_GT(m.recovery.sweepers_reaped, 0u);
+    EXPECT_EQ(r.final_epoch_value % 2, 0u);
+    EXPECT_EQ(r.final_quarantine_bytes, 0u);
+}
+
+TEST(ChaosRecovery, DroppedFaultCompletionsDegradeGracefully)
+{
+    const auto plans = allPlans();
+    const Plan &plan = plans[2]; // drop_faults
+    ASSERT_STREQ(plan.name, "drop_faults");
+    const RunResult r = runChaos(Strategy::kReloaded, plan, 2500);
+    const RunMetrics &m = r.metrics;
+    ASSERT_GT(m.faults_injected.faults_dropped, 0u)
+        << "the plan must actually lose completions";
+    // A lost completion leaks faults_in_flight_, so the wedged epochs
+    // must have been finished in degraded (emergency STW) mode.
+    EXPECT_GT(m.recovery.recovery_requests + m.recovery.stw_fallbacks,
+              0u);
+    EXPECT_GT(m.degradedEpochs(), 0u);
+    EXPECT_EQ(r.final_epoch_value % 2, 0u);
+    EXPECT_EQ(r.final_quarantine_bytes, 0u);
+}
+
+TEST(ChaosRecovery, HardStallFallsBackToStopTheWorld)
+{
+    const auto plans = allPlans();
+    const Plan &plan = plans[6]; // hard_stall
+    ASSERT_STREQ(plan.name, "hard_stall");
+    const RunResult r = runChaos(Strategy::kReloaded, plan);
+    const RunMetrics &m = r.metrics;
+    ASSERT_GT(m.faults_injected.sweeper_stalls, 0u);
+    // The daemon slept through every rung the watchdog could wake it
+    // from; the epoch must have been force-completed by fiat.
+    EXPECT_GT(m.recovery.stw_fallbacks, 0u);
+    EXPECT_GT(m.degradedEpochs(), 0u);
+    EXPECT_EQ(r.final_epoch_value % 2, 0u);
+    EXPECT_EQ(r.final_quarantine_bytes, 0u);
+}
+
+TEST(ChaosRecovery, CleanPlanInjectsNothingAndRecoversNothing)
+{
+    // A disabled plan must leave the machine bit-identical to a run
+    // with no fault machinery at all (no injector, no watchdog).
+    Plan off{"off", sim::FaultPlan{}, 1};
+    const RunResult with_plan =
+        runChaos(Strategy::kReloaded, off, 1000);
+    EXPECT_EQ(with_plan.metrics.faults_injected.sweeper_stalls, 0u);
+    EXPECT_EQ(with_plan.metrics.recovery.deadline_misses, 0u);
+    EXPECT_EQ(with_plan.metrics.degradedEpochs(), 0u);
+}
+
+} // namespace
+} // namespace crev

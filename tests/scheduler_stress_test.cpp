@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "sim/fault_injector.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 
@@ -248,6 +249,41 @@ TEST(SchedulerStress, StwExcludesMultipleMutators)
                 << "mutator ran inside STW window";
         }
     }
+}
+
+TEST(SchedulerStress, ShutdownWakesFaultInjectedBlockedDaemon)
+{
+    // A sweeper-style daemon that a fault plan stalls (virtual-time
+    // sleep) and then leaves blocked on an event nobody will ever
+    // notify. When the only non-daemon thread finishes, shutdown must
+    // force it through both states and it must observe shuttingDown()
+    // and exit cleanly instead of hanging the run.
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 77;
+    plan.sweeper_stall_prob = 1.0;
+    plan.sweeper_stall_cycles = 200'000;
+    FaultInjector inj(plan);
+
+    Scheduler s(2, stressCosts());
+    SimEvent never_notified;
+    bool observed_shutdown = false;
+    s.spawn(
+        "sweeper", 1u << 0,
+        [&](SimThread &t) {
+            const Cycles stall = inj.sweeperStall(t);
+            if (stall > 0)
+                t.sleep(stall);
+            while (!s.shuttingDown())
+                never_notified.wait(t);
+            observed_shutdown = true;
+        },
+        /*daemon=*/true);
+    s.spawn("app", 1u << 1, [&](SimThread &t) { t.accrue(50'000); });
+    s.run();
+
+    EXPECT_TRUE(observed_shutdown);
+    EXPECT_EQ(inj.counters().sweeper_stalls, 1u);
 }
 
 } // namespace
