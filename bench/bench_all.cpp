@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The host-performance trajectory bench: runs the union of the
+ * fig1-fig9 simulation cells serially and then across the host thread
+ * pool, measures the sweep microbench regimes with fast paths on and
+ * off, and writes everything to BENCH_PR2.json (machine-readable; see
+ * DESIGN.md §9 for how to read BENCH_*.json files).
+ *
+ * Simulated results are identical in every mode — this binary measures
+ * how fast the *simulator* runs, and doubles as a regression gate for
+ * the fast-path determinism contract (it fails loudly if simulated
+ * cycles per page differ between fast and reference sweeps).
+ *
+ * Usage: bench_all [--quick] [--out FILE]
+ *   --quick: small cell set for CI smoke runs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_runner.h"
+#include "bench_util.h"
+#include "workload/grpc_qps.h"
+#include "workload/pgbench.h"
+
+using namespace crev;
+using benchutil::CellResult;
+using benchutil::ParallelRunner;
+using benchutil::SweepRegime;
+using benchutil::SweepRegimeResult;
+
+namespace {
+
+struct RegimeRow
+{
+    SweepRegime regime;
+    SweepRegimeResult fast;
+    SweepRegimeResult reference;
+};
+
+void
+addCells(ParallelRunner &runner, bool quick)
+{
+    // SPEC-like profiles (figs 1-4, 9). Quick mode keeps the two
+    // fastest revoking profiles and the headline strategies.
+    std::vector<std::string> profiles;
+    std::vector<core::Strategy> spec_strategies;
+    if (quick) {
+        profiles = {"hmmer_retro", "astar"};
+        spec_strategies = {core::Strategy::kBaseline,
+                           core::Strategy::kCornucopia,
+                           core::Strategy::kReloaded};
+    } else {
+        for (const auto &p : workload::specProfiles())
+            profiles.push_back(p.name);
+        spec_strategies = {core::Strategy::kBaseline};
+        spec_strategies.insert(spec_strategies.end(),
+                               benchutil::kSafeAndPaint.begin(),
+                               benchutil::kSafeAndPaint.end());
+    }
+    for (const auto &name : profiles)
+        for (core::Strategy s : spec_strategies)
+            runner.add("spec/" + name + "/" + core::strategyName(s),
+                       [s, name] {
+                           return workload::runSpecOn(
+                               s, workload::specProfile(name));
+                       });
+
+    // pgbench (figs 5-7, 9) and gRPC QPS (figs 8-9).
+    std::vector<core::Strategy> srv_strategies{
+        core::Strategy::kBaseline};
+    if (quick) {
+        srv_strategies.push_back(core::Strategy::kReloaded);
+    } else {
+        srv_strategies.insert(srv_strategies.end(),
+                              benchutil::kSafeAndPaint.begin(),
+                              benchutil::kSafeAndPaint.end());
+    }
+    for (core::Strategy s : srv_strategies)
+        runner.add(std::string("pgbench/") + core::strategyName(s),
+                   [s] {
+                       workload::PgbenchConfig cfg;
+                       return workload::runPgbench(s, cfg).metrics;
+                   });
+    if (!quick)
+        for (core::Strategy s :
+             {core::Strategy::kBaseline, core::Strategy::kCheriVoke,
+              core::Strategy::kCornucopia, core::Strategy::kReloaded})
+            runner.add(std::string("grpc/") + core::strategyName(s),
+                       [s] {
+                           workload::GrpcConfig cfg;
+                           return workload::runGrpcQps(s, cfg).metrics;
+                       });
+}
+
+double
+timedRun(bool quick, unsigned threads, bool host_fast_paths,
+         std::vector<CellResult> *results_out)
+{
+    // The cells build their MachineConfigs internally; the env knob is
+    // the global default they pick up. Set before any worker exists —
+    // parallelMap with 1 worker runs inline on this thread.
+    setenv("CREV_HOST_FAST_PATHS", host_fast_paths ? "1" : "0", 1);
+    ParallelRunner runner;
+    addCells(runner, quick);
+    const auto start = std::chrono::steady_clock::now();
+    auto results = runner.run(threads);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    setenv("CREV_HOST_FAST_PATHS", "1", 1);
+    if (results_out != nullptr)
+        *results_out = std::move(results);
+    return secs;
+}
+
+/** Simulated results must be identical across host configurations. */
+bool
+sameSimResults(const std::vector<CellResult> &a,
+               const std::vector<CellResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto &ma = a[i].metrics;
+        const auto &mb = b[i].metrics;
+        if (a[i].name != b[i].name ||
+            ma.wall_cycles != mb.wall_cycles ||
+            ma.cpu_cycles != mb.cpu_cycles ||
+            ma.bus_transactions_total != mb.bus_transactions_total ||
+            ma.peak_rss_pages != mb.peak_rss_pages ||
+            ma.epochs.size() != mb.epochs.size() ||
+            ma.sweep.caps_revoked != mb.sweep.caps_revoked) {
+            std::fprintf(stderr,
+                         "FAIL: cell %s simulated results differ "
+                         "across host configurations\n",
+                         a[i].name.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_PR2.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    benchutil::banner("Host-performance trajectory (bench_all)",
+                      "simulator host perf; no paper figure");
+
+    // --- sweep microbench: fast vs reference, three tag regimes ---
+    const std::size_t pages = quick ? 16 : 64;
+    const std::size_t repeats = quick ? 10 : 40;
+    std::vector<RegimeRow> regimes;
+    bool determinism_ok = true;
+    for (SweepRegime r : {SweepRegime::kClean, SweepRegime::kSparse,
+                          SweepRegime::kFull}) {
+        RegimeRow row;
+        row.regime = r;
+        std::fprintf(stderr, "  sweep regime %s...\n",
+                     benchutil::sweepRegimeName(r));
+        row.fast = benchutil::measureSweepRegime(r, true, pages,
+                                                 repeats);
+        row.reference = benchutil::measureSweepRegime(r, false, pages,
+                                                      repeats);
+        if (row.fast.sim_cycles_per_page !=
+            row.reference.sim_cycles_per_page) {
+            std::fprintf(stderr,
+                         "FAIL: regime %s simulated cycles diverge "
+                         "(fast %.1f vs reference %.1f)\n",
+                         benchutil::sweepRegimeName(r),
+                         row.fast.sim_cycles_per_page,
+                         row.reference.sim_cycles_per_page);
+            determinism_ok = false;
+        }
+        regimes.push_back(row);
+    }
+
+    std::printf("sweep microbench (host ns/page, %zu pages x %zu "
+                "repeats):\n",
+                pages, repeats);
+    std::printf("  %-8s %12s %12s %9s %16s\n", "regime", "fast",
+                "reference", "speedup", "sim cycles/page");
+    for (const auto &row : regimes)
+        std::printf("  %-8s %12.1f %12.1f %8.2fx %16.1f\n",
+                    benchutil::sweepRegimeName(row.regime),
+                    row.fast.host_ns_per_page,
+                    row.reference.host_ns_per_page,
+                    row.reference.host_ns_per_page /
+                        row.fast.host_ns_per_page,
+                    row.fast.sim_cycles_per_page);
+
+    // --- end-to-end cell set, three host configurations ---
+    // reference-serial is the seed-equivalent host behaviour (no fast
+    // paths, one thread); fast-serial isolates the fast-path gain;
+    // fast-parallel adds the thread pool. Simulated results must be
+    // identical in all three.
+    const unsigned threads = benchutil::benchThreads();
+    std::fprintf(stderr,
+                 "  running cell set serially (fast paths off)...\n");
+    std::vector<CellResult> ref_cells;
+    const double ref_serial_secs = timedRun(quick, 1, false,
+                                            &ref_cells);
+    std::fprintf(stderr,
+                 "  running cell set serially (fast paths on)...\n");
+    const double serial_secs = timedRun(quick, 1, true, nullptr);
+    std::fprintf(stderr, "  running cell set on %u host threads...\n",
+                 threads);
+    std::vector<CellResult> cells;
+    const double parallel_secs = timedRun(quick, threads, true, &cells);
+
+    determinism_ok = determinism_ok && sameSimResults(ref_cells, cells);
+
+    std::printf("\nend-to-end cell set (%zu cells):\n", cells.size());
+    std::printf("  reference serial (seed-equivalent): %.2fs\n",
+                ref_serial_secs);
+    std::printf("  fast-path serial:                   %.2fs (%.2fx)\n",
+                serial_secs, ref_serial_secs / serial_secs);
+    std::printf("  fast-path parallel (%2u threads):    %.2fs (%.2fx "
+                "vs reference)\n",
+                threads, parallel_secs,
+                ref_serial_secs / parallel_secs);
+
+    // --- BENCH_PR2.json ---
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_all\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"host_threads\": %u,\n", threads);
+    std::fprintf(f, "  \"sweep_microbench\": [\n");
+    for (std::size_t i = 0; i < regimes.size(); ++i) {
+        const auto &row = regimes[i];
+        std::fprintf(
+            f,
+            "    {\"regime\": \"%s\", "
+            "\"fast_ns_per_page\": %.2f, "
+            "\"reference_ns_per_page\": %.2f, "
+            "\"host_speedup\": %.3f, "
+            "\"sim_cycles_per_page\": %.2f, "
+            "\"sim_cycles_match\": %s}%s\n",
+            benchutil::sweepRegimeName(row.regime),
+            row.fast.host_ns_per_page,
+            row.reference.host_ns_per_page,
+            row.reference.host_ns_per_page / row.fast.host_ns_per_page,
+            row.fast.sim_cycles_per_page,
+            row.fast.sim_cycles_per_page ==
+                    row.reference.sim_cycles_per_page
+                ? "true"
+                : "false",
+            i + 1 < regimes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"end_to_end\": {\"cells\": %zu, "
+                 "\"reference_serial_seconds\": %.3f, "
+                 "\"fast_serial_seconds\": %.3f, "
+                 "\"fast_parallel_seconds\": %.3f, "
+                 "\"fast_path_speedup\": %.3f, "
+                 "\"parallel_speedup\": %.3f, "
+                 "\"total_speedup\": %.3f, "
+                 "\"sim_results_match\": %s},\n",
+                 cells.size(), ref_serial_secs, serial_secs,
+                 parallel_secs, ref_serial_secs / serial_secs,
+                 serial_secs / parallel_secs,
+                 ref_serial_secs / parallel_secs,
+                 determinism_ok ? "true" : "false");
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"host_seconds\": %.4f, "
+                     "\"metrics\": %s}%s\n",
+                     benchutil::jsonEscape(cells[i].name).c_str(),
+                     cells[i].host_seconds,
+                     benchutil::metricsJson(cells[i].metrics).c_str(),
+                     i + 1 < cells.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!determinism_ok) {
+        std::fprintf(stderr,
+                     "bench_all: fast-path determinism violated\n");
+        return 1;
+    }
+    return 0;
+}

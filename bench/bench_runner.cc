@@ -1,0 +1,185 @@
+#include "bench_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mutator.h"
+#include "revoker/bitmap.h"
+#include "revoker/sweep.h"
+#include "workload/spec.h"
+
+namespace crev::benchutil {
+
+unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("CREV_BENCH_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+void
+ParallelRunner::add(std::string name,
+                    std::function<core::RunMetrics()> fn)
+{
+    cells_.push_back(Cell{std::move(name), std::move(fn)});
+}
+
+std::vector<CellResult>
+ParallelRunner::run(unsigned threads)
+{
+    // Workloads memoize lazily-built statics (profile tables); touch
+    // them once on this thread so workers only ever read them.
+    workload::specProfiles();
+
+    auto results = parallelMap(
+        cells_.size(),
+        [&](std::size_t i) {
+            CellResult r;
+            r.name = cells_[i].name;
+            const auto start = std::chrono::steady_clock::now();
+            r.metrics = cells_[i].fn();
+            r.host_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            return r;
+        },
+        threads);
+    cells_.clear();
+    return results;
+}
+
+const char *
+sweepRegimeName(SweepRegime r)
+{
+    switch (r) {
+      case SweepRegime::kClean:
+        return "clean";
+      case SweepRegime::kSparse:
+        return "sparse";
+      case SweepRegime::kFull:
+        return "full";
+    }
+    return "?";
+}
+
+SweepRegimeResult
+measureSweepRegime(SweepRegime regime, bool host_fast_paths,
+                   std::size_t pages, std::size_t repeats)
+{
+    core::MachineConfig cfg;
+    cfg.strategy = core::Strategy::kBaseline; // no revoker daemon
+    cfg.host_fast_paths = host_fast_paths;
+    core::Machine m(cfg);
+
+    SweepRegimeResult result;
+    m.spawnMutator("sweep-harness", 1u << 3, [&](core::Mutator &ctx) {
+        // One arena spanning `pages` whole pages (plus alignment
+        // slack), faulted in up front so the sweep never demand-zeros.
+        const std::size_t arena = (pages + 1) * kPageSize;
+        const cap::Capability c = ctx.malloc(arena);
+        const Addr first_page = roundUp(c.base, kPageSize);
+        const Addr off0 = first_page - c.base;
+        for (std::size_t p = 0; p < pages; ++p)
+            ctx.store64(c, off0 + p * kPageSize, 1);
+
+        const cap::Capability v = ctx.malloc(64);
+        const std::size_t caps_per_page =
+            regime == SweepRegime::kClean    ? 0
+            : regime == SweepRegime::kSparse ? 8
+                                             : kGranulesPerPage;
+        const std::size_t stride =
+            caps_per_page == 0 ? 0 : kGranulesPerPage / caps_per_page;
+        for (std::size_t p = 0; p < pages; ++p)
+            for (std::size_t k = 0; k < caps_per_page; ++k)
+                ctx.storeCap(c,
+                             off0 + p * kPageSize +
+                                 k * stride * kGranuleSize,
+                             v);
+
+        // Nothing is painted in this local bitmap, so probes read a
+        // zero bit and never clear tags: every repeat sweeps the same
+        // population.
+        revoker::RevocationBitmap bitmap(ctx.machine().mmu());
+        revoker::SweepEngine engine(ctx.machine().mmu(), bitmap,
+                                    host_fast_paths);
+        sim::SimThread &t = ctx.thread();
+
+        // One untimed warmup pass: faults the sweep's host code and
+        // data paths in so the first timed regime isn't cold.
+        for (std::size_t p = 0; p < pages; ++p)
+            engine.sweepPage(t, first_page + p * kPageSize);
+
+        const Cycles sim_start = ctx.now();
+        const auto host_start = std::chrono::steady_clock::now();
+        for (std::size_t rep = 0; rep < repeats; ++rep)
+            for (std::size_t p = 0; p < pages; ++p)
+                engine.sweepPage(t, first_page + p * kPageSize);
+        const double host_secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - host_start)
+                .count();
+        const Cycles sim_cycles = ctx.now() - sim_start;
+
+        const double total_pages =
+            static_cast<double>(pages) * static_cast<double>(repeats);
+        result.host_ns_per_page = host_secs * 1e9 / total_pages;
+        result.sim_cycles_per_page =
+            static_cast<double>(sim_cycles) / total_pages;
+        result.pages_swept = engine.stats().pages_swept;
+        result.caps_seen = engine.stats().caps_seen;
+    });
+    m.run();
+    return result;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+metricsJson(const core::RunMetrics &m)
+{
+    char buf[512];
+    std::uint64_t caps_revoked = m.sweep.caps_revoked;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"wall_cycles\": %llu, \"cpu_cycles\": %llu, "
+        "\"bus_transactions\": %llu, \"peak_rss_pages\": %zu, "
+        "\"epochs\": %zu, \"pages_swept\": %llu, "
+        "\"caps_revoked\": %llu}",
+        static_cast<unsigned long long>(m.wall_cycles),
+        static_cast<unsigned long long>(m.cpu_cycles),
+        static_cast<unsigned long long>(m.bus_transactions_total),
+        m.peak_rss_pages, m.epochs.size(),
+        static_cast<unsigned long long>(m.sweep.pages_swept),
+        static_cast<unsigned long long>(caps_revoked));
+    return buf;
+}
+
+} // namespace crev::benchutil

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_runner.h"
 #include "core/machine.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -61,6 +62,53 @@ class SpecRunner
                      .first;
         }
         return it->second;
+    }
+
+    /**
+     * Fill the cache for @p profiles x @p strategies across the host
+     * thread pool. Each cell owns its Machine, so results are
+     * bit-identical to serial run() calls — prefetching only changes
+     * how long the bench binary takes.
+     */
+    void
+    prefetch(const std::vector<std::string> &profiles,
+             const std::vector<core::Strategy> &strategies)
+    {
+        struct Job
+        {
+            std::string key;
+            const workload::SpecProfile *profile;
+            core::Strategy s;
+        };
+        std::vector<Job> jobs;
+        for (const auto &p : profiles)
+            for (core::Strategy s : strategies) {
+                const std::string key =
+                    p + "/" + core::strategyName(s);
+                if (cache_.count(key) == 0)
+                    jobs.push_back(
+                        Job{key, &workload::specProfile(p), s});
+            }
+        if (jobs.empty())
+            return;
+        std::fprintf(stderr,
+                     "  running %zu spec cells on %u host threads...\n",
+                     jobs.size(), benchThreads());
+        auto results = parallelMap(jobs.size(), [&](std::size_t i) {
+            return workload::runSpecOn(jobs[i].s, *jobs[i].profile);
+        });
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            cache_.emplace(jobs[i].key, std::move(results[i]));
+    }
+
+    /** prefetch() over every profile. */
+    void
+    prefetchAll(const std::vector<core::Strategy> &strategies)
+    {
+        std::vector<std::string> names;
+        for (const auto &p : workload::specProfiles())
+            names.push_back(p.name);
+        prefetch(names, strategies);
     }
 
   private:

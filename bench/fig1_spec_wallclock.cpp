@@ -21,6 +21,11 @@ main()
                       "paper fig. 1");
 
     benchutil::SpecRunner runner;
+    std::vector<core::Strategy> all{core::Strategy::kBaseline};
+    all.insert(all.end(), benchutil::kSafe.begin(),
+               benchutil::kSafe.end());
+    runner.prefetchAll(all);
+
     stats::Table table({"benchmark", "baseline_ms", "cherivoke",
                         "cornucopia", "reloaded", "epochs(rel)"});
 

@@ -20,6 +20,11 @@ main()
                       "paper fig. 2");
 
     benchutil::SpecRunner runner;
+    std::vector<core::Strategy> all{core::Strategy::kBaseline};
+    all.insert(all.end(), benchutil::kSafeAndPaint.begin(),
+               benchutil::kSafeAndPaint.end());
+    runner.prefetchAll(all);
+
     stats::Table table({"benchmark", "baseline_ms", "paint+sync",
                         "cherivoke", "cornucopia", "reloaded"});
 

@@ -31,6 +31,10 @@ main()
                                       "gobmk",     "hmmer_nph3"};
 
     benchutil::SpecRunner runner;
+    std::vector<core::Strategy> all{core::Strategy::kBaseline};
+    all.insert(all.end(), benchutil::kSafe.begin(),
+               benchutil::kSafe.end());
+    runner.prefetch(names, all);
 
     // Sort descending by baseline RSS (MiB), as the paper does.
     std::vector<std::pair<double, std::string>> order;

@@ -22,6 +22,11 @@ main()
                       "paper fig. 4");
 
     benchutil::SpecRunner runner;
+    std::vector<core::Strategy> all{core::Strategy::kBaseline};
+    all.insert(all.end(), benchutil::kSafe.begin(),
+               benchutil::kSafe.end());
+    runner.prefetch(workload::revokingSpecNames(), all);
+
     stats::Table table({"benchmark", "baseline_tx", "cherivoke",
                         "cornucopia", "reloaded", "rel/corn"});
 

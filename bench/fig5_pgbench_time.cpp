@@ -21,8 +21,19 @@ main()
                       "paper fig. 5");
 
     workload::PgbenchConfig cfg;
-    const auto base =
-        workload::runPgbench(core::Strategy::kBaseline, cfg);
+
+    // All five cells are independent machines: run them across the
+    // host thread pool, keeping baseline-first output order.
+    std::vector<core::Strategy> all{core::Strategy::kBaseline};
+    all.insert(all.end(), benchutil::kSafeAndPaint.begin(),
+               benchutil::kSafeAndPaint.end());
+    std::fprintf(stderr, "  running %zu pgbench cells on %u host "
+                 "threads...\n",
+                 all.size(), benchutil::benchThreads());
+    auto results = benchutil::parallelMap(
+        all.size(),
+        [&](std::size_t i) { return workload::runPgbench(all[i], cfg); });
+    const auto &base = results[0];
 
     stats::Table table({"strategy", "wall", "cpu_total",
                         "server_thread"});
@@ -34,10 +45,9 @@ main()
                   stats::Table::fmt(cyclesToMillis(
                       base.metrics.thread_busy.at("pg-server")))});
 
-    for (core::Strategy s : benchutil::kSafeAndPaint) {
-        std::fprintf(stderr, "  running pgbench/%s...\n",
-                     core::strategyName(s));
-        const auto r = workload::runPgbench(s, cfg);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        const core::Strategy s = all[i];
+        const auto &r = results[i];
         table.addRow(
             {core::strategyName(s),
              stats::Table::pct(overhead(

@@ -25,9 +25,16 @@ main()
 
     workload::GrpcConfig cfg;
 
-    std::fprintf(stderr, "  running grpc/baseline...\n");
-    const auto base =
-        workload::runGrpcQps(core::Strategy::kBaseline, cfg);
+    const std::vector<core::Strategy> all{
+        core::Strategy::kBaseline, core::Strategy::kCheriVoke,
+        core::Strategy::kCornucopia, core::Strategy::kReloaded};
+    std::fprintf(stderr,
+                 "  running %zu grpc cells on %u host threads...\n",
+                 all.size(), benchutil::benchThreads());
+    auto results = benchutil::parallelMap(
+        all.size(),
+        [&](std::size_t i) { return workload::runGrpcQps(all[i], cfg); });
+    const auto &base = results[0];
 
     const std::vector<std::pair<const char *, double>> pcts = {
         {"p50", 0.50}, {"p90", 0.90},   {"p95", 0.95},
@@ -48,12 +55,9 @@ main()
         table.addRow(row);
     }
 
-    for (core::Strategy s :
-         {core::Strategy::kCheriVoke, core::Strategy::kCornucopia,
-          core::Strategy::kReloaded}) {
-        std::fprintf(stderr, "  running grpc/%s...\n",
-                     core::strategyName(s));
-        const auto r = workload::runGrpcQps(s, cfg);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        const core::Strategy s = all[i];
+        const auto &r = results[i];
         std::vector<std::string> row{core::strategyName(s)};
         for (auto &[n, q] : pcts)
             row.push_back(stats::Table::fmt(

@@ -77,9 +77,11 @@ main()
                         "rel_stw", "rel_conc", "rel_faults"});
 
     benchutil::SpecRunner runner;
-    for (const auto &name :
-         {"astar", "omnetpp", "xalancbmk", "hmmer_retro", "gobmk",
-          "libquantum"}) {
+    const std::vector<std::string> spec_names{
+        "astar", "omnetpp", "xalancbmk",
+        "hmmer_retro", "gobmk", "libquantum"};
+    runner.prefetch(spec_names, benchutil::kSafe);
+    for (const auto &name : spec_names) {
         std::map<std::string, std::vector<revoker::EpochTiming>> per;
         for (core::Strategy s : benchutil::kSafe)
             per[core::strategyName(s)] = runner.run(name, s).epochs;
@@ -88,24 +90,34 @@ main()
 
     {
         workload::PgbenchConfig cfg;
+        std::fprintf(stderr, "  running pgbench cells on %u host "
+                     "threads...\n",
+                     benchutil::benchThreads());
+        auto results = benchutil::parallelMap(
+            benchutil::kSafe.size(), [&](std::size_t i) {
+                return workload::runPgbench(benchutil::kSafe[i], cfg)
+                    .metrics.epochs;
+            });
         std::map<std::string, std::vector<revoker::EpochTiming>> per;
-        for (core::Strategy s : benchutil::kSafe) {
-            std::fprintf(stderr, "  running pgbench/%s...\n",
-                         core::strategyName(s));
-            per[core::strategyName(s)] =
-                workload::runPgbench(s, cfg).metrics.epochs;
-        }
+        for (std::size_t i = 0; i < benchutil::kSafe.size(); ++i)
+            per[core::strategyName(benchutil::kSafe[i])] =
+                std::move(results[i]);
         addRows(table, "pgbench", per);
     }
     {
         workload::GrpcConfig cfg;
+        std::fprintf(stderr, "  running grpc cells on %u host "
+                     "threads...\n",
+                     benchutil::benchThreads());
+        auto results = benchutil::parallelMap(
+            benchutil::kSafe.size(), [&](std::size_t i) {
+                return workload::runGrpcQps(benchutil::kSafe[i], cfg)
+                    .metrics.epochs;
+            });
         std::map<std::string, std::vector<revoker::EpochTiming>> per;
-        for (core::Strategy s : benchutil::kSafe) {
-            std::fprintf(stderr, "  running grpc/%s...\n",
-                         core::strategyName(s));
-            per[core::strategyName(s)] =
-                workload::runGrpcQps(s, cfg).metrics.epochs;
-        }
+        for (std::size_t i = 0; i < benchutil::kSafe.size(); ++i)
+            per[core::strategyName(benchutil::kSafe[i])] =
+                std::move(results[i]);
         addRows(table, "grpc_qps", per);
     }
 

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_runner.h"
 #include "cap/compression.h"
 #include "core/machine.h"
 #include "core/mutator.h"
@@ -110,5 +111,48 @@ BM_SweepThroughput(benchmark::State &state)
         std::chrono::duration<double>(elapsed).count();
 }
 BENCHMARK(BM_SweepThroughput)->Iterations(1);
+
+void
+BM_SweepPageRegime(benchmark::State &state,
+                   benchutil::SweepRegime regime)
+{
+    // Host cost of sweeping one page with the fast path on, vs the
+    // reference per-granule loop; simulated cycles per page must be
+    // identical for both (the fast-path determinism contract).
+    const auto fast = benchutil::measureSweepRegime(regime, true);
+    const auto ref = benchutil::measureSweepRegime(regime, false);
+    if (fast.sim_cycles_per_page != ref.sim_cycles_per_page) {
+        state.SkipWithError("simulated cycles diverge fast vs ref");
+        return;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fast.pages_swept);
+    state.counters["host_ns_per_page_fast"] = fast.host_ns_per_page;
+    state.counters["host_ns_per_page_ref"] = ref.host_ns_per_page;
+    state.counters["fast_speedup"] =
+        ref.host_ns_per_page / fast.host_ns_per_page;
+    state.counters["sim_cycles_per_page"] = fast.sim_cycles_per_page;
+}
+
+void
+BM_SweepPageClean(benchmark::State &state)
+{
+    BM_SweepPageRegime(state, benchutil::SweepRegime::kClean);
+}
+BENCHMARK(BM_SweepPageClean)->Iterations(1);
+
+void
+BM_SweepPageSparse(benchmark::State &state)
+{
+    BM_SweepPageRegime(state, benchutil::SweepRegime::kSparse);
+}
+BENCHMARK(BM_SweepPageSparse)->Iterations(1);
+
+void
+BM_SweepPageFull(benchmark::State &state)
+{
+    BM_SweepPageRegime(state, benchutil::SweepRegime::kFull);
+}
+BENCHMARK(BM_SweepPageFull)->Iterations(1);
 
 } // namespace

@@ -34,6 +34,14 @@ enum class Strategy {
 /** Strategy name for table output. */
 const char *strategyName(Strategy s);
 
+/**
+ * Default for MachineConfig::host_fast_paths: true unless the
+ * CREV_HOST_FAST_PATHS environment variable is set to "0" (host-side
+ * A/B benching and debugging; simulated results are identical either
+ * way).
+ */
+bool defaultHostFastPaths();
+
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
     Strategy::kBaseline,   Strategy::kPaintOnly,
@@ -59,6 +67,11 @@ struct MachineConfig
 
     /** Run the whole-machine invariant audit after every epoch. */
     bool audit = false;
+
+    /** Host-side memoisation fast paths (translation/frame caches,
+     *  packed tag-nibble sweeps). Pure host optimisation: results are
+     *  byte-identical either way (tests/determinism_test.cpp). */
+    bool host_fast_paths = defaultHostFastPaths();
 
     /** Reloaded: clear cap_ever when a sweep finds a page clean. */
     bool reloaded_clean_detect = true;

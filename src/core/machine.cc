@@ -1,5 +1,8 @@
 #include "core/machine.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "base/logging.h"
 #include "core/mutator.h"
 #include "revoker/cheriot_filter.h"
@@ -30,6 +33,13 @@ strategyName(Strategy s)
     return "?";
 }
 
+bool
+defaultHostFastPaths()
+{
+    const char *env = std::getenv("CREV_HOST_FAST_PATHS");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     ms_ = std::make_unique<mem::MemorySystem>(cfg.cores, cfg.l1,
@@ -37,6 +47,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     sched_ = std::make_unique<sim::Scheduler>(cfg.cores, cfg.costs);
     as_ = std::make_unique<vm::AddressSpace>(pm_);
     mmu_ = std::make_unique<vm::Mmu>(pm_, *ms_, *as_, sched_->costs());
+    mmu_->setHostFastPaths(cfg.host_fast_paths);
     kernel_ = std::make_unique<kern::Kernel>(*mmu_, sched_->costs());
 
     if (cfg.faults.enabled) {
@@ -61,6 +72,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     opts.always_trap_clean_pages = cfg.always_trap_clean;
     opts.background_sweepers = cfg.background_sweepers;
     opts.audit = cfg.audit;
+    opts.host_fast_paths = cfg.host_fast_paths;
     opts.injector = injector_.get();
 
     switch (cfg.strategy) {

@@ -19,6 +19,21 @@ Cache::setIndex(Addr line_addr) const
     return static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
 }
 
+void
+Cache::trackFill(Addr line_addr)
+{
+    ++frame_lines_[frameOfLine(line_addr)];
+}
+
+void
+Cache::trackDrop(Addr line_addr)
+{
+    auto it = frame_lines_.find(frameOfLine(line_addr));
+    CREV_ASSERT(it != frame_lines_.end() && it->second > 0);
+    if (--it->second == 0)
+        frame_lines_.erase(it);
+}
+
 CacheResult
 Cache::access(Addr addr, bool write)
 {
@@ -46,14 +61,18 @@ Cache::access(Addr addr, bool write)
     }
 
     ++misses_;
-    if (victim->valid && victim->dirty) {
-        res.evicted_dirty = true;
-        res.victim_line = victim->tag << kLineBits;
+    if (victim->valid) {
+        trackDrop(victim->tag);
+        if (victim->dirty) {
+            res.evicted_dirty = true;
+            res.victim_line = victim->tag << kLineBits;
+        }
     }
     victim->tag = line_addr;
     victim->valid = true;
     victim->dirty = write;
     victim->lru = tick_;
+    trackFill(line_addr);
     return res;
 }
 
@@ -66,8 +85,39 @@ Cache::invalidateLine(Addr addr)
         if (ways[w].valid && ways[w].tag == line_addr) {
             ways[w].valid = false;
             ways[w].dirty = false;
+            trackDrop(line_addr);
         }
     }
+}
+
+unsigned
+Cache::residentLinesOf(Addr pfn) const
+{
+    auto it = frame_lines_.find(pfn);
+    return it == frame_lines_.end() ? 0u : it->second;
+}
+
+void
+Cache::invalidateFrame(Addr pfn)
+{
+    unsigned remaining = residentLinesOf(pfn);
+    if (remaining == 0)
+        return;
+    const Addr base = pfn << kPageBits;
+    for (Addr off = 0; off < kPageSize && remaining > 0;
+         off += kLineSize) {
+        const Addr line_addr = (base + off) >> kLineBits;
+        Line *ways = &lines_[setIndex(line_addr) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (ways[w].valid && ways[w].tag == line_addr) {
+                ways[w].valid = false;
+                ways[w].dirty = false;
+                trackDrop(line_addr);
+                --remaining;
+            }
+        }
+    }
+    CREV_ASSERT(residentLinesOf(pfn) == 0);
 }
 
 bool

@@ -6,12 +6,18 @@
  * in PhysMem. That is all the paper's bus-traffic experiments need: a
  * bus transaction happens when a line is fetched from, or written back
  * to, the level below.
+ *
+ * A host-side per-frame resident-line count is maintained alongside
+ * (updated on fill/eviction/invalidation, i.e. only on misses), so
+ * frame-reuse invalidation can prove in O(1) that a cache holds no
+ * line of a frame instead of walking all of the frame's sets.
  */
 
 #ifndef CREV_MEM_CACHE_H_
 #define CREV_MEM_CACHE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
@@ -48,6 +54,17 @@ class Cache
     /** Drop a line if present (no writeback); used on frame reuse. */
     void invalidateLine(Addr addr);
 
+    /**
+     * Drop every resident line of frame @p pfn (no writebacks).
+     * Returns immediately when the frame provably has no lines here;
+     * otherwise walks the frame's sets, stopping once the resident
+     * count says the rest cannot match.
+     */
+    void invalidateFrame(Addr pfn);
+
+    /** Resident lines belonging to frame @p pfn (host-side count). */
+    unsigned residentLinesOf(Addr pfn) const;
+
     /** Whether the line containing @p addr is resident. */
     bool contains(Addr addr) const;
 
@@ -65,12 +82,25 @@ class Cache
 
     std::size_t setIndex(Addr line_addr) const;
 
+    /** Frame of a line address (line_addr is already >> kLineBits). */
+    static Addr
+    frameOfLine(Addr line_addr)
+    {
+        return line_addr >> (kPageBits - kLineBits);
+    }
+
+    void trackFill(Addr line_addr);
+    void trackDrop(Addr line_addr);
+
     unsigned assoc_;
     std::size_t num_sets_;
     std::vector<Line> lines_; // num_sets_ * assoc_
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+
+    /** pfn -> resident line count; entries erased at zero. */
+    std::unordered_map<Addr, unsigned> frame_lines_;
 };
 
 } // namespace crev::mem

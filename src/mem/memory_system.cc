@@ -64,12 +64,12 @@ MemorySystem::access(unsigned core, Addr paddr, std::size_t len,
 void
 MemorySystem::invalidateFrame(Addr pfn)
 {
-    const Addr base = pfn << kPageBits;
-    for (Addr off = 0; off < kPageSize; off += kLineSize) {
-        for (auto &l1 : l1_)
-            l1.invalidateLine(base + off);
-        llc_.invalidateLine(base + off);
-    }
+    // Each cache proves absence in O(1) via its per-frame resident
+    // count before any per-line walk (frame reuse mostly hits caches
+    // that never touched the frame).
+    for (auto &l1 : l1_)
+        l1.invalidateFrame(pfn);
+    llc_.invalidateFrame(pfn);
 }
 
 const MemCounters &

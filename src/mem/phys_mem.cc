@@ -32,20 +32,28 @@ PhysMem::freeFrame(Addr pfn)
     free_list_.push_back(pfn);
 }
 
+Frame *
+PhysMem::lookupFrame(Addr pfn) const
+{
+    if (pfn == cached_pfn_)
+        return cached_frame_;
+    auto it = frames_.find(pfn);
+    CREV_ASSERT(it != frames_.end());
+    cached_pfn_ = pfn;
+    cached_frame_ = it->second.get();
+    return cached_frame_;
+}
+
 Frame &
 PhysMem::frame(Addr pfn)
 {
-    auto it = frames_.find(pfn);
-    CREV_ASSERT(it != frames_.end());
-    return *it->second;
+    return *lookupFrame(pfn);
 }
 
 const Frame &
 PhysMem::frame(Addr pfn) const
 {
-    auto it = frames_.find(pfn);
-    CREV_ASSERT(it != frames_.end());
-    return *it->second;
+    return *lookupFrame(pfn);
 }
 
 std::size_t
@@ -72,25 +80,33 @@ PhysMem::write(Addr paddr, const void *data, std::size_t len)
     const std::size_t first = granuleIndex(paddr);
     const std::size_t last = granuleIndex(paddr + len - 1);
     for (std::size_t g = first; g <= last; ++g)
-        f.tags.reset(g);
+        f.clearTag(g);
 }
 
 bool
 PhysMem::tagAt(Addr paddr) const
 {
-    return frame(pageOf(paddr)).tags.test(granuleIndex(paddr));
+    return frame(pageOf(paddr)).testTag(granuleIndex(paddr));
 }
 
 void
 PhysMem::clearTag(Addr paddr)
 {
-    frame(pageOf(paddr)).tags.reset(granuleIndex(paddr));
+    frame(pageOf(paddr)).clearTag(granuleIndex(paddr));
 }
 
 bool
 PhysMem::frameHasTags(Addr pfn) const
 {
-    return frame(pfn).tags.any();
+    return frame(pfn).anyTags();
+}
+
+unsigned
+PhysMem::lineTagNibble(Addr paddr) const
+{
+    return frame(pageOf(paddr))
+        .lineNibble(static_cast<std::size_t>(pageOffset(paddr)) >>
+                    kLineBits);
 }
 
 void
@@ -100,7 +116,7 @@ PhysMem::storeCap(Addr paddr, const cap::CapBits &bits, bool tag)
     Frame &f = frame(pageOf(paddr));
     std::memcpy(f.bytes.data() + pageOffset(paddr), &bits.lo, 8);
     std::memcpy(f.bytes.data() + pageOffset(paddr) + 8, &bits.hi, 8);
-    f.tags.set(granuleIndex(paddr), tag);
+    f.setTag(granuleIndex(paddr), tag);
 }
 
 bool
@@ -110,7 +126,7 @@ PhysMem::loadCap(Addr paddr, cap::CapBits &bits) const
     const Frame &f = frame(pageOf(paddr));
     std::memcpy(&bits.lo, f.bytes.data() + pageOffset(paddr), 8);
     std::memcpy(&bits.hi, f.bytes.data() + pageOffset(paddr) + 8, 8);
-    return f.tags.test(granuleIndex(paddr));
+    return f.testTag(granuleIndex(paddr));
 }
 
 } // namespace crev::mem

@@ -7,13 +7,21 @@
  * (paper §2.1: "machinery is required to associate tags with memory
  * words"). Frames are allocated/freed by the simulated VM layer;
  * occupancy high-water marks feed the peak-RSS experiment (fig. 3).
+ *
+ * Host-performance layer (DESIGN.md §9): tags are stored as packed
+ * 64-bit *tag-summary words* so the sweep can scan a whole cache
+ * line's granules with one shift instead of per-granule calls, and
+ * every frame maintains a 64-bit *line-tag summary* (one bit per cache
+ * line, set iff any granule of the line is tagged) kept up to date on
+ * every tag set/clear. Neither structure affects simulated cycle
+ * accounting; the Auditor cross-checks the summary invariant.
  */
 
 #ifndef CREV_MEM_PHYS_MEM_H_
 #define CREV_MEM_PHYS_MEM_H_
 
 #include <array>
-#include <bitset>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -24,11 +32,139 @@
 
 namespace crev::mem {
 
-/** One physical frame: data bytes plus per-granule capability tags. */
-struct Frame
+/** Granules per cache line (the sweep's nibble width). */
+constexpr std::size_t kGranulesPerLine = kLineSize / kGranuleSize;
+
+/** Packed per-granule tag bits of one frame (the summary words). */
+class TagWords
 {
+  public:
+    static constexpr std::size_t kWords = kGranulesPerPage / 64;
+
+    bool
+    test(std::size_t g) const
+    {
+        return (w_[g >> 6] >> (g & 63)) & 1u;
+    }
+
+    void
+    set(std::size_t g)
+    {
+        w_[g >> 6] |= std::uint64_t{1} << (g & 63);
+    }
+
+    void
+    reset(std::size_t g)
+    {
+        w_[g >> 6] &= ~(std::uint64_t{1} << (g & 63));
+    }
+
+    bool
+    any() const
+    {
+        for (std::uint64_t w : w_)
+            if (w != 0)
+                return true;
+        return false;
+    }
+
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (std::uint64_t w : w_)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** Raw word @p k (64 granule bits), for ctz-driven scans. */
+    std::uint64_t word(std::size_t k) const { return w_[k]; }
+
+    /** The 4 tag bits of intra-page cache line @p line. */
+    unsigned
+    lineNibble(std::size_t line) const
+    {
+        return static_cast<unsigned>(
+                   w_[line >> 4] >> ((line & 15) * kGranulesPerLine)) &
+               0xFu;
+    }
+
+  private:
+    std::array<std::uint64_t, kWords> w_{};
+};
+
+/** One physical frame: data bytes plus per-granule capability tags. */
+class Frame
+{
+  public:
     std::array<std::uint8_t, kPageSize> bytes{};
-    std::bitset<kGranulesPerPage> tags{};
+
+    /** Tag bit of granule @p g. */
+    bool testTag(std::size_t g) const { return tags_.test(g); }
+
+    /** Set/clear granule @p g's tag, maintaining the line summary. */
+    void
+    setTag(std::size_t g, bool v)
+    {
+        if (v) {
+            tags_.set(g);
+            line_summary_ |= std::uint64_t{1} << lineOf(g);
+        } else {
+            clearTag(g);
+        }
+    }
+
+    void
+    clearTag(std::size_t g)
+    {
+        tags_.reset(g);
+        const std::size_t line = lineOf(g);
+        if (tags_.lineNibble(line) == 0)
+            line_summary_ &= ~(std::uint64_t{1} << line);
+    }
+
+    /** Whether any granule of the frame is tagged (O(1)). */
+    bool anyTags() const { return line_summary_ != 0; }
+
+    /** Tagged-granule count (audit/debug). */
+    std::size_t tagCount() const { return tags_.count(); }
+
+    /** The packed tag words (read-only; mutate via set/clearTag). */
+    const TagWords &tagWords() const { return tags_; }
+
+    /** One bit per cache line: set iff the line holds a tagged
+     *  granule. The sweep's clean-line skip reads this. */
+    std::uint64_t lineTagSummary() const { return line_summary_; }
+
+    /** Tag nibble of intra-page cache line @p line. */
+    unsigned lineNibble(std::size_t line) const
+    {
+        return tags_.lineNibble(line);
+    }
+
+    /**
+     * Summary invariant check (Auditor): every line-summary bit must
+     * be set iff the line's nibble is non-zero. Returns true when
+     * consistent.
+     */
+    bool
+    summaryConsistent() const
+    {
+        std::uint64_t recomputed = 0;
+        for (std::size_t line = 0; line < kPageSize / kLineSize; ++line)
+            if (tags_.lineNibble(line) != 0)
+                recomputed |= std::uint64_t{1} << line;
+        return recomputed == line_summary_;
+    }
+
+  private:
+    static std::size_t lineOf(std::size_t g)
+    {
+        return g / kGranulesPerLine;
+    }
+
+    TagWords tags_;
+    std::uint64_t line_summary_ = 0;
 };
 
 /**
@@ -75,6 +211,9 @@ class PhysMem
     /** Whether any granule of frame @p pfn is tagged. */
     bool frameHasTags(Addr pfn) const;
 
+    /** Tag nibble of the cache line containing @p paddr. */
+    unsigned lineTagNibble(Addr paddr) const;
+
     /** Store a capability (16-byte aligned @p paddr) with its tag. */
     void storeCap(Addr paddr, const cap::CapBits &bits, bool tag);
 
@@ -84,11 +223,21 @@ class PhysMem
   private:
     static std::size_t granuleIndex(Addr paddr);
 
+    /**
+     * One-entry host frame-pointer cache. Frame storage is never
+     * erased (freed frames stay in the table for reuse), so a cached
+     * pointer can never dangle; pfn 0 is the invalid sentinel.
+     */
+    Frame *lookupFrame(Addr pfn) const;
+
     std::unordered_map<Addr, std::unique_ptr<Frame>> frames_;
     std::vector<Addr> free_list_;
     Addr next_pfn_ = 1; // pfn 0 reserved as "invalid"
     std::size_t in_use_ = 0;
     std::size_t peak_ = 0;
+
+    mutable Addr cached_pfn_ = 0;
+    mutable Frame *cached_frame_ = nullptr;
 };
 
 } // namespace crev::mem

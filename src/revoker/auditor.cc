@@ -33,13 +33,33 @@ Auditor::findViolations()
     std::vector<std::string> out;
     mem::PhysMem &pm = mmu_.physMem();
 
-    // 1. All of user memory.
+    // 1. All of user memory. While walking, cross-check the host
+    // tag-summary structures against the ground-truth tag words: a
+    // desynchronised line summary would silently corrupt the sweep's
+    // fast path, so it is an audited invariant, not an assumption.
     mmu_.addressSpace().forEachResidentPage([&](Addr va, vm::Pte &p) {
         const mem::Frame &f = pm.frame(p.pfn);
-        if (!f.tags.any())
+        if (!f.summaryConsistent()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "line-tag summary desync on frame pfn=0x%llx "
+                          "(page va=0x%llx)",
+                          static_cast<unsigned long long>(p.pfn),
+                          static_cast<unsigned long long>(va));
+            out.push_back(buf);
+        }
+        if (f.anyTags() != (f.tagCount() != 0)) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "anyTags()/tagCount() desync on frame "
+                          "pfn=0x%llx",
+                          static_cast<unsigned long long>(p.pfn));
+            out.push_back(buf);
+        }
+        if (!f.anyTags())
             return;
         for (std::size_t g = 0; g < kGranulesPerPage; ++g) {
-            if (!f.tags.test(g))
+            if (!f.testTag(g))
                 continue;
             cap::CapBits bits;
             const Addr paddr =

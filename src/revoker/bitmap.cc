@@ -100,8 +100,15 @@ bool
 RevocationBitmap::probe(sim::SimThread &t, Addr addr)
 {
     const Addr g = addr >> kGranuleBits;
+    const Addr byte_va = vm::kShadowBase + (g >> 3);
     std::uint8_t b = 0;
-    mmu_.loadData(t, vm::kShadowBase + (g >> 3), &b, 1);
+    // Host fast path: when the probing core's TLB already maps the
+    // shadow page, loadData() would charge exactly one access — the
+    // MMU's fast shadow load issues that identical charge without the
+    // translate/segment machinery. Misses (or disabled fast paths)
+    // fall back to the full path.
+    if (!mmu_.tryKernelShadowLoad(t, byte_va, &b))
+        mmu_.loadData(t, byte_va, &b, 1);
     const bool bit = (b >> (g & 7)) & 1;
     // Self-check: the simulated bitmap and host mirror must agree.
     CREV_ASSERT(bit == (painted_.count(roundDown(addr, kGranuleSize)) != 0));

@@ -10,7 +10,7 @@ Revoker::Revoker(sim::Scheduler &sched, vm::Mmu &mmu,
                  kern::Kernel &kernel, RevocationBitmap &bitmap,
                  const RevokerOptions &opts)
     : sched_(sched), mmu_(mmu), kernel_(kernel), bitmap_(bitmap),
-      opts_(opts), sweep_(mmu, bitmap)
+      opts_(opts), sweep_(mmu, bitmap, opts.host_fast_paths)
 {
 }
 

@@ -78,6 +78,8 @@ struct RevokerOptions
     unsigned background_sweepers = 1;
     /** Run the whole-machine invariant audit after each epoch. */
     bool audit = false;
+    /** Host-side sweep fast paths (see MachineConfig::host_fast_paths). */
+    bool host_fast_paths = true;
     /** Fault injector for chaos campaigns (null: no injection). */
     sim::FaultInjector *injector = nullptr;
 };

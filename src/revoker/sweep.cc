@@ -1,5 +1,7 @@
 #include "revoker/sweep.h"
 
+#include <bit>
+
 #include "base/logging.h"
 #include "cap/compression.h"
 
@@ -10,6 +12,13 @@ SweepEngine::sweepPage(sim::SimThread &t, Addr page_va)
 {
     CREV_ASSERT(pageOffset(page_va) == 0);
     ++stats_.pages_swept;
+    return host_fast_paths_ ? sweepPageFast(t, page_va)
+                            : sweepPageReference(t, page_va);
+}
+
+bool
+SweepEngine::sweepPageReference(sim::SimThread &t, Addr page_va)
+{
     bool clean = true;
 
     for (Addr line = page_va; line < page_va + kPageSize;
@@ -21,6 +30,44 @@ SweepEngine::sweepPage(sim::SimThread &t, Addr page_va)
         for (Addr g = line; g < line + kLineSize; g += kGranuleSize) {
             if (!mmu_.peekTag(g))
                 continue;
+            clean = false;
+            ++stats_.caps_seen;
+            const cap::Capability c = mmu_.peekCap(g);
+            t.accrue(2); // decode / base extraction
+            if (bitmap_.probe(t, c.base)) {
+                mmu_.kernelClearTag(t, g);
+                ++stats_.caps_revoked;
+            }
+        }
+    }
+    return clean;
+}
+
+bool
+SweepEngine::sweepPageFast(sim::SimThread &t, Addr page_va)
+{
+    bool clean = true;
+
+    for (Addr line = page_va; line < page_va + kPageSize;
+         line += kLineSize) {
+        mmu_.chargeRead(t, line, kLineSize);
+        ++stats_.lines_read;
+
+        // One packed nibble replaces four peekTag dispatches, but the
+        // probe/clear of a tagged granule can yield and let mutators
+        // flip tags mid-line, so decisions must come from LIVE state:
+        // re-read the nibble after every processed granule and only
+        // ever advance the cursor (a tag set behind it would have been
+        // equally invisible to the reference scan, which had already
+        // walked past).
+        for (unsigned pos = 0; pos < mem::kGranulesPerLine;) {
+            const unsigned live = mmu_.peekLineTagNibble(line) >> pos;
+            if (live == 0)
+                break; // rest of the line is untagged right now
+            const unsigned gi =
+                pos + static_cast<unsigned>(std::countr_zero(live));
+            pos = gi + 1;
+            const Addr g = line + Addr{gi} * kGranuleSize;
             clean = false;
             ++stats_.caps_seen;
             const cap::Capability c = mmu_.peekCap(g);

@@ -39,8 +39,9 @@ struct SweepStats
 class SweepEngine
 {
   public:
-    SweepEngine(vm::Mmu &mmu, RevocationBitmap &bitmap)
-        : mmu_(mmu), bitmap_(bitmap)
+    SweepEngine(vm::Mmu &mmu, RevocationBitmap &bitmap,
+                bool host_fast_paths = true)
+        : mmu_(mmu), bitmap_(bitmap), host_fast_paths_(host_fast_paths)
     {
     }
 
@@ -48,6 +49,13 @@ class SweepEngine
      * Sweep the resident page at @p page_va on thread @p t. Returns
      * true if the page was found to contain no tagged capabilities
      * (Reloaded's clean-page detection).
+     *
+     * Two host implementations, one simulated behaviour: the fast
+     * path scans packed per-line tag nibbles with countr_zero instead
+     * of dispatching per granule, but issues exactly the same charge
+     * sequence and makes every tag decision from live state at the
+     * same virtual instants as the reference loop (the determinism
+     * test holds the two byte-identical).
      */
     bool sweepPage(sim::SimThread &t, Addr page_va);
 
@@ -63,9 +71,15 @@ class SweepEngine
 
     const SweepStats &stats() const { return stats_; }
 
+    bool hostFastPaths() const { return host_fast_paths_; }
+
   private:
+    bool sweepPageReference(sim::SimThread &t, Addr page_va);
+    bool sweepPageFast(sim::SimThread &t, Addr page_va);
+
     vm::Mmu &mmu_;
     RevocationBitmap &bitmap_;
+    bool host_fast_paths_;
     SweepStats stats_;
 };
 

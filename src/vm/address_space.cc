@@ -96,6 +96,8 @@ AddressSpace::release(Reservation *r)
     r->state = ReservationState::kFreed;
     for (Addr va = r->base; va < r->base + r->length; va += kPageSize)
         pages_.erase(va);
+    ++pt_epoch_; // dangles any host-cached Pte pointers
+
     // Virtual addresses are never recycled: address-space non-reuse is
     // exactly the property revocation protects.
 }

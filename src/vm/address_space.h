@@ -126,6 +126,14 @@ class AddressSpace
     /** Whether @p va lies in the shadow-bitmap region. */
     static bool inShadow(Addr va);
 
+    /**
+     * Monotone counter bumped whenever page-table entries are erased
+     * (reservation release). Host-side translation caches holding Pte
+     * pointers must revalidate against it; insertions never move
+     * existing entries, so they need no bump.
+     */
+    std::uint64_t pageTableEpoch() const { return pt_epoch_; }
+
   private:
     /** Turn the page containing @p va into a guard page. */
     void guardPage(Addr va);
@@ -137,6 +145,7 @@ class AddressSpace
     std::vector<Reservation *> newly_quarantined_;
     std::vector<Addr> freed_frames_;
     sim::SimMutex pmap_lock_;
+    std::uint64_t pt_epoch_ = 0;
     Addr next_va_ = kHeapBase;
     Addr mapped_bytes_ = 0;
     std::size_t resident_ = 0;

@@ -223,11 +223,34 @@ Mmu::storeCap(sim::SimThread &t, Addr va, const cap::Capability &c)
     }
 }
 
+void
+Mmu::setHostFastPaths(bool on)
+{
+    host_fast_paths_ = on;
+    cached_pte_ = nullptr;
+}
+
+Pte *
+Mmu::findPteCached(Addr va)
+{
+    const Addr vpn = pageOf(va);
+    if (host_fast_paths_ && cached_pte_ != nullptr &&
+        cached_vpn_ == vpn && cached_pt_epoch_ == as_.pageTableEpoch())
+        return cached_pte_;
+    Pte *p = as_.findPte(va);
+    if (host_fast_paths_ && p != nullptr) {
+        cached_vpn_ = vpn;
+        cached_pte_ = p;
+        cached_pt_epoch_ = as_.pageTableEpoch();
+    }
+    return p;
+}
+
 cap::Capability
 Mmu::kernelLoadCap(sim::SimThread &t, Addr va)
 {
     CREV_ASSERT(va % kGranuleSize == 0);
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
     chargeAccess(t, t.core(), paddr, kGranuleSize, false);
@@ -239,7 +262,7 @@ Mmu::kernelLoadCap(sim::SimThread &t, Addr va)
 void
 Mmu::kernelClearTag(sim::SimThread &t, Addr va)
 {
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
     chargeAccess(t, t.core(), paddr, 1, true);
@@ -249,7 +272,7 @@ Mmu::kernelClearTag(sim::SimThread &t, Addr va)
 cap::Capability
 Mmu::peekCap(Addr va)
 {
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
     cap::CapBits bits;
@@ -260,16 +283,25 @@ Mmu::peekCap(Addr va)
 bool
 Mmu::peekTag(Addr va)
 {
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     if (p == nullptr || !p->valid)
         return false;
     return pm_.tagAt((p->pfn << kPageBits) | pageOffset(va));
 }
 
+unsigned
+Mmu::peekLineTagNibble(Addr va)
+{
+    Pte *p = findPteCached(va);
+    if (p == nullptr || !p->valid)
+        return 0;
+    return pm_.lineTagNibble((p->pfn << kPageBits) | pageOffset(va));
+}
+
 bool
 Mmu::pageHasTags(Addr va)
 {
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     if (p == nullptr || !p->valid)
         return false;
     return pm_.frameHasTags(p->pfn);
@@ -278,7 +310,7 @@ Mmu::pageHasTags(Addr va)
 void
 Mmu::chargeRead(sim::SimThread &t, Addr va, std::size_t len)
 {
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     CREV_ASSERT(p != nullptr && p->valid);
     chargeAccess(t, t.core(), (p->pfn << kPageBits) | pageOffset(va),
                  len, false);
@@ -287,10 +319,27 @@ Mmu::chargeRead(sim::SimThread &t, Addr va, std::size_t len)
 void
 Mmu::chargeWrite(sim::SimThread &t, Addr va, std::size_t len)
 {
-    Pte *p = as_.findPte(va);
+    Pte *p = findPteCached(va);
     CREV_ASSERT(p != nullptr && p->valid);
     chargeAccess(t, t.core(), (p->pfn << kPageBits) | pageOffset(va),
                  len, true);
+}
+
+bool
+Mmu::tryKernelShadowLoad(sim::SimThread &t, Addr va, std::uint8_t *out)
+{
+    if (!host_fast_paths_)
+        return false;
+    const unsigned core = t.core();
+    const Pte *cached = tlbs_[core].peek(pageOf(va));
+    if (cached == nullptr || !cached->valid)
+        return false;
+    // Identical to loadData()'s TLB-hit path for a 1-byte read: one
+    // charged access, no fill, no fault classification.
+    const Addr paddr = (cached->pfn << kPageBits) | pageOffset(va);
+    chargeAccess(t, core, paddr, 1, false);
+    pm_.read(paddr, out, 1);
+    return true;
 }
 
 } // namespace crev::vm

@@ -105,6 +105,32 @@ class Mmu
     /** Charge a write (tag clears dirty a line). */
     void chargeWrite(sim::SimThread &t, Addr va, std::size_t len);
 
+    /**
+     * Packed live tag bits (bit g = granule g of the line) for the
+     * cache line containing @p va; 0 if the page is absent or not
+     * resident. No cost — this is peekTag for four granules at once.
+     */
+    unsigned peekLineTagNibble(Addr va);
+
+    /**
+     * Fast path for the revocation bitmap's single-byte shadow loads.
+     * Succeeds only when the calling core's TLB already holds a valid
+     * translation for the shadow page, in which case the charge
+     * sequence is identical to loadData()'s TLB-hit path (one memory
+     * access, no fill). Returns false with no side effects otherwise;
+     * the caller must then take the ordinary loadData() path.
+     */
+    bool tryKernelShadowLoad(sim::SimThread &t, Addr va,
+                             std::uint8_t *out);
+
+    /**
+     * Toggle host-side memoisation (translation/frame caching, nibble
+     * scans). Simulated charges are identical either way; the
+     * determinism test holds this invariant (DESIGN.md §9).
+     */
+    void setHostFastPaths(bool on);
+    bool hostFastPaths() const { return host_fast_paths_; }
+
     // --- load-generation plumbing ---
 
     void setLoadFaultHandler(LoadFaultHandler h) { handler_ = std::move(h); }
@@ -147,6 +173,15 @@ class Mmu
     template <typename Fn>
     void forSegments(Addr va, std::size_t len, Fn fn);
 
+    /**
+     * findPte through a one-entry cache (kernel sweep paths touch the
+     * same page hundreds of times in a row). Only non-null results are
+     * cached — a null result would go stale the moment makeResident()
+     * inserts the PTE — and the cache revalidates against the address
+     * space's page-table epoch since release() erases entries.
+     */
+    Pte *findPteCached(Addr va);
+
     /** Charge one memory access, applying any injected penalty. */
     void
     chargeAccess(sim::SimThread &t, unsigned core, Addr paddr,
@@ -169,6 +204,11 @@ class Mmu
     LoadFilter filter_;
     AccessPenaltyHook penalty_;
     MmuStats stats_;
+
+    bool host_fast_paths_ = true;
+    Addr cached_vpn_ = 0;
+    Pte *cached_pte_ = nullptr;
+    std::uint64_t cached_pt_epoch_ = 0;
 };
 
 } // namespace crev::vm

@@ -14,6 +14,13 @@ Tlb::lookup(Addr vpn) const
     return &it->second;
 }
 
+const Pte *
+Tlb::peek(Addr vpn) const
+{
+    auto it = entries_.find(vpn);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
 void
 Tlb::insert(Addr vpn, const Pte &pte)
 {

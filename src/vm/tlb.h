@@ -29,6 +29,12 @@ class Tlb
     /** Look up @p vpn; returns nullptr on miss. */
     const Pte *lookup(Addr vpn) const;
 
+    /**
+     * Counter-free lookup for host-side fast paths that must observe
+     * the TLB without perturbing hit/miss statistics.
+     */
+    const Pte *peek(Addr vpn) const;
+
     /** Install a translation, evicting FIFO if full. */
     void insert(Addr vpn, const Pte &pte);
 

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The fast-path determinism contract: host-side memoisation
+ * (translation/frame caches, packed tag-nibble sweeps, the shadow
+ * bitmap shortcut) must never change a single simulated number. Every
+ * strategy is run twice — MachineConfig::host_fast_paths on and off —
+ * and the complete RunMetrics (wall clock, per-thread busy cycles,
+ * per-core memory counters, revocation epochs, sweep/quarantine/
+ * allocator/MMU stats, recovery and injection counters) must match
+ * byte for byte, both on a SPEC-like profile and under a chaos plan
+ * with fault injection and the invariant audit enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "workload/spec.h"
+
+namespace crev {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Mutator;
+using core::RunMetrics;
+using core::Strategy;
+
+/** Serialise every field of RunMetrics: any simulated observable that
+ *  drifts between fast-path configurations shows up as a diff. */
+std::string
+fingerprint(const RunMetrics &m)
+{
+    std::ostringstream os;
+    os << "wall=" << m.wall_cycles << " cpu=" << m.cpu_cycles << "\n";
+    for (const auto &[name, busy] : m.thread_busy)
+        os << "busy[" << name << "]=" << busy << "\n";
+    for (std::size_t c = 0; c < m.core_mem.size(); ++c) {
+        const auto &mc = m.core_mem[c];
+        os << "core" << c << " acc=" << mc.accesses
+           << " l1m=" << mc.l1_misses << " br=" << mc.bus_reads
+           << " bw=" << mc.bus_writes << "\n";
+    }
+    os << "bus=" << m.bus_transactions_total
+       << " rss=" << m.peak_rss_pages << "\n";
+    for (std::size_t e = 0; e < m.epochs.size(); ++e) {
+        const auto &ep = m.epochs[e];
+        os << "epoch" << e << " stw=" << ep.stw_duration
+           << " conc=" << ep.concurrent_duration
+           << " ft=" << ep.fault_time_total
+           << " fc=" << ep.fault_count << " pg=" << ep.pages_swept
+           << " rv=" << ep.caps_revoked
+           << " deg=" << ep.recovery.degraded
+           << " forced=" << ep.recovery.forced
+           << " nudges=" << ep.recovery.nudges
+           << " respawns=" << ep.recovery.respawns << "\n";
+    }
+    os << "sweep pg=" << m.sweep.pages_swept
+       << " ln=" << m.sweep.lines_read << " seen=" << m.sweep.caps_seen
+       << " rv=" << m.sweep.caps_revoked
+       << " rs=" << m.sweep.regs_scanned
+       << " rr=" << m.sweep.regs_revoked << "\n";
+    os << "quar trig=" << m.quarantine.revocations_triggered
+       << " freed=" << m.quarantine.sum_freed_bytes
+       << " alloc@=" << m.quarantine.sum_alloc_at_trigger
+       << " quar@=" << m.quarantine.sum_quar_at_trigger
+       << " blk=" << m.quarantine.blocked_ops
+       << " blkcyc=" << m.quarantine.blocked_cycles
+       << " max=" << m.quarantine.max_quarantine_bytes << "\n";
+    os << "alloc a=" << m.allocator.allocs
+       << " f=" << m.allocator.frees
+       << " ba=" << m.allocator.bytes_allocated_total
+       << " bf=" << m.allocator.bytes_freed_total << "\n";
+    os << "mmu df=" << m.mmu.demand_faults
+       << " lbf=" << m.mmu.load_barrier_faults
+       << " shoot=" << m.mmu.tlb_shootdowns << "\n";
+    os << "recov miss=" << m.recovery.deadline_misses
+       << " nudge=" << m.recovery.nudges
+       << " reap=" << m.recovery.sweepers_reaped
+       << " resp=" << m.recovery.sweepers_respawned
+       << " req=" << m.recovery.recovery_requests
+       << " stw=" << m.recovery.stw_fallbacks
+       << " emerg=" << m.recovery.emergency_epochs << "\n";
+    os << "inj stall=" << m.faults_injected.sweeper_stalls
+       << " kill=" << m.faults_injected.sweeper_kills
+       << " drop=" << m.faults_injected.faults_dropped
+       << " dup=" << m.faults_injected.faults_duplicated
+       << " delay=" << m.faults_injected.stw_delays << "\n";
+    return os.str();
+}
+
+RunMetrics
+runSpecWith(Strategy s, bool host_fast_paths)
+{
+    MachineConfig cfg;
+    cfg.strategy = s;
+    cfg.policy = workload::specPolicy();
+    cfg.host_fast_paths = host_fast_paths;
+    Machine m(cfg);
+    workload::runSpec(m, workload::specProfile("hmmer_retro"));
+    return m.metrics();
+}
+
+TEST(Determinism, FastPathsPreserveSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        const std::string fast =
+            fingerprint(runSpecWith(s, true));
+        const std::string reference =
+            fingerprint(runSpecWith(s, false));
+        EXPECT_EQ(fast, reference)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+/** Heap churn with capability links, register parking, and hoards —
+ *  the same mix the chaos campaign uses, shrunk to gate size. */
+void
+churn(Machine &m, Mutator &ctx, int iters)
+{
+    struct Obj
+    {
+        cap::Capability c;
+        std::size_t size;
+    };
+    std::vector<Obj> live;
+    auto &rng = ctx.rng();
+
+    for (int i = 0; i < iters; ++i) {
+        const double dice = rng.uniform();
+        if (dice < 0.45 || live.size() < 4) {
+            const std::size_t size = 16 << rng.below(7);
+            live.push_back({ctx.malloc(size), size});
+            ctx.store64(live.back().c, 0, static_cast<uint64_t>(i));
+        } else if (dice < 0.80) {
+            const std::size_t idx = rng.below(live.size());
+            ctx.free(live[idx].c);
+            live[idx] = live.back();
+            live.pop_back();
+        } else if (dice < 0.90) {
+            const std::size_t a = rng.below(live.size());
+            const std::size_t b = rng.below(live.size());
+            if (live[a].size >= 32) {
+                ctx.storeCap(live[a].c, 16, live[b].c);
+                ASSERT_TRUE(ctx.loadCap(live[a].c, 16).tag);
+            }
+        } else if (dice < 0.95) {
+            ctx.thread().reg(1 + rng.below(8)) =
+                live[rng.below(live.size())].c;
+        } else {
+            const std::size_t slot =
+                ctx.hoardPut(live[rng.below(live.size())].c);
+            ASSERT_TRUE(ctx.hoardTake(slot).tag);
+        }
+    }
+    for (auto &o : live)
+        ctx.free(o.c);
+    m.heap().drain(ctx.thread());
+}
+
+RunMetrics
+runChaosWith(Strategy s, bool host_fast_paths)
+{
+    MachineConfig cfg;
+    cfg.strategy = s;
+    cfg.audit = true;
+    cfg.host_fast_paths = host_fast_paths;
+    cfg.policy.min_bytes = 32 * 1024; // revoke frequently
+    cfg.background_sweepers = 2;
+    cfg.seed = 42;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 909;
+    cfg.faults.sweeper_stall_prob = 0.05;
+    cfg.faults.sweeper_stall_cycles = 250'000;
+    cfg.faults.sweeper_kill_prob = 0.10;
+    cfg.faults.max_sweeper_kills = 1;
+    cfg.faults.fault_drop_prob = 0.10;
+    cfg.faults.max_fault_drops = 4;
+    cfg.faults.fault_duplicate_prob = 0.10;
+    cfg.faults.stw_delay_prob = 0.25;
+    cfg.faults.stw_delay_cycles = 25'000;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3,
+                   [&](Mutator &ctx) { churn(m, ctx, 800); });
+    m.run();
+    return m.metrics();
+}
+
+TEST(Determinism, FastPathsPreserveChaosMetricsAllStrategies)
+{
+    // Fault injection plus the per-epoch audit: the fast paths must
+    // not perturb a single scheduling point even when the run leans on
+    // the watchdog's recovery ladder.
+    for (Strategy s : core::kAllStrategies) {
+        const std::string fast =
+            fingerprint(runChaosWith(s, true));
+        const std::string reference =
+            fingerprint(runChaosWith(s, false));
+        EXPECT_EQ(fast, reference)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+} // namespace
+} // namespace crev

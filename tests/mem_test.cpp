@@ -19,12 +19,55 @@ TEST(PhysMem, AllocZeroedAndReuse)
     PhysMem pm;
     const Addr a = pm.allocFrame();
     pm.frame(a).bytes[0] = 0xAB;
-    pm.frame(a).tags.set(0);
+    pm.frame(a).setTag(0, true);
     pm.freeFrame(a);
     const Addr b = pm.allocFrame();
     EXPECT_EQ(a, b); // free list recycles
     EXPECT_EQ(pm.frame(b).bytes[0], 0);
-    EXPECT_FALSE(pm.frame(b).tags.test(0)); // zeroed on reuse
+    EXPECT_FALSE(pm.frame(b).testTag(0)); // zeroed on reuse
+}
+
+TEST(PhysMem, LineSummaryTracksTags)
+{
+    PhysMem pm;
+    const Addr pfn = pm.allocFrame();
+    Frame &f = pm.frame(pfn);
+    EXPECT_FALSE(f.anyTags());
+    EXPECT_EQ(f.lineTagSummary(), 0u);
+
+    // Granules 0 and 3 share line 0; granule 7 lives in line 1.
+    f.setTag(0, true);
+    f.setTag(3, true);
+    f.setTag(7, true);
+    EXPECT_TRUE(f.anyTags());
+    EXPECT_EQ(f.lineTagSummary(), 0b11u);
+    EXPECT_EQ(f.lineNibble(0), 0b1001u);
+    EXPECT_EQ(f.lineNibble(1), 0b1000u);
+    EXPECT_TRUE(f.summaryConsistent());
+
+    // Clearing one granule of a two-tag line keeps the summary bit.
+    f.clearTag(0);
+    EXPECT_EQ(f.lineTagSummary(), 0b11u);
+    // Clearing the last granule of a line drops it.
+    f.clearTag(3);
+    EXPECT_EQ(f.lineTagSummary(), 0b10u);
+    f.clearTag(7);
+    EXPECT_FALSE(f.anyTags());
+    EXPECT_TRUE(f.summaryConsistent());
+}
+
+TEST(PhysMem, LineTagNibbleByPaddr)
+{
+    PhysMem pm;
+    const Addr pfn = pm.allocFrame();
+    const Addr base = pfn << kPageBits;
+    const cap::Capability c = cap::Capability::root(0x1000, 0x2000);
+    // Second granule of the second cache line.
+    pm.storeCap(base + kLineSize + kGranuleSize, cap::encode(c), true);
+    EXPECT_EQ(pm.lineTagNibble(base), 0u);
+    EXPECT_EQ(pm.lineTagNibble(base + kLineSize), 0b0010u);
+    // Any address within the line resolves to the same nibble.
+    EXPECT_EQ(pm.lineTagNibble(base + kLineSize + 63), 0b0010u);
 }
 
 TEST(PhysMem, PeakTracksHighWater)
@@ -105,6 +148,29 @@ TEST(Cache, InvalidateLineDropsWithoutWriteback)
     const CacheResult r = c.access(0x1000, false);
     EXPECT_FALSE(r.hit);
     EXPECT_FALSE(r.evicted_dirty);
+}
+
+TEST(Cache, ResidentLineCountsTrackFillsEvictionsInvalidations)
+{
+    Cache c(CacheConfig{1024, 2});
+    c.access(5 << kPageBits, false);
+    c.access((5 << kPageBits) + 64, true);
+    EXPECT_EQ(c.residentLinesOf(5), 2u);
+    EXPECT_EQ(c.residentLinesOf(6), 0u);
+
+    // Eviction decrements the victim's frame count: lines 0x0000,
+    // 0x0200, 0x0400 of page 0 share a set in this 2-way geometry.
+    c.access(0x0000, false);
+    c.access(0x0200, false);
+    c.access(0x0400, false); // evicts 0x0000
+    EXPECT_EQ(c.residentLinesOf(0), 2u);
+
+    c.invalidateFrame(5);
+    EXPECT_EQ(c.residentLinesOf(5), 0u);
+    EXPECT_FALSE(c.contains(5 << kPageBits));
+    // Invalidating an absent frame is the O(1) no-op path.
+    c.invalidateFrame(7);
+    EXPECT_EQ(c.residentLinesOf(7), 0u);
 }
 
 TEST(MemorySystem, LatenciesByLevel)
