@@ -3,16 +3,22 @@
  * The host-performance trajectory bench: runs the union of the
  * fig1-fig9 simulation cells serially and then across the host thread
  * pool, measures the sweep microbench regimes with fast paths on and
- * off, and writes everything to BENCH_PR2.json (machine-readable; see
- * DESIGN.md §9 for how to read BENCH_*.json files).
+ * off, and writes everything to BENCH_TRAJECTORY.json (machine-
+ * readable; see DESIGN.md §9 for how to read BENCH_*.json files).
+ * The trajectory file *accumulates*: each run appends one entry to
+ * the top-level "runs" array, so successive PRs' CI artifacts form a
+ * host-performance time series under one stable name instead of a
+ * per-PR BENCH_PRn.json. Per-cell metrics are the full
+ * MetricsRegistry export (counters/gauges/histograms).
  *
  * Simulated results are identical in every mode — this binary measures
  * how fast the *simulator* runs, and doubles as a regression gate for
  * the fast-path determinism contract (it fails loudly if simulated
  * cycles per page differ between fast and reference sweeps).
  *
- * Usage: bench_all [--quick] [--out FILE]
+ * Usage: bench_all [--quick] [--out FILE] [--label NAME]
  *   --quick: small cell set for CI smoke runs.
+ *   --label: name recorded for this run's entry (default "local").
  */
 
 #include <chrono>
@@ -118,6 +124,39 @@ timedRun(bool quick, unsigned threads, bool host_fast_paths,
     return secs;
 }
 
+/**
+ * Previously accumulated run entries from an existing trajectory
+ * file: the text between "runs": [ and the final ], trimmed. Empty
+ * when the file is missing or not in the trajectory format.
+ */
+std::string
+readPreviousRuns(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return "";
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    const std::string open = "\"runs\": [";
+    const auto begin = text.find(open);
+    const auto end = text.rfind(']');
+    if (begin == std::string::npos || end == std::string::npos ||
+        end <= begin)
+        return "";
+    std::string runs = text.substr(begin + open.size(),
+                                   end - begin - open.size());
+    const auto first = runs.find_first_not_of(" \n\t");
+    const auto last = runs.find_last_not_of(" \n\t");
+    if (first == std::string::npos)
+        return "";
+    return runs.substr(first, last - first + 1);
+}
+
 /** Simulated results must be identical across host configurations. */
 bool
 sameSimResults(const std::vector<CellResult> &a,
@@ -151,12 +190,15 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    std::string out_path = "BENCH_PR2.json";
+    std::string out_path = "BENCH_TRAJECTORY.json";
+    std::string label = "local";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out_path = argv[++i];
+        else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc)
+            label = argv[++i];
     }
 
     benchutil::banner("Host-performance trajectory (bench_all)",
@@ -235,21 +277,27 @@ main(int argc, char **argv)
                 threads, parallel_secs,
                 ref_serial_secs / parallel_secs);
 
-    // --- BENCH_PR2.json ---
+    // --- BENCH_TRAJECTORY.json (accumulating) ---
+    const std::string prev_runs = readPreviousRuns(out_path);
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         return 1;
     }
     std::fprintf(f, "{\n  \"bench\": \"bench_all\",\n");
-    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-    std::fprintf(f, "  \"host_threads\": %u,\n", threads);
-    std::fprintf(f, "  \"sweep_microbench\": [\n");
+    std::fprintf(f, "  \"runs\": [\n");
+    if (!prev_runs.empty())
+        std::fprintf(f, "    %s,\n", prev_runs.c_str());
+    std::fprintf(f, "    {\n      \"label\": \"%s\",\n",
+                 benchutil::jsonEscape(label).c_str());
+    std::fprintf(f, "      \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "      \"host_threads\": %u,\n", threads);
+    std::fprintf(f, "      \"sweep_microbench\": [\n");
     for (std::size_t i = 0; i < regimes.size(); ++i) {
         const auto &row = regimes[i];
         std::fprintf(
             f,
-            "    {\"regime\": \"%s\", "
+            "        {\"regime\": \"%s\", "
             "\"fast_ns_per_page\": %.2f, "
             "\"reference_ns_per_page\": %.2f, "
             "\"host_speedup\": %.3f, "
@@ -266,9 +314,9 @@ main(int argc, char **argv)
                 : "false",
             i + 1 < regimes.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "      ],\n");
     std::fprintf(f,
-                 "  \"end_to_end\": {\"cells\": %zu, "
+                 "      \"end_to_end\": {\"cells\": %zu, "
                  "\"reference_serial_seconds\": %.3f, "
                  "\"fast_serial_seconds\": %.3f, "
                  "\"fast_parallel_seconds\": %.3f, "
@@ -281,18 +329,20 @@ main(int argc, char **argv)
                  serial_secs / parallel_secs,
                  ref_serial_secs / parallel_secs,
                  determinism_ok ? "true" : "false");
-    std::fprintf(f, "  \"cells\": [\n");
+    std::fprintf(f, "      \"cells\": [\n");
     for (std::size_t i = 0; i < cells.size(); ++i)
         std::fprintf(f,
-                     "    {\"name\": \"%s\", \"host_seconds\": %.4f, "
+                     "        {\"name\": \"%s\", "
+                     "\"host_seconds\": %.4f, "
                      "\"metrics\": %s}%s\n",
                      benchutil::jsonEscape(cells[i].name).c_str(),
                      cells[i].host_seconds,
                      benchutil::metricsJson(cells[i].metrics).c_str(),
                      i + 1 < cells.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "      ]\n    }\n  ]\n}\n");
     std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
+    std::printf("wrote %s (%s run entries)\n", out_path.c_str(),
+                prev_runs.empty() ? "1" : "appended to prior");
 
     if (!determinism_ok) {
         std::fprintf(stderr,

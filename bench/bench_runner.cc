@@ -7,6 +7,7 @@
 #include "core/mutator.h"
 #include "revoker/bitmap.h"
 #include "revoker/sweep.h"
+#include "trace/metrics_registry.h"
 #include "workload/spec.h"
 
 namespace crev::benchutil {
@@ -165,21 +166,9 @@ jsonEscape(const std::string &s)
 std::string
 metricsJson(const core::RunMetrics &m)
 {
-    char buf[512];
-    std::uint64_t caps_revoked = m.sweep.caps_revoked;
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\"wall_cycles\": %llu, \"cpu_cycles\": %llu, "
-        "\"bus_transactions\": %llu, \"peak_rss_pages\": %zu, "
-        "\"epochs\": %zu, \"pages_swept\": %llu, "
-        "\"caps_revoked\": %llu}",
-        static_cast<unsigned long long>(m.wall_cycles),
-        static_cast<unsigned long long>(m.cpu_cycles),
-        static_cast<unsigned long long>(m.bus_transactions_total),
-        m.peak_rss_pages, m.epochs.size(),
-        static_cast<unsigned long long>(m.sweep.pages_swept),
-        static_cast<unsigned long long>(caps_revoked));
-    return buf;
+    trace::MetricsRegistry reg;
+    m.exportTo(reg);
+    return reg.toJson(/*indent=*/0);
 }
 
 } // namespace crev::benchutil

@@ -139,7 +139,8 @@ SweepRegimeResult measureSweepRegime(SweepRegime regime,
 /** Minimal JSON string escaping for bench report writers. */
 std::string jsonEscape(const std::string &s);
 
-/** Headline metrics of one cell as a JSON object. */
+/** All metrics of one cell as a compact MetricsRegistry JSON object
+ *  ({"counters": ..., "gauges": ..., "histograms": ...}). */
 std::string metricsJson(const core::RunMetrics &m);
 
 } // namespace crev::benchutil

@@ -11,7 +11,17 @@
  * orders of magnitude below Cornucopia's on large-heap workloads —
  * and even Reloaded's cumulative fault time usually stays below
  * Cornucopia's STW.
+ *
+ * This bench also cross-checks the trace subsystem (DESIGN.md §10):
+ * for every strategy, the per-phase totals recomputed from the event
+ * trace must equal the RunMetrics phase accounting exactly.
+ *
+ * Usage: fig9_phase_times [--trace-out FILE] [--trace-check-only]
+ *   --trace-out: write the Reloaded check run's Chrome trace JSON.
+ *   --trace-check-only: run only the trace cross-check (CI).
  */
+
+#include <cstring>
 
 #include "bench_util.h"
 #include "workload/grpc_qps.h"
@@ -63,11 +73,120 @@ addRows(stats::Table &table, const std::string &bench,
                                 &revoker::EpochTiming::fault_time_total))});
 }
 
+/**
+ * Run one revoking profile per strategy with tracing on and check the
+ * per-phase totals recomputed from the trace against the RunMetrics
+ * epoch accounting, cycle for cycle. Optionally writes the Reloaded
+ * run's trace JSON to @p trace_out.
+ */
+bool
+traceCrossCheck(const char *trace_out)
+{
+    bool ok = true;
+    for (core::Strategy s :
+         {core::Strategy::kPaintOnly, core::Strategy::kCheriVoke,
+          core::Strategy::kCornucopia, core::Strategy::kReloaded,
+          core::Strategy::kCheriotFilter}) {
+        core::MachineConfig cfg;
+        cfg.strategy = s;
+        cfg.policy = workload::specPolicy();
+        cfg.trace = true;
+        cfg.trace_buffer_events = 1u << 20; // never drop in this run
+        core::Machine m(cfg);
+        workload::runSpec(m, workload::specProfile("hmmer_retro"));
+
+        const core::RunMetrics rm = m.metrics();
+        const trace::PhaseSummary ps =
+            trace::summarize(*m.tracerOrNull());
+        if (ps.dropped != 0 || ps.unmatched != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s trace dropped=%llu unmatched=%llu\n",
+                         core::strategyName(s),
+                         static_cast<unsigned long long>(ps.dropped),
+                         static_cast<unsigned long long>(ps.unmatched));
+            ok = false;
+        }
+
+        Cycles stw = 0, conc = 0, fault = 0;
+        for (const auto &e : rm.epochs) {
+            stw += e.stw_duration;
+            conc += e.concurrent_duration;
+            fault += e.fault_time_total;
+        }
+        const struct
+        {
+            const char *name;
+            trace::Phase phase;
+            Cycles expect;
+        } checks[] = {
+            {"stw_scan", trace::Phase::kStwScan, stw},
+            {"concurrent_sweep", trace::Phase::kConcurrentSweep, conc},
+            {"load_fault_sweep", trace::Phase::kLoadFaultSweep, fault},
+        };
+        for (const auto &c : checks) {
+            const Cycles got =
+                ps.phases[static_cast<std::size_t>(c.phase)]
+                    .total_cycles;
+            if (got != c.expect) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s %s trace total %llu != metrics %llu\n",
+                    core::strategyName(s), c.name,
+                    static_cast<unsigned long long>(got),
+                    static_cast<unsigned long long>(c.expect));
+                ok = false;
+            }
+        }
+        std::fprintf(stderr,
+                     "  trace check %-14s epochs=%zu stw=%llu "
+                     "conc=%llu fault=%llu cycles: %s\n",
+                     core::strategyName(s), rm.epochs.size(),
+                     static_cast<unsigned long long>(stw),
+                     static_cast<unsigned long long>(conc),
+                     static_cast<unsigned long long>(fault),
+                     ok ? "ok" : "MISMATCH");
+
+        if (s == core::Strategy::kReloaded && trace_out != nullptr) {
+            std::FILE *f = std::fopen(trace_out, "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "cannot write %s\n", trace_out);
+                ok = false;
+            } else {
+                const std::string json = m.traceJson();
+                std::fwrite(json.data(), 1, json.size(), f);
+                std::fclose(f);
+                std::fprintf(stderr, "  wrote %s\n", trace_out);
+            }
+        }
+    }
+    return ok;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_out = nullptr;
+    bool check_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (std::strcmp(argv[i], "--trace-check-only") == 0)
+            check_only = true;
+    }
+
+    std::fprintf(stderr,
+                 "  trace cross-check (phase totals vs metrics)...\n");
+    const bool trace_ok = traceCrossCheck(trace_out);
+    if (!trace_ok) {
+        std::fprintf(stderr,
+                     "fig9: trace/metrics phase accounting diverged\n");
+        return 1;
+    }
+    if (check_only)
+        return 0;
+
     benchutil::banner(
         "Figure 9: revocation phase times (p25/median/p75, "
         "microseconds)",

@@ -89,7 +89,15 @@ QuarantineShim::maybeBlock(sim::SimThread &t)
         const std::uint64_t target =
             std::min(buffers_[0].target, buffers_[1].target);
         const Cycles wait_begin = t.now();
+        if (tracer_ != nullptr)
+            tracer_->record(t.id(), t.core(), wait_begin,
+                            trace::EventType::kQuarantineBlock, 0,
+                            target);
         revoker_->waitForEpochCounter(t, target);
+        if (tracer_ != nullptr)
+            tracer_->record(t.id(), t.core(), t.now(),
+                            trace::EventType::kQuarantineUnblock, 0,
+                            target);
         stats_.blocked_cycles += t.now() - wait_begin;
         if (t.scheduler().shuttingDown())
             return;

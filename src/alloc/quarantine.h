@@ -100,6 +100,10 @@ class QuarantineShim
      *  (used by examples/tests to force determinism at the end). */
     void drain(sim::SimThread &t);
 
+    /** Attach an event tracer (null = off); backpressure waits become
+     *  kQuarantineBlock/kQuarantineUnblock spans. */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
   private:
     struct Entry
     {
@@ -151,6 +155,7 @@ class QuarantineShim
     int cur_ = 0;
     std::size_t quarantine_bytes_ = 0;
     QuarantineStats stats_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace crev::alloc

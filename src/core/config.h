@@ -42,6 +42,14 @@ const char *strategyName(Strategy s);
  */
 bool defaultHostFastPaths();
 
+/**
+ * Default for MachineConfig::trace: false unless the CREV_TRACE
+ * environment variable is set to something other than "0". Tracing
+ * charges zero simulated cycles, so results are identical either way;
+ * only host memory/time is spent.
+ */
+bool defaultTrace();
+
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
     Strategy::kBaseline,   Strategy::kPaintOnly,
@@ -72,6 +80,12 @@ struct MachineConfig
      *  packed tag-nibble sweeps). Pure host optimisation: results are
      *  byte-identical either way (tests/determinism_test.cpp). */
     bool host_fast_paths = defaultHostFastPaths();
+
+    /** Virtual-time event tracing (DESIGN.md §10). Zero simulated
+     *  cost: RunMetrics are bit-identical with tracing on or off. */
+    bool trace = defaultTrace();
+    /** Per-thread trace ring capacity, in events. */
+    std::size_t trace_buffer_events = 1u << 16;
 
     /** Reloaded: clear cap_ever when a sweep finds a page clean. */
     bool reloaded_clean_detect = true;

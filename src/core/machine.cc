@@ -40,18 +40,31 @@ defaultHostFastPaths()
     return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
+bool
+defaultTrace()
+{
+    const char *env = std::getenv("CREV_TRACE");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
+    if (cfg.trace)
+        tracer_ = std::make_unique<trace::Tracer>(
+            cfg.trace_buffer_events);
     ms_ = std::make_unique<mem::MemorySystem>(cfg.cores, cfg.l1,
                                               cfg.llc, cfg.latency);
     sched_ = std::make_unique<sim::Scheduler>(cfg.cores, cfg.costs);
+    sched_->setTracer(tracer_.get());
     as_ = std::make_unique<vm::AddressSpace>(pm_);
     mmu_ = std::make_unique<vm::Mmu>(pm_, *ms_, *as_, sched_->costs());
     mmu_->setHostFastPaths(cfg.host_fast_paths);
+    mmu_->setTracer(tracer_.get());
     kernel_ = std::make_unique<kern::Kernel>(*mmu_, sched_->costs());
 
     if (cfg.faults.enabled) {
         injector_ = std::make_unique<sim::FaultInjector>(cfg.faults);
+        injector_->setTracer(tracer_.get());
         if (cfg.faults.mem_spike_period > 0)
             mmu_->setAccessPenaltyHook([this](sim::SimThread &t) {
                 return injector_->memAccessPenalty(t.now());
@@ -62,10 +75,12 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
         shim_ = std::make_unique<alloc::QuarantineShim>(
             *snm_, *kernel_, nullptr, nullptr, cfg.policy);
+        shim_->setTracer(tracer_.get());
         return;
     }
 
     bitmap_ = std::make_unique<revoker::RevocationBitmap>(*mmu_);
+    bitmap_->setTracer(tracer_.get());
 
     revoker::RevokerOptions opts;
     opts.clean_page_detection = cfg.reloaded_clean_detect;
@@ -74,6 +89,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     opts.audit = cfg.audit;
     opts.host_fast_paths = cfg.host_fast_paths;
     opts.injector = injector_.get();
+    opts.tracer = tracer_.get();
 
     switch (cfg.strategy) {
       case Strategy::kPaintOnly:
@@ -142,6 +158,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
     shim_ = std::make_unique<alloc::QuarantineShim>(
         *snm_, *kernel_, revoker_.get(), bitmap_.get(), cfg.policy);
+    shim_->setTracer(tracer_.get());
 
     // The revocation service daemon(s).
     sim::SimThread *rev_thread = sched_->spawn(
@@ -172,6 +189,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     if (cfg.watchdog.enabled || cfg.faults.enabled) {
         watchdog_ = std::make_unique<revoker::EpochWatchdog>(
             *sched_, *revoker_, *mmu_, *kernel_, cfg.watchdog);
+        watchdog_->setTracer(tracer_.get());
         if (cfg.strategy == Strategy::kReloaded) {
             auto *rel = static_cast<revoker::ReloadedRevoker *>(
                 revoker_.get());
@@ -259,6 +277,25 @@ Machine::metrics() const
     if (injector_)
         m.faults_injected = injector_->counters();
     return m;
+}
+
+std::string
+Machine::traceJson() const
+{
+    if (!tracer_)
+        return "";
+    std::vector<trace::ThreadInfo> infos;
+    for (const auto &t : sched_->threads())
+        infos.push_back({t->id(), t->name()});
+    return trace::chromeJson(*tracer_, infos);
+}
+
+std::string
+Machine::traceSummary() const
+{
+    if (!tracer_)
+        return "";
+    return trace::phaseSummaryText(trace::summarize(*tracer_));
 }
 
 } // namespace crev::core

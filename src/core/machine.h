@@ -38,6 +38,8 @@
 #include "revoker/watchdog.h"
 #include "sim/fault_injector.h"
 #include "sim/scheduler.h"
+#include "trace/trace.h"
+#include "trace/trace_export.h"
 #include "vm/address_space.h"
 #include "vm/mmu.h"
 
@@ -88,9 +90,18 @@ class Machine
     revoker::RevocationBitmap *bitmapOrNull() { return bitmap_.get(); }
     sim::FaultInjector *faultInjectorOrNull() { return injector_.get(); }
     revoker::EpochWatchdog *watchdogOrNull() { return watchdog_.get(); }
+    trace::Tracer *tracerOrNull() { return tracer_.get(); }
+
+    /** Chrome trace-event JSON of the run; empty if tracing was off.
+     *  Byte-identical across same-seed runs. */
+    std::string traceJson() const;
+    /** Fig. 9-style phase summary text derived from the trace; empty
+     *  if tracing was off. */
+    std::string traceSummary() const;
 
   private:
     MachineConfig cfg_;
+    std::unique_ptr<trace::Tracer> tracer_;
     mem::PhysMem pm_;
     std::unique_ptr<mem::MemorySystem> ms_;
     std::unique_ptr<sim::Scheduler> sched_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "trace/metrics_registry.h"
+
 namespace crev::core {
 
 double
@@ -47,6 +49,90 @@ RunMetrics::summary() const
             quarantine.max_quarantine_bytes),
         degradedEpochs());
     return buf;
+}
+
+void
+RunMetrics::exportTo(trace::MetricsRegistry &reg) const
+{
+    reg.counter("run.wall_cycles", wall_cycles);
+    reg.counter("run.cpu_cycles", cpu_cycles);
+    reg.counter("mem.bus_transactions", bus_transactions_total);
+    reg.counter("mem.peak_rss_pages", peak_rss_pages);
+    for (const auto &[name, busy] : thread_busy)
+        reg.counter("run.thread_busy." + name, busy);
+    std::uint64_t accesses = 0, l1_misses = 0;
+    for (const auto &c : core_mem) {
+        accesses += c.accesses;
+        l1_misses += c.l1_misses;
+    }
+    reg.counter("mem.accesses", accesses);
+    reg.counter("mem.l1_misses", l1_misses);
+
+    reg.counter("revoker.epochs", epochs.size());
+    reg.counter("revoker.degraded_epochs", degradedEpochs());
+    reg.gauge("revoker.revocations_per_second", revocationsPerSecond());
+    for (const auto &e : epochs) {
+        reg.sample("revoker.stw_us", cyclesToMicros(e.stw_duration));
+        reg.sample("revoker.concurrent_us",
+                   cyclesToMicros(e.concurrent_duration));
+        reg.sample("revoker.fault_time_us",
+                   cyclesToMicros(e.fault_time_total));
+        reg.sample("revoker.faults_per_epoch",
+                   static_cast<double>(e.fault_count));
+        reg.sample("revoker.pages_per_epoch",
+                   static_cast<double>(e.pages_swept));
+    }
+
+    reg.counter("sweep.pages_swept", sweep.pages_swept);
+    reg.counter("sweep.lines_read", sweep.lines_read);
+    reg.counter("sweep.caps_seen", sweep.caps_seen);
+    reg.counter("sweep.caps_revoked", sweep.caps_revoked);
+    reg.counter("sweep.regs_scanned", sweep.regs_scanned);
+    reg.counter("sweep.regs_revoked", sweep.regs_revoked);
+
+    reg.counter("alloc.allocs", allocator.allocs);
+    reg.counter("alloc.frees", allocator.frees);
+    reg.counter("alloc.bytes_allocated", allocator.bytes_allocated_total);
+    reg.counter("alloc.bytes_freed", allocator.bytes_freed_total);
+
+    reg.counter("quarantine.revocations_triggered",
+                quarantine.revocations_triggered);
+    reg.counter("quarantine.sum_freed_bytes", quarantine.sum_freed_bytes);
+    reg.counter("quarantine.blocked_ops", quarantine.blocked_ops);
+    reg.counter("quarantine.blocked_cycles", quarantine.blocked_cycles);
+    reg.counter("quarantine.max_quarantine_bytes",
+                quarantine.max_quarantine_bytes);
+    if (quarantine.revocations_triggered > 0) {
+        const double n =
+            static_cast<double>(quarantine.revocations_triggered);
+        reg.gauge("quarantine.mean_alloc_at_trigger",
+                  static_cast<double>(quarantine.sum_alloc_at_trigger) /
+                      n);
+        reg.gauge("quarantine.mean_quar_at_trigger",
+                  static_cast<double>(quarantine.sum_quar_at_trigger) /
+                      n);
+    }
+
+    reg.counter("vm.demand_faults", mmu.demand_faults);
+    reg.counter("vm.load_barrier_faults", mmu.load_barrier_faults);
+    reg.counter("vm.tlb_shootdowns", mmu.tlb_shootdowns);
+
+    reg.counter("watchdog.deadline_misses", recovery.deadline_misses);
+    reg.counter("watchdog.nudges", recovery.nudges);
+    reg.counter("watchdog.sweepers_reaped", recovery.sweepers_reaped);
+    reg.counter("watchdog.sweepers_respawned",
+                recovery.sweepers_respawned);
+    reg.counter("watchdog.recovery_requests",
+                recovery.recovery_requests);
+    reg.counter("watchdog.stw_fallbacks", recovery.stw_fallbacks);
+    reg.counter("watchdog.emergency_epochs", recovery.emergency_epochs);
+
+    reg.counter("chaos.sweeper_stalls", faults_injected.sweeper_stalls);
+    reg.counter("chaos.sweeper_kills", faults_injected.sweeper_kills);
+    reg.counter("chaos.faults_dropped", faults_injected.faults_dropped);
+    reg.counter("chaos.faults_duplicated",
+                faults_injected.faults_duplicated);
+    reg.counter("chaos.stw_delays", faults_injected.stw_delays);
 }
 
 } // namespace crev::core

@@ -24,6 +24,10 @@
 #include "sim/fault_injector.h"
 #include "vm/mmu.h"
 
+namespace crev::trace {
+class MetricsRegistry;
+}
+
 namespace crev::core {
 
 /** Everything a bench needs from a finished run. */
@@ -66,6 +70,15 @@ struct RunMetrics
 
     /** One-line human-readable summary. */
     std::string summary() const;
+
+    /**
+     * Export everything into a MetricsRegistry under dotted names
+     * ("run.*", "revoker.*", "sweep.*", "alloc.*", "vm.*",
+     * "watchdog.*", "chaos.*"), including per-epoch phase histograms
+     * in microseconds. The registry's toJson() is the single
+     * machine-readable artifact every bench emits.
+     */
+    void exportTo(trace::MetricsRegistry &reg) const;
 };
 
 } // namespace crev::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "trace/trace.h"
 #include "vm/address_space.h"
 
 namespace crev::revoker {
@@ -87,7 +88,17 @@ RevocationBitmap::setRange(sim::SimThread &t, Addr base, Addr len,
 void
 RevocationBitmap::paint(sim::SimThread &t, Addr base, Addr len)
 {
+    if (tracer_ != nullptr)
+        tracer_->record(t.id(), t.core(), t.now(),
+                        trace::EventType::kPhaseBegin,
+                        static_cast<std::uint8_t>(trace::Phase::kPaint),
+                        base);
     setRange(t, base, len, true);
+    if (tracer_ != nullptr)
+        tracer_->record(t.id(), t.core(), t.now(),
+                        trace::EventType::kPhaseEnd,
+                        static_cast<std::uint8_t>(trace::Phase::kPaint),
+                        base);
 }
 
 void

@@ -52,11 +52,16 @@ class RevocationBitmap
 
     std::uint64_t paintedGranules() const { return painted_.size(); }
 
+    /** Attach an event tracer (null = off); paints become kPaint
+     *  phase brackets on the painting thread. */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
   private:
     void setRange(sim::SimThread &t, Addr base, Addr len, bool value);
 
     vm::Mmu &mmu_;
     std::unordered_set<Addr> painted_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace crev::revoker

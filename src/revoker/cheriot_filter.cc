@@ -44,8 +44,10 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
     // pass through a load again; scan them world-stopped. No
     // generation machinery exists to flip.
     const Cycles begin = stwBegin(self);
+    tracePhaseBegin(self, trace::Phase::kStwScan);
     scanRegistersAndHoards(self);
     timing.stw_duration = self.now() - begin;
+    tracePhaseEnd(self, trace::Phase::kStwScan);
     sched_.resumeWorld(self);
 
     // One background pass over every page that has ever held
@@ -53,6 +55,7 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
     // so no page needs a second visit (the same argument that lets
     // Reloaded skip re-sweeps, provided here by the load filter).
     const Cycles cbegin = self.now();
+    tracePhaseBegin(self, trace::Phase::kConcurrentSweep);
     std::vector<Addr> pages;
     as.forEachResidentPage([&](Addr va, vm::Pte &p) {
         if (p.cap_ever)
@@ -76,6 +79,7 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
         }
         pmap.unlock(self);
     }
+    tracePhaseEnd(self, trace::Phase::kConcurrentSweep);
     timing.concurrent_duration = self.now() - cbegin;
 
     finishEpoch(self); // even

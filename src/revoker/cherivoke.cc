@@ -15,6 +15,7 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
 
     EpochTiming timing;
     const Cycles begin = stwBegin(self);
+    tracePhaseBegin(self, trace::Phase::kStwScan);
 
     scanRegistersAndHoards(self);
 
@@ -34,6 +35,7 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
     }
 
     timing.stw_duration = self.now() - begin;
+    tracePhaseEnd(self, trace::Phase::kStwScan);
     sched_.resumeWorld(self);
 
     finishEpoch(self); // even: complete

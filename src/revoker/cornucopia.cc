@@ -23,6 +23,7 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
     // it so that mutator stores during the sweep re-flag the page.
     // Our re-implementation (paper §4.5) never clears cap_ever.
     const Cycles cbegin = self.now();
+    tracePhaseBegin(self, trace::Phase::kConcurrentSweep);
     std::vector<Addr> pages;
     as.forEachResidentPage([&](Addr va, vm::Pte &p) {
         if (p.cap_ever)
@@ -39,11 +40,13 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
         pmap.unlock(self);
         sweep_.sweepPage(self, va);
     }
+    tracePhaseEnd(self, trace::Phase::kConcurrentSweep);
     timing.concurrent_duration = self.now() - cbegin;
 
     // Phase 2 (stop-the-world): registers, hoards, and every page
     // re-dirtied while phase 1 ran.
     const Cycles begin = stwBegin(self);
+    tracePhaseBegin(self, trace::Phase::kStwScan);
     scanRegistersAndHoards(self);
     std::vector<Addr> redirtied;
     as.forEachResidentPage([&](Addr va, vm::Pte &p) {
@@ -57,6 +60,7 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
             p->cap_dirty = false;
     }
     timing.stw_duration = self.now() - begin;
+    tracePhaseEnd(self, trace::Phase::kStwScan);
     sched_.resumeWorld(self);
 
     finishEpoch(self); // even

@@ -49,6 +49,7 @@ ReloadedRevoker::deliverLoadFault(sim::SimThread &t, Addr fault_va,
                       opts_.injector->dropFaultDelivery(t);
 
     const Cycles t0 = t.now();
+    tracePhaseBegin(t, trace::Phase::kLoadFaultSweep);
     const Addr va = pageBase(fault_va);
     vm::AddressSpace &as = mmu_.addressSpace();
     sim::SimMutex &pmap = as.pmapLock();
@@ -62,6 +63,7 @@ ReloadedRevoker::deliverLoadFault(sim::SimThread &t, Addr fault_va,
     CREV_ASSERT(p != nullptr && p->valid);
     if (p->clg == gen && !p->cap_load_trap) {
         pmap.unlock(t);
+        tracePhaseEnd(t, trace::Phase::kLoadFaultSweep);
         if (!lost) {
             fault_time_ += t.now() - t0;
             ++fault_count_;
@@ -96,6 +98,7 @@ ReloadedRevoker::deliverLoadFault(sim::SimThread &t, Addr fault_va,
     }
     pmap.unlock(t);
 
+    tracePhaseEnd(t, trace::Phase::kLoadFaultSweep);
     if (!lost) {
         fault_time_ += t.now() - t0;
         ++fault_count_;
@@ -248,15 +251,18 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
     // untouched — §4.1's one-update-per-epoch property) and scan
     // registers and kernel hoards.
     const Cycles begin = stwBegin(self);
+    tracePhaseBegin(self, trace::Phase::kStwScan);
     mmu_.flipAllCoreGens(self);
     scanRegistersAndHoards(self);
     timing.stw_duration = self.now() - begin;
+    tracePhaseEnd(self, trace::Phase::kStwScan);
     sched_.resumeWorld(self);
 
     // Background phase: visit every page still carrying the old
     // generation. Foreground faults race us benignly (visitPage
     // rechecks under the pmap lock; page visits are idempotent).
     const Cycles cbegin = self.now();
+    tracePhaseBegin(self, trace::Phase::kConcurrentSweep);
     collectStalePages();
 
     epoch_active_ = true;
@@ -269,6 +275,7 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
         }
         visitPage(self, va);
     }
+    tracePhaseBegin(self, trace::Phase::kDrain);
     while (helpers_busy_ > 0 && !sched_.shuttingDown() &&
            !recoveryRequested() && !forceCompleted())
         helper_done_event_.wait(self);
@@ -293,6 +300,7 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
     while (faults_in_flight_ > 0 && !sched_.shuttingDown() &&
            !recoveryRequested() && !forceCompleted())
         fault_done_event_.wait(self);
+    tracePhaseEnd(self, trace::Phase::kDrain);
 
     if (recoveryRequested() || forceCompleted()) {
         // Degradation: a lost fault completion (or similar) wedged the
@@ -307,6 +315,7 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
         faults_in_flight_ = 0;
     }
 
+    tracePhaseEnd(self, trace::Phase::kConcurrentSweep);
     timing.concurrent_duration = self.now() - cbegin;
     // Delta accounting so that every fault (including rare stale-TLB
     // faults landing between epochs) is attributed to exactly one

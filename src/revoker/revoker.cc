@@ -35,6 +35,24 @@ Revoker::waitForEpochCounter(sim::SimThread &caller,
 }
 
 void
+Revoker::tracePhaseBegin(sim::SimThread &self, trace::Phase phase)
+{
+    if (opts_.tracer != nullptr)
+        opts_.tracer->record(self.id(), self.core(), self.now(),
+                             trace::EventType::kPhaseBegin,
+                             static_cast<std::uint8_t>(phase));
+}
+
+void
+Revoker::tracePhaseEnd(sim::SimThread &self, trace::Phase phase)
+{
+    if (opts_.tracer != nullptr)
+        opts_.tracer->record(self.id(), self.core(), self.now(),
+                             trace::EventType::kPhaseEnd,
+                             static_cast<std::uint8_t>(phase));
+}
+
+void
 Revoker::scanRegistersAndHoards(sim::SimThread &self)
 {
     // Paper §4.4: the kernel must scan all pointers it holds on behalf

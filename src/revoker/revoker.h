@@ -34,6 +34,7 @@
 #include "revoker/sweep.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
+#include "trace/trace.h"
 #include "vm/mmu.h"
 
 namespace crev::sim {
@@ -82,6 +83,8 @@ struct RevokerOptions
     bool host_fast_paths = true;
     /** Fault injector for chaos campaigns (null: no injection). */
     sim::FaultInjector *injector = nullptr;
+    /** Event tracer (null: tracing off; zero simulated cost). */
+    trace::Tracer *tracer = nullptr;
 };
 
 /**
@@ -199,6 +202,15 @@ class Revoker
   protected:
     /** Perform one full revocation epoch on the daemon thread. */
     virtual void doEpoch(sim::SimThread &self) = 0;
+
+    /**
+     * Phase brackets for the tracer. Strategies bracket each fig. 9
+     * phase at exactly the instants their EpochTiming fields are
+     * computed, so trace-derived totals equal the RunMetrics phase
+     * accounting. Zero simulated cost; no-ops when tracing is off.
+     */
+    void tracePhaseBegin(sim::SimThread &self, trace::Phase phase);
+    void tracePhaseEnd(sim::SimThread &self, trace::Phase phase);
 
     /** Scan every thread's register file and the kernel hoards. */
     void scanRegistersAndHoards(sim::SimThread &self);

@@ -15,7 +15,33 @@ EpochWatchdog::deadline() const
     const double budget =
         pages * static_cast<double>(policy_.per_page_cycles) *
         policy_.slack;
-    return std::max(policy_.min_deadline, static_cast<Cycles>(budget));
+    // Clamp before the cast: double -> uint64 is UB once the budget
+    // exceeds the representable range (huge heaps x large slack).
+    constexpr double kMaxBudget = 1e18;
+    return std::max(policy_.min_deadline,
+                    static_cast<Cycles>(std::min(budget, kMaxBudget)));
+}
+
+Cycles
+EpochWatchdog::backoffDelay(unsigned attempt) const
+{
+    const Cycles cap = std::max<Cycles>(policy_.max_backoff, 1);
+    const Cycles base = std::max<Cycles>(policy_.backoff_base, 1);
+    const unsigned shift = std::min(attempt, 6u);
+    // Saturating doubling: `base << shift` overflows Cycles once
+    // base > 2^58, so compare against the pre-shifted cap instead.
+    if (base > (cap >> shift))
+        return cap;
+    return std::min(base << shift, cap);
+}
+
+void
+EpochWatchdog::traceEscalation(sim::SimThread &self, unsigned rung)
+{
+    if (tracer_ != nullptr)
+        tracer_->record(self.id(), self.core(), self.now(),
+                        trace::EventType::kWatchdogEscalate,
+                        static_cast<std::uint8_t>(rung));
 }
 
 void
@@ -55,6 +81,7 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
             // serve any new request it cannot take as a full
             // emergency epoch so allocators never stall behind it.
             if (rev_.requestPending()) {
+                traceEscalation(self, 4);
                 rev_.emergencyEpoch(self);
                 ++stats_.emergency_epochs;
             }
@@ -78,13 +105,27 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
         if (attempt == 0)
             ++stats_.deadline_misses;
         if (attempt < policy_.max_nudges) {
+            traceEscalation(self, 1);
             nudgeRound(self);
         } else if (attempt == policy_.max_nudges) {
+            traceEscalation(self, 2);
             rev_.requestRecovery(self);
             ++stats_.recovery_requests;
         } else if (kernel_.epoch().value() % 2 == 1) {
+            traceEscalation(self, 3);
             rev_.forceCompleteEpoch(self);
             ++stats_.stw_fallbacks;
+            // The epoch is now complete (by fiat); the ladder must
+            // re-arm rather than carry this escalation level into the
+            // next epoch and instantly force-complete it too. The seq
+            // check above resets attempt when the *daemon* starts a
+            // fresh epoch, but emergency epochs served on the watchdog
+            // thread never bump the seq — reset explicitly.
+            attempt = 0;
+            self.sleep(backoffDelay(1));
+            if (sched_.shuttingDown())
+                return;
+            continue;
         } else {
             // Counter already even but doEpoch() has not returned:
             // the daemon is wedged past the point of no safety
@@ -94,7 +135,7 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
         ++attempt;
 
         // Exponential backoff before re-judging the same epoch.
-        self.sleep(policy_.backoff_base << std::min(attempt, 6u));
+        self.sleep(backoffDelay(attempt));
         if (sched_.shuttingDown())
             return;
     }

@@ -59,6 +59,14 @@ struct WatchdogPolicy
     unsigned max_nudges = 2;
     /** Base of the exponential backoff between escalation attempts. */
     Cycles backoff_base = 250'000;
+    /**
+     * Ceiling on one backoff sleep. The doubling saturates here
+     * instead of shifting past the width of Cycles: with a large
+     * backoff_base the unclamped `base << attempt` overflows to a
+     * tiny (or huge) sleep and the ladder either spins or parks the
+     * watchdog beyond the end of the run.
+     */
+    Cycles max_backoff = 16'000'000;
     /** Total sweeper respawns allowed per run. */
     unsigned max_respawns = 2;
 };
@@ -104,12 +112,23 @@ class EpochWatchdog
     const RecoveryStats &stats() const { return stats_; }
     const WatchdogPolicy &policy() const { return policy_; }
 
+    /** Attach an event tracer (null = off); escalations become
+     *  kWatchdogEscalate instants (arg8 = rung 1..4). */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
   private:
     /** Deadline for the epoch in progress, from pages left to sweep. */
     Cycles deadline() const;
 
+    /** Backoff sleep for escalation @p attempt, saturating at the
+     *  policy's max_backoff (never overflows Cycles). */
+    Cycles backoffDelay(unsigned attempt) const;
+
     /** Rung 1: reap/respawn dead sweepers and re-notify events. */
     void nudgeRound(sim::SimThread &self);
+
+    /** Record one escalation rung in the trace. */
+    void traceEscalation(sim::SimThread &self, unsigned rung);
 
     sim::Scheduler &sched_;
     Revoker &rev_;
@@ -118,6 +137,7 @@ class EpochWatchdog
     WatchdogPolicy policy_;
     RespawnFn respawn_;
     RecoveryStats stats_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace crev::revoker

@@ -1,5 +1,7 @@
 #include "sim/fault_injector.h"
 
+#include "trace/trace.h"
+
 namespace crev::sim {
 
 FaultInjector::FaultInjector(const FaultPlan &plan)
@@ -15,12 +17,23 @@ FaultInjector::roll(SimThread &t, double prob)
     return rng_.chance(prob);
 }
 
+
+void
+FaultInjector::fire(SimThread &t, trace::FaultAction action)
+{
+    if (tracer_ != nullptr)
+        tracer_->record(t.id(), t.core(), t.now(),
+                        trace::EventType::kFaultInject,
+                        static_cast<std::uint8_t>(action));
+}
+
 Cycles
 FaultInjector::sweeperStall(SimThread &t)
 {
     if (!roll(t, plan_.sweeper_stall_prob))
         return 0;
     ++counters_.sweeper_stalls;
+    fire(t, trace::FaultAction::kSweeperStall);
     return plan_.sweeper_stall_cycles;
 }
 
@@ -32,6 +45,7 @@ FaultInjector::sweeperKill(SimThread &t)
     if (!roll(t, plan_.sweeper_kill_prob))
         return false;
     ++counters_.sweeper_kills;
+    fire(t, trace::FaultAction::kSweeperKill);
     return true;
 }
 
@@ -43,6 +57,7 @@ FaultInjector::dropFaultDelivery(SimThread &t)
     if (!roll(t, plan_.fault_drop_prob))
         return false;
     ++counters_.faults_dropped;
+    fire(t, trace::FaultAction::kFaultDrop);
     return true;
 }
 
@@ -52,6 +67,7 @@ FaultInjector::duplicateFaultDelivery(SimThread &t)
     if (!roll(t, plan_.fault_duplicate_prob))
         return false;
     ++counters_.faults_duplicated;
+    fire(t, trace::FaultAction::kFaultDuplicate);
     return true;
 }
 
@@ -61,6 +77,7 @@ FaultInjector::stwEntryDelay(SimThread &t)
     if (!roll(t, plan_.stw_delay_prob))
         return 0;
     ++counters_.stw_delays;
+    fire(t, trace::FaultAction::kStwDelay);
     return plan_.stw_delay_cycles;
 }
 

@@ -27,6 +27,7 @@
 #include "base/rng.h"
 #include "base/types.h"
 #include "sim/scheduler.h"
+#include "trace/trace.h"
 
 namespace crev::sim {
 
@@ -131,6 +132,10 @@ class FaultInjector
     const FaultPlan &plan() const { return plan_; }
     const FaultCounters &counters() const { return counters_; }
 
+    /** Attach an event tracer (null = off); fired faults become
+     *  kFaultInject instants. */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
   private:
     bool
     inWindow(Cycles now) const
@@ -141,10 +146,13 @@ class FaultInjector
 
     /** Bernoulli draw, consuming RNG only for armed nonzero faults. */
     bool roll(SimThread &t, double prob);
+    /** Record a fired fault in the trace (zero simulated cost). */
+    void fire(SimThread &t, trace::FaultAction action);
 
     FaultPlan plan_;
     Rng rng_;
     FaultCounters counters_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace crev::sim

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "base/logging.h"
+#include "trace/trace.h"
 
 namespace crev::sim {
 
@@ -77,6 +78,9 @@ SimThread::threadMain()
     {
         std::unique_lock<std::mutex> lk(sched_.mtx_);
         status_ = ThreadStatus::kDone;
+        if (sched_.tracer_ != nullptr)
+            sched_.tracer_->record(id_, core_, clock_,
+                                   trace::EventType::kThreadPark);
         sched_.core_free_at_[core_] = clock_;
         sched_.current_ = nullptr;
         sched_.sched_cv_.notify_one();
@@ -256,6 +260,9 @@ Scheduler::grant(SimThread *t)
     }
     core_last_thread_[c] = t;
     t->status_ = ThreadStatus::kRunning;
+    if (tracer_ != nullptr)
+        tracer_->record(t->id_, c, t->clock_,
+                        trace::EventType::kThreadRun);
     updateYieldHorizon(*t);
     current_ = t;
     t->cv_.notify_one();
@@ -266,6 +273,11 @@ Scheduler::handoff(SimThread &self, ThreadStatus new_status)
 {
     std::unique_lock<std::mutex> lk(mtx_);
     self.status_ = new_status;
+    if (tracer_ != nullptr)
+        tracer_->record(self.id_, self.core_, self.clock_,
+                        new_status == ThreadStatus::kReady
+                            ? trace::EventType::kThreadPreempt
+                            : trace::EventType::kThreadPark);
     core_free_at_[self.core_] = self.clock_;
 
     // Direct switch: pick the successor here instead of bouncing
@@ -328,6 +340,9 @@ Scheduler::stopTheWorld(SimThread &self)
     self.busy_ += begin - self.clock_;
     self.clock_ = begin;
     last_stw_begin_ = begin;
+    if (tracer_ != nullptr)
+        tracer_->record(self.id_, self.core_, begin,
+                        trace::EventType::kStwBegin);
     self.yield_horizon_ = kInfinity;
     return begin;
 }
@@ -339,6 +354,9 @@ Scheduler::resumeWorld(SimThread &self)
     CREV_ASSERT(stw_active_ && stw_owner_ == &self);
     const Cycles end = self.clock_;
     last_stw_end_ = end;
+    if (tracer_ != nullptr)
+        tracer_->record(self.id_, self.core_, end,
+                        trace::EventType::kStwEnd);
     stw_active_ = false;
     stw_owner_ = nullptr;
     for (auto &tp : threads_)

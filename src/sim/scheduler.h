@@ -34,6 +34,10 @@
 #include "cap/capability.h"
 #include "sim/cost_model.h"
 
+namespace crev::trace {
+class Tracer;
+}
+
 namespace crev::sim {
 
 class Scheduler;
@@ -226,6 +230,13 @@ class Scheduler
     /** Set a thread's preemption-quantum scale (§7.7 tuning knob). */
     void setQuantumScale(SimThread &t, double scale);
 
+    /**
+     * Attach an event tracer (null = off). record() charges zero
+     * simulated cycles, so attaching one cannot perturb a run.
+     */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+    trace::Tracer *tracer() const { return tracer_; }
+
   private:
     friend class SimThread;
 
@@ -240,6 +251,8 @@ class Scheduler
 
     const unsigned num_cores_;
     const CostModel cm_;
+
+    trace::Tracer *tracer_ = nullptr;
 
     std::mutex mtx_;
     std::condition_variable sched_cv_;

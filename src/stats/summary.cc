@@ -75,13 +75,19 @@ Samples::stddev() const
 double
 Samples::percentile(double q) const
 {
-    CREV_ASSERT(!values_.empty());
-    CREV_ASSERT(q >= 0.0 && q <= 1.0);
+    // Defined for every input: an empty set quantile is 0.0 (bench
+    // tables render it as an absent bar), and q is clamped to [0, 1]
+    // so a caller's floating-point drift can't index past the sorted
+    // vector.
+    if (values_.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
     ensureSorted();
     if (sorted_.size() == 1)
         return sorted_.front();
     const double pos = q * static_cast<double>(sorted_.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
+    const auto lo =
+        std::min(static_cast<std::size_t>(pos), sorted_.size() - 1);
     const auto hi = std::min(lo + 1, sorted_.size() - 1);
     const double frac = pos - static_cast<double>(lo);
     return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
@@ -118,6 +124,8 @@ geomean(const std::vector<double> &vs)
 std::vector<double>
 cdfAt(const Samples &s, const std::vector<double> &points)
 {
+    if (s.empty())
+        return std::vector<double>(points.size(), 0.0);
     std::vector<double> sorted = s.values();
     std::sort(sorted.begin(), sorted.end());
     std::vector<double> out;

@@ -33,7 +33,11 @@ class Samples
     double mean() const;
     /** Population standard deviation. */
     double stddev() const;
-    /** Exact quantile by linear interpolation; q in [0, 1]. */
+    /**
+     * Exact quantile by linear interpolation. Total: q is clamped to
+     * [0, 1] and the empty set yields 0.0, so bench code can query
+     * tails without pre-checking counts.
+     */
     double percentile(double q) const;
     double median() const { return percentile(0.5); }
 

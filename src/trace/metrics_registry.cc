@@ -1,0 +1,121 @@
+#include "trace/metrics_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace crev::trace {
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+MetricsRegistry::counter(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::gauge(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::sample(const std::string &name, double sample)
+{
+    histograms_[name].add(sample);
+}
+
+void
+MetricsRegistry::samples(const std::string &name,
+                         const stats::Samples &s)
+{
+    histograms_[name].addAll(s.values());
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const stats::Samples *
+MetricsRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string
+MetricsRegistry::toJson(int indent) const
+{
+    // indent <= 0 selects the compact one-line form benches embed
+    // inside larger JSON documents.
+    const bool compact = indent <= 0;
+    const std::string nl = compact ? "" : "\n";
+    const std::string pad =
+        compact ? "" : std::string(static_cast<std::size_t>(indent), ' ');
+    const std::string pad2 = pad + pad;
+    std::string out = "{" + nl;
+
+    const auto sep = [&](bool first) {
+        return first ? nl : ("," + nl);
+    };
+
+    out += pad + "\"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : counters_) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        out += sep(first) + pad2 + "\"" + name + "\": " + buf;
+        first = false;
+    }
+    out += (first ? "}," : nl + pad + "},") + nl;
+
+    out += pad + "\"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : gauges_) {
+        out += sep(first) + pad2 + "\"" + name + "\": " + fmtDouble(v);
+        first = false;
+    }
+    out += (first ? "}," : nl + pad + "},") + nl;
+
+    out += pad + "\"histograms\": {";
+    first = true;
+    for (const auto &[name, s] : histograms_) {
+        const stats::Boxplot b = stats::boxplot(s);
+        out += sep(first) + pad2 + "\"" + name + "\": {";
+        out += "\"count\": " + std::to_string(b.n);
+        out += ", \"min\": " + fmtDouble(b.min);
+        out += ", \"p25\": " + fmtDouble(b.p25);
+        out += ", \"median\": " + fmtDouble(b.median);
+        out += ", \"p75\": " + fmtDouble(b.p75);
+        out += ", \"max\": " + fmtDouble(b.max);
+        out += ", \"mean\": " + fmtDouble(b.mean);
+        out += ", \"sum\": " + fmtDouble(s.sum());
+        out += "}";
+        first = false;
+    }
+    out += first ? "}" : nl + pad + "}";
+    out += nl + "}" + nl;
+    return out;
+}
+
+} // namespace crev::trace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A unified metrics registry: named counters, gauges, and histograms
+ * with deterministic JSON export.
+ *
+ * RunMetrics, the watchdog, and the quarantine shim each grew their
+ * own ad-hoc counter structs; benches then hand-formatted JSON from
+ * them. The registry is the single sink: components export into it
+ * under dotted names ("revoker.epochs", "watchdog.force_completes",
+ * "alloc.blocked_cycles", ...) and every bench emits one
+ * machine-readable artifact via toJson(). Names are stored in sorted
+ * maps so the export is byte-deterministic for identical inputs.
+ */
+
+#ifndef CREV_TRACE_METRICS_REGISTRY_H_
+#define CREV_TRACE_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stats/summary.h"
+
+namespace crev::trace {
+
+class MetricsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (created at zero). */
+    void counter(const std::string &name, std::uint64_t delta);
+    /** Set gauge @p name to @p value (last write wins). */
+    void gauge(const std::string &name, double value);
+    /** Append @p sample to histogram @p name. */
+    void sample(const std::string &name, double sample);
+    /** Append all of @p s to histogram @p name. */
+    void samples(const std::string &name, const stats::Samples &s);
+
+    std::uint64_t counterValue(const std::string &name) const;
+    double gaugeValue(const std::string &name) const;
+    const stats::Samples *histogram(const std::string &name) const;
+
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /**
+     * Deterministic JSON export: three sorted objects ("counters",
+     * "gauges", "histograms"); histograms render as
+     * {count,min,p25,median,p75,max,mean,sum}. An indent <= 0 yields
+     * the compact one-line form for embedding in larger documents.
+     */
+    std::string toJson(int indent = 2) const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, stats::Samples> histograms_;
+};
+
+} // namespace crev::trace
+
+#endif // CREV_TRACE_METRICS_REGISTRY_H_

@@ -1,0 +1,147 @@
+#include "trace/trace.h"
+
+#include "base/logging.h"
+
+namespace crev::trace {
+
+const char *
+eventTypeName(EventType t)
+{
+    switch (t) {
+      case EventType::kThreadRun:
+        return "run";
+      case EventType::kThreadPark:
+        return "park";
+      case EventType::kThreadPreempt:
+        return "preempt";
+      case EventType::kStwBegin:
+        return "stw_begin";
+      case EventType::kStwEnd:
+        return "stw_end";
+      case EventType::kPhaseBegin:
+        return "phase_begin";
+      case EventType::kPhaseEnd:
+        return "phase_end";
+      case EventType::kQuarantineBlock:
+        return "quarantine_block";
+      case EventType::kQuarantineUnblock:
+        return "quarantine_unblock";
+      case EventType::kWatchdogEscalate:
+        return "watchdog_escalate";
+      case EventType::kTlbShootdown:
+        return "tlb_shootdown";
+      case EventType::kFaultInject:
+        return "fault_inject";
+    }
+    return "?";
+}
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::kPaint:
+        return "paint";
+      case Phase::kStwScan:
+        return "stw_scan";
+      case Phase::kConcurrentSweep:
+        return "concurrent_sweep";
+      case Phase::kLoadFaultSweep:
+        return "load_fault_sweep";
+      case Phase::kDrain:
+        return "drain";
+    }
+    return "?";
+}
+
+const char *
+faultActionName(FaultAction a)
+{
+    switch (a) {
+      case FaultAction::kSweeperStall:
+        return "sweeper_stall";
+      case FaultAction::kSweeperKill:
+        return "sweeper_kill";
+      case FaultAction::kFaultDrop:
+        return "fault_drop";
+      case FaultAction::kFaultDuplicate:
+        return "fault_duplicate";
+      case FaultAction::kStwDelay:
+        return "stw_delay";
+    }
+    return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity)
+{
+    CREV_ASSERT(capacity > 0);
+}
+
+void
+TraceBuffer::push(const Event &e)
+{
+    ring_[next_] = e;
+    next_ = (next_ + 1) % ring_.size();
+    ++recorded_;
+}
+
+std::uint64_t
+TraceBuffer::dropped() const
+{
+    const auto cap = static_cast<std::uint64_t>(ring_.size());
+    return recorded_ > cap ? recorded_ - cap : 0;
+}
+
+std::size_t
+TraceBuffer::size() const
+{
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(recorded_, ring_.size()));
+}
+
+Tracer::Tracer(std::size_t buffer_capacity) : capacity_(buffer_capacity)
+{
+    CREV_ASSERT(capacity_ > 0);
+}
+
+void
+Tracer::record(unsigned tid, unsigned core, Cycles at, EventType type,
+               std::uint8_t arg8, std::uint64_t arg64)
+{
+    while (buffers_.size() <= tid)
+        buffers_.emplace_back(std::make_unique<TraceBuffer>(capacity_));
+    Event e;
+    e.at = at;
+    e.arg64 = arg64;
+    e.tid = tid;
+    e.core = static_cast<std::uint16_t>(core);
+    e.type = type;
+    e.arg8 = arg8;
+    buffers_[tid]->push(e);
+}
+
+const TraceBuffer *
+Tracer::buffer(unsigned tid) const
+{
+    return tid < buffers_.size() ? buffers_[tid].get() : nullptr;
+}
+
+std::uint64_t
+Tracer::totalRecorded() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : buffers_)
+        n += b->recorded();
+    return n;
+}
+
+std::uint64_t
+Tracer::totalDropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : buffers_)
+        n += b->dropped();
+    return n;
+}
+
+} // namespace crev::trace

@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "cap/compression.h"
+#include "trace/trace.h"
 #include "vm/fault.h"
 
 namespace crev::vm {
@@ -39,6 +40,7 @@ Mmu::flipAllCoreGens(sim::SimThread &t)
     // Generation checks are made against TLB-resident PTE copies; the
     // flip takes effect immediately on all cores (they are already
     // synchronised: this happens inside the STW window).
+    invalidatePteCache();
     t.accrueNoYield(cm_.pte_update);
 }
 
@@ -48,13 +50,20 @@ Mmu::shootdownPage(sim::SimThread &t, Addr va)
     const Addr page = pageBase(va);
     for (auto &tlb : tlbs_)
         tlb.invalidatePage(pageOf(page));
+    // Shootdowns follow in-place PTE rewrites (self-heals, trap-bit
+    // arming): the one-entry cache may hold the page being rewritten.
+    invalidatePteCache();
     ++stats_.tlb_shootdowns;
+    if (tracer_ != nullptr)
+        tracer_->record(t.id(), t.core(), t.now(),
+                        trace::EventType::kTlbShootdown, 0, page);
     t.accrueNoYield(cm_.tlb_shootdown);
 }
 
 void
 Mmu::purgeFreedFrames()
 {
+    invalidatePteCache();
     for (Addr pfn : as_.takeFreedFrames())
         ms_.invalidateFrame(pfn);
 }
@@ -217,6 +226,7 @@ Mmu::storeCap(sim::SimThread &t, Addr va, const cap::Capability &c)
             // Hardware-managed dirty bit update (§4.2).
             p->cap_dirty = true;
             p->cap_ever = true;
+            invalidatePteCache();
             t.accrue(cm_.pte_update);
             tlbs_[t.core()].insert(pageOf(va), *p);
         }

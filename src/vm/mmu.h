@@ -131,6 +131,20 @@ class Mmu
     void setHostFastPaths(bool on);
     bool hostFastPaths() const { return host_fast_paths_; }
 
+    /**
+     * Drop the one-entry PTE cache. The cache is keyed by the address
+     * space's page-table epoch, which only release() bumps — in-place
+     * PTE mutations (CLG flips at epoch open, load-fault self-heals,
+     * cap-dirty updates, shootdowns) change PTE *contents* without
+     * changing the epoch, so every such site must invalidate
+     * explicitly rather than rely on the epoch key.
+     */
+    void invalidatePteCache() { cached_pte_ = nullptr; }
+
+    /** Attach an event tracer (null = off); shootdowns become
+     *  kTlbShootdown instants. */
+    void setTracer(trace::Tracer *t) { tracer_ = t; }
+
     // --- load-generation plumbing ---
 
     void setLoadFaultHandler(LoadFaultHandler h) { handler_ = std::move(h); }
@@ -209,6 +223,8 @@ class Mmu
     Addr cached_vpn_ = 0;
     Pte *cached_pte_ = nullptr;
     std::uint64_t cached_pt_epoch_ = 0;
+
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace crev::vm

@@ -327,6 +327,89 @@ TEST(ChaosRecovery, HardStallFallsBackToStopTheWorld)
     EXPECT_EQ(r.final_quarantine_bytes, 0u);
 }
 
+/**
+ * Watchdog backoff must saturate, not overflow: with a backoff_base
+ * in the top bits of Cycles, the unclamped `base << attempt` used to
+ * wrap to a tiny (or enormous) sleep, either spinning the watchdog
+ * or parking it past the end of the run. The clamped ladder sleeps
+ * at most max_backoff and the stalled run still completes.
+ */
+TEST(ChaosRecovery, HugeBackoffBaseStillCompletes)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kReloaded;
+    cfg.audit = true;
+    cfg.policy.min_bytes = 32 * 1024;
+    cfg.faults = base(707);
+    cfg.faults.sweeper_stall_prob = 1.0;
+    cfg.faults.sweeper_stall_cycles = 30'000'000;
+    cfg.faults.window_end = 5'000'000;
+    cfg.watchdog.backoff_base = Cycles{1} << 62;
+    cfg.seed = 42;
+    Machine m(cfg);
+    std::uint64_t final_epoch = 1;
+    std::size_t final_quar = 1;
+    m.spawnMutator("app", 1u << 3, [&](Mutator &ctx) {
+        churn(m, ctx, 1200);
+        final_epoch = m.kernel().epoch().value();
+        final_quar = m.heap().quarantineBytes();
+    });
+    m.run();
+    const RunMetrics metrics = m.metrics();
+    ASSERT_GT(metrics.faults_injected.sweeper_stalls, 0u);
+    EXPECT_GT(metrics.recovery.deadline_misses, 0u);
+    EXPECT_EQ(final_epoch % 2, 0u);
+    EXPECT_EQ(final_quar, 0u);
+}
+
+/**
+ * After a rung-3 force-complete the ladder must re-arm: the next
+ * epoch gets a fresh deadline and attempt count instead of instantly
+ * re-escalating. Healthy epochs after the stall window therefore
+ * complete undegraded.
+ */
+TEST(ChaosRecovery, WatchdogReArmsAfterForceComplete)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kReloaded;
+    cfg.audit = true;
+    cfg.policy.min_bytes = 32 * 1024;
+    cfg.faults = base(707);
+    // Early stalls long enough that the ladder climbs to rung 3
+    // (deadline + nudge/backoff rounds ~ 5.5M cycles after epoch
+    // start). The second churn phase below runs after the daemon has
+    // slept its stall off; its epochs are the healthy ones the
+    // re-armed ladder must leave alone.
+    cfg.faults.sweeper_stall_prob = 1.0;
+    cfg.faults.sweeper_stall_cycles = 8'000'000;
+    cfg.faults.window_end = 2'000'000;
+    cfg.seed = 42;
+    Machine m(cfg);
+    std::uint64_t final_epoch = 1;
+    m.spawnMutator("app", 1u << 3, [&](Mutator &ctx) {
+        churn(m, ctx, 1200);
+        // Outlive the stall (ends by window_end + stall_cycles).
+        ctx.thread().sleep(15'000'000);
+        churn(m, ctx, 1200);
+        final_epoch = m.kernel().epoch().value();
+    });
+    m.run();
+    const RunMetrics metrics = m.metrics();
+    // The rung-3 path fired during the stall window...
+    ASSERT_GT(metrics.recovery.stw_fallbacks, 0u);
+    ASSERT_GT(metrics.epochs.size(), metrics.degradedEpochs());
+    // ...and epochs after the window ran clean: had the ladder kept
+    // its old (blown) deadline, every later epoch would escalate too.
+    std::size_t trailing_clean = 0;
+    for (auto it = metrics.epochs.rbegin();
+         it != metrics.epochs.rend() && !it->recovery.degraded &&
+         !it->recovery.forced;
+         ++it)
+        ++trailing_clean;
+    EXPECT_GT(trailing_clean, 0u);
+    EXPECT_EQ(final_epoch % 2, 0u);
+}
+
 TEST(ChaosRecovery, CleanPlanInjectsNothingAndRecoversNothing)
 {
     // A disabled plan must leave the machine bit-identical to a run

@@ -117,6 +117,31 @@ TEST(Determinism, FastPathsPreserveSpecMetricsAllStrategies)
     }
 }
 
+/** Tracing charges zero simulated cycles: the complete RunMetrics
+ *  fingerprint is bit-identical with the tracer on or off, for every
+ *  strategy (the whole suite also passes under CREV_TRACE=1, which
+ *  turns tracing on in every other test's machines too). */
+TEST(Determinism, TracingPreservesSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        MachineConfig cfg;
+        cfg.strategy = s;
+        cfg.policy = workload::specPolicy();
+
+        cfg.trace = true;
+        Machine on(cfg);
+        workload::runSpec(on, workload::specProfile("hmmer_retro"));
+
+        cfg.trace = false;
+        Machine off(cfg);
+        workload::runSpec(off, workload::specProfile("hmmer_retro"));
+
+        EXPECT_EQ(fingerprint(on.metrics()),
+                  fingerprint(off.metrics()))
+            << "strategy " << core::strategyName(s);
+    }
+}
+
 /** Heap churn with capability links, register parking, and hoards —
  *  the same mix the chaos campaign uses, shrunk to gate size. */
 void

@@ -43,6 +43,41 @@ TEST(Samples, PercentileSingleSample)
     Samples s;
     s.add(7.0);
     EXPECT_DOUBLE_EQ(s.percentile(0.99), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 7.0);
+}
+
+TEST(Samples, PercentileEmptyIsZero)
+{
+    Samples s;
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+TEST(Samples, PercentileClampsOutOfRangeQ)
+{
+    Samples s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    // q beyond [0,1] must clamp to the extremes, never index past
+    // the sorted vector.
+    EXPECT_DOUBLE_EQ(s.percentile(-0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.5), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+}
+
+TEST(Boxplot, EmptySamplesYieldZeroSummary)
+{
+    Samples s;
+    const Boxplot b = boxplot(s);
+    EXPECT_EQ(b.n, 0u);
+    EXPECT_DOUBLE_EQ(b.min, 0.0);
+    EXPECT_DOUBLE_EQ(b.median, 0.0);
+    EXPECT_DOUBLE_EQ(b.max, 0.0);
 }
 
 TEST(Samples, LazySortSurvivesInterleavedAdds)

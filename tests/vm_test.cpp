@@ -308,6 +308,55 @@ TEST(Mmu, KernelPathsBypassBarrierAndDirtyTracking)
     });
 }
 
+/**
+ * Regression for the one-entry PTE pointer cache (PR 2): in-place PTE
+ * mutations — the epoch-open CLG flip, load-fault self-heals behind
+ * shootdownPage, the cap-dirty bit — do not bump the page-table
+ * epoch that keys the cache, so each such site must invalidate it
+ * explicitly. A stale cached walk here would let a load slip past
+ * the barrier untrapped.
+ */
+TEST(Mmu, PteCacheInvalidatedAcrossEpochFlip)
+{
+    VmHarness h;
+    h.mmu.setHostFastPaths(true); // the cache under test
+    int faults = 0;
+    h.mmu.setLoadFaultHandler([&](sim::SimThread &t, Addr va) {
+        ++faults;
+        Pte *p = h.as.findPte(va);
+        p->clg = h.mmu.currentGen();
+        h.mmu.shootdownPage(t, va);
+    });
+    h.onThread([&](sim::SimThread &t) {
+        const Addr base = h.as.reserve(kPageSize);
+        const cap::Capability c =
+            cap::Capability::root(base, base + 64);
+        h.mmu.storeCap(t, base, c);
+
+        // Warm both the TLB and the PTE pointer cache.
+        h.mmu.loadCap(t, base);
+        EXPECT_EQ(faults, 0);
+
+        // Epoch open: generations flip via in-place PTE mutation.
+        // The next load walks through whatever the cache returns and
+        // MUST still observe the stale CLG and trap.
+        h.mmu.flipAllCoreGens(t);
+        h.mmu.loadCap(t, base);
+        EXPECT_EQ(faults, 1);
+
+        // The self-heal (also an in-place mutation, behind
+        // shootdownPage) must likewise be visible: no double trap.
+        h.mmu.loadCap(t, base);
+        EXPECT_EQ(faults, 1);
+
+        // A second flip re-arms through the same cached entry.
+        h.mmu.flipAllCoreGens(t);
+        h.mmu.loadCap(t, base);
+        EXPECT_EQ(faults, 2);
+        EXPECT_EQ(h.mmu.stats().load_barrier_faults, 2u);
+    });
+}
+
 TEST(Mmu, ShootdownForcesRewalk)
 {
     VmHarness h;

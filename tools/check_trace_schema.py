@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate an exported trace against the Chrome trace-event schema.
+
+Checks the subset of the Trace Event Format (JSON Array Format wrapped
+in an object, as chrome://tracing and Perfetto load it) that our
+exporter emits:
+
+  - top level is an object with a "traceEvents" array;
+  - every event has string "name"/"ph" and integer "pid"/"tid";
+  - "ph" is one of M (metadata), X (complete), i (instant);
+  - X events carry non-negative integer "ts" and "dur";
+  - i events carry integer "ts" and a scope "s" of g/p/t;
+  - M events are process_name/thread_name with args.name;
+  - "args", when present, is an object.
+
+Exits non-zero with a diagnostic on the first malformed event.
+Usage: check_trace_schema.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(msg, i=None, ev=None):
+    where = "" if i is None else f" (event {i}: {json.dumps(ev)[:200]})"
+    print(f"check_trace_schema: FAIL: {msg}{where}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        fail("event is not an object", i, ev)
+    for key, typ in (("name", str), ("ph", str)):
+        if not isinstance(ev.get(key), typ):
+            fail(f'missing or non-string "{key}"', i, ev)
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int) or isinstance(ev.get(key), bool):
+            fail(f'missing or non-integer "{key}"', i, ev)
+    if "args" in ev and not isinstance(ev["args"], dict):
+        fail('"args" is not an object', i, ev)
+
+    ph = ev["ph"]
+    if ph == "M":
+        if ev["name"] not in ("process_name", "thread_name"):
+            fail("unknown metadata event", i, ev)
+        if not isinstance(ev.get("args", {}).get("name"), str):
+            fail("metadata event without args.name", i, ev)
+    elif ph == "X":
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                fail(f'X event without non-negative integer "{key}"', i, ev)
+    elif ph == "i":
+        v = ev.get("ts")
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail('i event without non-negative integer "ts"', i, ev)
+        if ev.get("s", "t") not in ("g", "p", "t"):
+            fail('i event with invalid scope "s"', i, ev)
+    else:
+        fail(f'unexpected phase "{ph}"', i, ev)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {argv[1]}: {e}")
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        fail('top level is not an object with a "traceEvents" array')
+    if not doc["traceEvents"]:
+        fail("traceEvents is empty")
+    counts = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        check_event(i, ev)
+        counts[ev["ph"]] = counts.get(ev["ph"], 0) + 1
+    summary = " ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+    print(f"check_trace_schema: OK: {len(doc['traceEvents'])} events "
+          f"({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
