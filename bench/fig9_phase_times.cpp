@@ -16,8 +16,11 @@
  * for every strategy, the per-phase totals recomputed from the event
  * trace must equal the RunMetrics phase accounting exactly.
  *
- * Usage: fig9_phase_times [--trace-out FILE] [--trace-check-only]
+ * Usage: fig9_phase_times [--trace-out FILE] [--check-out FILE]
+ *                         [--trace-check-only]
  *   --trace-out: write the Reloaded check run's Chrome trace JSON.
+ *   --check-out: run with the race checker on (DESIGN.md §11.1) and
+ *                write the Reloaded run's violation report JSON.
  *   --trace-check-only: run only the trace cross-check (CI).
  */
 
@@ -77,10 +80,13 @@ addRows(stats::Table &table, const std::string &bench,
  * Run one revoking profile per strategy with tracing on and check the
  * per-phase totals recomputed from the trace against the RunMetrics
  * epoch accounting, cycle for cycle. Optionally writes the Reloaded
- * run's trace JSON to @p trace_out.
+ * run's trace JSON to @p trace_out and, when @p check_out is set,
+ * runs with the race checker attached and writes its report there —
+ * both subsystems are zero-simulated-cost, so the cross-check totals
+ * are unaffected.
  */
 bool
-traceCrossCheck(const char *trace_out)
+traceCrossCheck(const char *trace_out, const char *check_out)
 {
     bool ok = true;
     for (core::Strategy s :
@@ -92,6 +98,8 @@ traceCrossCheck(const char *trace_out)
         cfg.policy = workload::specPolicy();
         cfg.trace = true;
         cfg.trace_buffer_events = 1u << 20; // never drop in this run
+        if (check_out != nullptr)
+            cfg.check = true;
         core::Machine m(cfg);
         workload::runSpec(m, workload::specProfile("hmmer_retro"));
 
@@ -158,6 +166,18 @@ traceCrossCheck(const char *trace_out)
                 std::fprintf(stderr, "  wrote %s\n", trace_out);
             }
         }
+        if (s == core::Strategy::kReloaded && check_out != nullptr) {
+            std::FILE *f = std::fopen(check_out, "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "cannot write %s\n", check_out);
+                ok = false;
+            } else {
+                const std::string json = m.checkReportJson();
+                std::fwrite(json.data(), 1, json.size(), f);
+                std::fclose(f);
+                std::fprintf(stderr, "  wrote %s\n", check_out);
+            }
+        }
     }
     return ok;
 }
@@ -168,17 +188,21 @@ int
 main(int argc, char **argv)
 {
     const char *trace_out = nullptr;
+    const char *check_out = nullptr;
     bool check_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
             trace_out = argv[++i];
+        else if (std::strcmp(argv[i], "--check-out") == 0 &&
+                 i + 1 < argc)
+            check_out = argv[++i];
         else if (std::strcmp(argv[i], "--trace-check-only") == 0)
             check_only = true;
     }
 
     std::fprintf(stderr,
                  "  trace cross-check (phase totals vs metrics)...\n");
-    const bool trace_ok = traceCrossCheck(trace_out);
+    const bool trace_ok = traceCrossCheck(trace_out, check_out);
     if (!trace_ok) {
         std::fprintf(stderr,
                      "fig9: trace/metrics phase accounting diverged\n");

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "base/logging.h"
+#include "check/race_checker.h"
 
 namespace crev::alloc {
 
@@ -14,6 +15,14 @@ QuarantineShim::QuarantineShim(SnmallocLite &snm, kern::Kernel &kernel,
       policy_(policy)
 {
     CREV_ASSERT((revoker_ == nullptr) == (bitmap_ == nullptr));
+}
+
+void
+QuarantineShim::setChecker(check::RaceChecker *c)
+{
+    checker_ = c;
+    if (c != nullptr)
+        c->nameLock(&heap_lock_, "heap");
 }
 
 std::size_t
@@ -28,9 +37,15 @@ void
 QuarantineShim::maybeDequarantine(sim::SimThread &t)
 {
     const std::uint64_t now = kernel_.epoch().value();
+    if (checker_ != nullptr)
+        checker_->onQuarantineAccess(t.id(), t.now(),
+                                     heap_lock_.heldBy(t));
     for (Buffer &b : buffers_) {
         if (!b.awaiting || now < b.target)
             continue;
+        if (checker_ != nullptr)
+            checker_->onDequarantineRelease(t.id(), t.now(), b.target,
+                                            now);
         // Detach the buffer *before* releasing its entries: the
         // release path yields (simulated memory traffic), and another
         // thread sharing this heap may re-enter; detaching first
@@ -56,6 +71,9 @@ void
 QuarantineShim::maybeTrigger(sim::SimThread &t)
 {
     Buffer &b = buffers_[cur_];
+    if (checker_ != nullptr)
+        checker_->onQuarantineAccess(t.id(), t.now(),
+                                     heap_lock_.heldBy(t));
     if (b.awaiting || b.bytes <= threshold())
         return;
 
@@ -146,6 +164,9 @@ QuarantineShim::free(sim::SimThread &t, const cap::Capability &c)
         cur_ ^= 1;
 
     Buffer &b = buffers_[cur_];
+    if (checker_ != nullptr)
+        checker_->onQuarantineAccess(t.id(), t.now(),
+                                     heap_lock_.heldBy(t));
     b.entries.push_back(Entry{c.base, size});
     b.bytes += size;
     quarantine_bytes_ += size;

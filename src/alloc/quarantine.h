@@ -25,6 +25,10 @@
 #include "alloc/snmalloc_lite.h"
 #include "revoker/revoker.h"
 
+namespace crev::check {
+class RaceChecker;
+}
+
 namespace crev::alloc {
 
 /** Quarantine sizing policy (paper §5 defaults, scaled). */
@@ -104,6 +108,10 @@ class QuarantineShim
      *  kQuarantineBlock/kQuarantineUnblock spans. */
     void setTracer(trace::Tracer *t) { tracer_ = t; }
 
+    /** Attach the race checker (null = off); names the heap lock and
+     *  observes quarantine-buffer accesses and releases. */
+    void setChecker(check::RaceChecker *c);
+
   private:
     struct Entry
     {
@@ -156,6 +164,7 @@ class QuarantineShim
     std::size_t quarantine_bytes_ = 0;
     QuarantineStats stats_;
     trace::Tracer *tracer_ = nullptr;
+    check::RaceChecker *checker_ = nullptr;
 };
 
 } // namespace crev::alloc

@@ -10,6 +10,7 @@
 #ifndef CREV_BASE_RNG_H_
 #define CREV_BASE_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 namespace crev {
@@ -76,13 +77,13 @@ class Rng
     bool chance(double p) { return uniform() < p; }
 
   private:
-    static std::uint64_t
+    static constexpr std::uint64_t
     rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
     }
 
-    std::uint64_t state_[4];
+    std::array<std::uint64_t, 4> state_{};
 };
 
 } // namespace crev

@@ -84,7 +84,11 @@ decode(const CapBits &bits, bool tag)
     // representable-region correction (CHERI Concentrate style): the
     // region begins 2^12 units below the base's mantissa.
     const std::uint64_t amid = (c.address >> e) & kMantissaMask;
-    const std::uint64_t atop = c.address >> (e + kMantissaBits);
+    // Untagged garbage can carry any 6-bit exponent; once e + 14
+    // covers the word there are no address bits above the mantissa.
+    const unsigned top_shift = e + kMantissaBits;
+    const std::uint64_t atop =
+        top_shift < 64 ? c.address >> top_shift : 0;
     const std::uint64_t r =
         (bmant - (std::uint64_t{1} << kReprSlackBits)) & kMantissaMask;
     const std::int64_t cb = (bmant < r ? 1 : 0) - (amid < r ? 1 : 0);

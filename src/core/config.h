@@ -50,6 +50,14 @@ bool defaultHostFastPaths();
  */
 bool defaultTrace();
 
+/**
+ * Default for MachineConfig::check: false unless the CREV_CHECK
+ * environment variable is set to something other than "0". The race
+ * checker is an off-clock observer like the tracer: RunMetrics are
+ * bit-identical with checking on or off (tests/check_test.cpp).
+ */
+bool defaultCheck();
+
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
     Strategy::kBaseline,   Strategy::kPaintOnly,
@@ -84,6 +92,11 @@ struct MachineConfig
     /** Virtual-time event tracing (DESIGN.md §10). Zero simulated
      *  cost: RunMetrics are bit-identical with tracing on or off. */
     bool trace = defaultTrace();
+
+    /** Simulation-aware race detection (DESIGN.md §11): lockset and
+     *  happens-before checking over the declared shared-state domains.
+     *  Zero simulated cost, like tracing. */
+    bool check = defaultCheck();
     /** Per-thread trace ring capacity, in events. */
     std::size_t trace_buffer_events = 1u << 16;
 

@@ -47,6 +47,13 @@ defaultTrace()
     return env != nullptr && std::strcmp(env, "0") != 0;
 }
 
+bool
+defaultCheck()
+{
+    const char *env = std::getenv("CREV_CHECK");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     if (cfg.trace)
@@ -56,11 +63,17 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
                                               cfg.llc, cfg.latency);
     sched_ = std::make_unique<sim::Scheduler>(cfg.cores, cfg.costs);
     sched_->setTracer(tracer_.get());
+    if (cfg.check)
+        checker_ = std::make_unique<check::RaceChecker>();
+    // Attach before any spawn so every thread gets its HB edges.
+    sched_->setChecker(checker_.get());
     as_ = std::make_unique<vm::AddressSpace>(pm_);
+    as_->setChecker(checker_.get());
     mmu_ = std::make_unique<vm::Mmu>(pm_, *ms_, *as_, sched_->costs());
     mmu_->setHostFastPaths(cfg.host_fast_paths);
     mmu_->setTracer(tracer_.get());
     kernel_ = std::make_unique<kern::Kernel>(*mmu_, sched_->costs());
+    kernel_->epoch().setChecker(checker_.get());
 
     if (cfg.faults.enabled) {
         injector_ = std::make_unique<sim::FaultInjector>(cfg.faults);
@@ -76,6 +89,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         shim_ = std::make_unique<alloc::QuarantineShim>(
             *snm_, *kernel_, nullptr, nullptr, cfg.policy);
         shim_->setTracer(tracer_.get());
+        shim_->setChecker(checker_.get());
         return;
     }
 
@@ -145,9 +159,17 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
             revoker_->onDequarantine(base, len);
         });
     kernel_->setQuiesceHook([this](sim::SimThread &t) {
-        const std::uint64_t e = kernel_->epoch().value();
-        if (e & 1)
+        // Loop: waitForEpochCounter(e + 1) can return after the daemon
+        // has already opened the NEXT epoch (counter odd again), and a
+        // munmap proceeding then would violate the §4.3 exclusion.
+        for (;;) {
+            const std::uint64_t e = kernel_->epoch().value();
+            if ((e & 1) == 0)
+                return;
             revoker_->waitForEpochCounter(t, e + 1);
+            if (t.scheduler().shuttingDown())
+                return;
+        }
     });
 
     auditor_ = std::make_unique<revoker::Auditor>(*sched_, *mmu_,
@@ -159,6 +181,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     shim_ = std::make_unique<alloc::QuarantineShim>(
         *snm_, *kernel_, revoker_.get(), bitmap_.get(), cfg.policy);
     shim_->setTracer(tracer_.get());
+    shim_->setChecker(checker_.get());
 
     // The revocation service daemon(s).
     sim::SimThread *rev_thread = sched_->spawn(
@@ -277,6 +300,14 @@ Machine::metrics() const
     if (injector_)
         m.faults_injected = injector_->counters();
     return m;
+}
+
+std::string
+Machine::checkReportJson() const
+{
+    if (!checker_)
+        return "";
+    return checker_->reportJson();
 }
 
 std::string

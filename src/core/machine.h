@@ -27,6 +27,7 @@
 
 #include "alloc/quarantine.h"
 #include "alloc/snmalloc_lite.h"
+#include "check/race_checker.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "kern/kernel.h"
@@ -91,6 +92,11 @@ class Machine
     sim::FaultInjector *faultInjectorOrNull() { return injector_.get(); }
     revoker::EpochWatchdog *watchdogOrNull() { return watchdog_.get(); }
     trace::Tracer *tracerOrNull() { return tracer_.get(); }
+    check::RaceChecker *checkerOrNull() { return checker_.get(); }
+
+    /** Race-checker report JSON; empty if checking was off. Written
+     *  next to the Chrome trace by the bench tooling. */
+    std::string checkReportJson() const;
 
     /** Chrome trace-event JSON of the run; empty if tracing was off.
      *  Byte-identical across same-seed runs. */
@@ -102,6 +108,7 @@ class Machine
   private:
     MachineConfig cfg_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<check::RaceChecker> checker_;
     mem::PhysMem pm_;
     std::unique_ptr<mem::MemorySystem> ms_;
     std::unique_ptr<sim::Scheduler> sched_;

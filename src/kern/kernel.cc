@@ -1,9 +1,19 @@
 #include "kern/kernel.h"
 
 #include "base/logging.h"
+#include "check/race_checker.h"
 #include "vm/address_space.h"
 
 namespace crev::kern {
+
+void
+EpochCounter::advance(sim::SimThread &t)
+{
+    t.accrue(8);
+    ++value_;
+    if (checker_ != nullptr)
+        checker_->onEpochAdvance(t.id(), t.now(), value_);
+}
 
 Kernel::Kernel(vm::Mmu &mmu, const sim::CostModel &cm)
     : mmu_(mmu), cm_(cm)
@@ -32,7 +42,7 @@ Kernel::sysMunmap(sim::SimThread &t, Addr base, Addr length)
     if (quiesce_)
         quiesce_(t);
     vm::AddressSpace &as = mmu_.addressSpace();
-    as.unmap(base, roundUp(length, kPageSize));
+    as.unmap(t, base, roundUp(length, kPageSize));
     // Unmapped translations must not linger in any TLB.
     for (Addr va = base; va < base + length; va += kPageSize)
         mmu_.shootdownPage(t, va);
@@ -59,7 +69,7 @@ Kernel::reapQuarantinedMappings(sim::SimThread &t)
         if (epoch_.value() >= it->release_target) {
             if (clear_)
                 clear_(t, it->reservation->base, it->reservation->length);
-            mmu_.addressSpace().release(it->reservation);
+            mmu_.addressSpace().release(t, it->reservation);
             it = quarantined_mappings_.erase(it);
             ++released;
         } else {

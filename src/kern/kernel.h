@@ -24,6 +24,10 @@
 #include "sim/scheduler.h"
 #include "vm/mmu.h"
 
+namespace crev::check {
+class RaceChecker;
+}
+
 namespace crev::kern {
 
 /**
@@ -46,12 +50,10 @@ class EpochCounter
     std::uint64_t value() const { return value_; }
 
     /** Advance (revoker only). */
-    void
-    advance(sim::SimThread &t)
-    {
-        t.accrue(8);
-        ++value_;
-    }
+    void advance(sim::SimThread &t);
+
+    /** Attach the race checker (null = off); observes advances. */
+    void setChecker(check::RaceChecker *c) { checker_ = c; }
 
     /**
      * The counter value a painter must wait for so that at least one
@@ -66,6 +68,7 @@ class EpochCounter
 
   private:
     std::uint64_t value_ = 0;
+    check::RaceChecker *checker_ = nullptr;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "check/race_checker.h"
 #include "trace/trace.h"
 #include "vm/address_space.h"
 
@@ -35,15 +36,32 @@ RevocationBitmap::setRange(sim::SimThread &t, Addr base, Addr len,
     // allocator uses an atomic OR/AND: without atomicity, a paint
     // racing a clear of another bit in the same byte could lose one
     // of the updates). Whole bytes in the middle are written in bulk.
+    check::RaceChecker *checker = t.scheduler().checker();
     auto rmw_byte = [&](Addr byte_va, std::uint8_t mask, Addr from,
                         Addr to) {
-        sim::SimThread::NoYield guard(t);
-        mirror(from, to);
+        if (checker != nullptr)
+            checker->onShadowRmwBegin(t.id(), t.now(), byte_va);
         std::uint8_t b = 0;
-        mmu_.loadData(t, byte_va, &b, 1);
-        b = value ? static_cast<std::uint8_t>(b | mask)
-                  : static_cast<std::uint8_t>(b & ~mask);
-        mmu_.storeData(t, byte_va, &b, 1);
+        if (torn_rmw_for_test_) {
+            // Deliberately broken variant: no NoYield guard, and the
+            // token is handed away between the load and the store —
+            // exactly the lost-update window the guard prevents.
+            mirror(from, to);
+            mmu_.loadData(t, byte_va, &b, 1);
+            t.yieldNow();
+            b = value ? static_cast<std::uint8_t>(b | mask)
+                      : static_cast<std::uint8_t>(b & ~mask);
+            mmu_.storeData(t, byte_va, &b, 1);
+        } else {
+            sim::SimThread::NoYield guard(t);
+            mirror(from, to);
+            mmu_.loadData(t, byte_va, &b, 1);
+            b = value ? static_cast<std::uint8_t>(b | mask)
+                      : static_cast<std::uint8_t>(b & ~mask);
+            mmu_.storeData(t, byte_va, &b, 1);
+        }
+        if (checker != nullptr)
+            checker->onShadowRmwEnd(t.id(), byte_va);
     };
 
     while (g < g_end && (g & 7) != 0) {
@@ -67,6 +85,9 @@ RevocationBitmap::setRange(sim::SimThread &t, Addr base, Addr len,
         const std::size_t n = static_cast<std::size_t>(
             std::min<Addr>(whole_bytes, sizeof(chunk)));
         sim::SimThread::NoYield guard(t);
+        if (checker != nullptr)
+            checker->onShadowWrite(t.id(), t.now(), byte_va,
+                                   static_cast<Addr>(n));
         mirror(g, g + static_cast<Addr>(n) * 8);
         mmu_.storeData(t, byte_va, chunk, n);
         g += static_cast<Addr>(n) * 8;
@@ -112,6 +133,8 @@ RevocationBitmap::probe(sim::SimThread &t, Addr addr)
 {
     const Addr g = addr >> kGranuleBits;
     const Addr byte_va = vm::kShadowBase + (g >> 3);
+    if (auto *c = t.scheduler().checker())
+        c->onShadowProbe(t.id(), t.now(), byte_va);
     std::uint8_t b = 0;
     // Host fast path: when the probing core's TLB already maps the
     // shadow page, loadData() would charge exactly one access — the

@@ -56,12 +56,21 @@ class RevocationBitmap
      *  phase brackets on the painting thread. */
     void setTracer(trace::Tracer *t) { tracer_ = t; }
 
+    /**
+     * Test-only: deliberately tear the partial-byte read-modify-write
+     * by yielding between the shadow load and store (the lost-update
+     * bug the NoYield guard exists to prevent). The race checker's
+     * shadow-rmw-race rule must flag the resulting interleavings.
+     */
+    void setTornRmwForTest(bool torn) { torn_rmw_for_test_ = torn; }
+
   private:
     void setRange(sim::SimThread &t, Addr base, Addr len, bool value);
 
     vm::Mmu &mmu_;
     std::unordered_set<Addr> painted_;
     trace::Tracer *tracer_ = nullptr;
+    bool torn_rmw_for_test_ = false;
 };
 
 } // namespace crev::revoker

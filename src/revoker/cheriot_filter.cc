@@ -72,10 +72,13 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
         const bool clean = sweep_.sweepPage(self, va);
         pmap.lock(self);
         if (p->valid) {
-            p->cap_dirty = false;
-            if (clean && opts_.clean_page_detection &&
-                !mmu_.pageHasTags(va))
-                p->cap_ever = false;
+            PublishOptions o;
+            o.clean = clean;
+            o.clean_page_detection = opts_.clean_page_detection;
+            o.set_generation = false;
+            o.charge_and_shootdown = false;
+            sweep_.publishPage(self, *p, va, o,
+                               vm::PteContext::kLocked);
         }
         pmap.unlock(self);
     }

@@ -27,11 +27,15 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
             if (p.cap_ever)
                 pages.push_back(va);
         });
+    PublishOptions dirty_clear;
+    dirty_clear.set_generation = false;
+    dirty_clear.charge_and_shootdown = false;
     for (Addr va : pages) {
         sweep_.sweepPage(self, va);
         vm::Pte *p = mmu_.addressSpace().findPte(va);
         if (p != nullptr)
-            p->cap_dirty = false;
+            sweep_.publishPage(self, *p, va, dirty_clear,
+                               vm::PteContext::kStw);
     }
 
     timing.stw_duration = self.now() - begin;

@@ -29,6 +29,9 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
         if (p.cap_ever)
             pages.push_back(va);
     });
+    PublishOptions dirty_clear;
+    dirty_clear.set_generation = false;
+    dirty_clear.charge_and_shootdown = false;
     for (Addr va : pages) {
         pmap.lock(self);
         vm::Pte *p = as.findPte(va);
@@ -36,7 +39,8 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
             pmap.unlock(self);
             continue;
         }
-        p->cap_dirty = false;
+        sweep_.publishPage(self, *p, va, dirty_clear,
+                           vm::PteContext::kLocked);
         pmap.unlock(self);
         sweep_.sweepPage(self, va);
     }
@@ -57,7 +61,8 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
         sweep_.sweepPage(self, va);
         vm::Pte *p = as.findPte(va);
         if (p != nullptr)
-            p->cap_dirty = false;
+            sweep_.publishPage(self, *p, va, dirty_clear,
+                               vm::PteContext::kStw);
     }
     timing.stw_duration = self.now() - begin;
     tracePhaseEnd(self, trace::Phase::kStwScan);

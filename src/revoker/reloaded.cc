@@ -81,20 +81,11 @@ ReloadedRevoker::deliverLoadFault(sim::SimThread &t, Addr fault_va,
     // Second acquisition: idempotently publish the new generation.
     pmap.lock(t);
     if (p->clg != gen || p->cap_load_trap) {
-        p->clg = gen;
-        p->cap_load_trap = false;
-        p->cap_dirty = false;
-        // Clean-page detection must re-verify under the lock: a
-        // capability may have been stored into the page *during* the
-        // (lockless) sweep, making our local verdict stale — exactly
-        // the §4.2/§7.4 dirty-tracking subtlety. Clearing cap_ever on
-        // a page that now holds tags would exempt those capabilities
-        // from all future sweeps.
-        if (clean && opts_.clean_page_detection &&
-            !mmu_.pageHasTags(va))
-            p->cap_ever = false;
-        t.accrue(mmu_.costs().pte_update);
-        mmu_.shootdownPage(t, va);
+        PublishOptions o;
+        o.gen = gen;
+        o.clean = clean;
+        o.clean_page_detection = opts_.clean_page_detection;
+        sweep_.publishPage(t, *p, va, o, vm::PteContext::kLocked);
     }
     pmap.unlock(t);
 
@@ -150,22 +141,12 @@ ReloadedRevoker::visitPage(sim::SimThread &t, Addr va)
 
     pmap.lock(t);
     if (p->valid && (p->clg != gen || p->cap_load_trap)) {
-        // Re-verify cleanliness under the lock (see deliverLoadFault):
-        // a store during the lockless sweep invalidates the verdict.
-        clean = clean && !mmu_.pageHasTags(va);
-        if (clean && opts_.clean_page_detection)
-            p->cap_ever = false;
-        if (clean && opts_.always_trap_clean_pages) {
-            // §7.6: leave the page in the always-trap disposition; its
-            // generation need not be maintained while it stays clean.
-            p->cap_load_trap = true;
-        } else {
-            p->clg = gen;
-            p->cap_load_trap = false;
-        }
-        p->cap_dirty = false;
-        t.accrue(mmu_.costs().pte_update);
-        mmu_.shootdownPage(t, va);
+        PublishOptions o;
+        o.gen = gen;
+        o.clean = clean;
+        o.clean_page_detection = opts_.clean_page_detection;
+        o.always_trap_clean = opts_.always_trap_clean_pages;
+        sweep_.publishPage(t, *p, va, o, vm::PteContext::kLocked);
     }
     pmap.unlock(t);
 }

@@ -1,6 +1,7 @@
 #include "revoker/revoker.h"
 
 #include "base/logging.h"
+#include "check/race_checker.h"
 #include "sim/fault_injector.h"
 #include "vm/address_space.h"
 
@@ -58,6 +59,8 @@ Revoker::scanRegistersAndHoards(sim::SimThread &self)
     // Paper §4.4: the kernel must scan all pointers it holds on behalf
     // of the program — saved register files of every thread plus
     // explicit hoards — and may divulge none unchecked.
+    if (auto *c = sched_.checker())
+        c->onStwScan(self.id(), self.now());
     for (const auto &tp : sched_.threads())
         sweep_.scanRegisters(self, tp->registerFile());
     sweep_.scanRegisters(self, kernel_.hoard().slots());
@@ -149,18 +152,15 @@ Revoker::emergencyStwSweep(sim::SimThread &self)
     // pending traps.
     vm::AddressSpace &as = mmu_.addressSpace();
     const unsigned gen = mmu_.currentGen();
-    const auto &cm = mmu_.costs();
     as.forEachResidentPage([&](Addr va, vm::Pte &p) {
         if (!p.valid)
             return;
         if (p.cap_ever)
             sweep_.sweepPage(self, va);
         if (p.clg != gen || p.cap_load_trap) {
-            p.clg = gen;
-            p.cap_load_trap = false;
-            p.cap_dirty = false;
-            self.accrue(cm.pte_update);
-            mmu_.shootdownPage(self, va);
+            PublishOptions o;
+            o.gen = gen;
+            sweep_.publishPage(self, p, va, o, vm::PteContext::kStw);
         }
     });
 

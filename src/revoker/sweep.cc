@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "cap/compression.h"
+#include "vm/address_space.h"
 
 namespace crev::revoker {
 
@@ -28,10 +29,12 @@ SweepEngine::sweepPageReference(sim::SimThread &t, Addr page_va)
         ++stats_.lines_read;
 
         for (Addr g = line; g < line + kLineSize; g += kGranuleSize) {
+            // lint: uncharged-ok (chargeRead above paid for the line)
             if (!mmu_.peekTag(g))
                 continue;
             clean = false;
             ++stats_.caps_seen;
+            // lint: uncharged-ok (value on-chip after the line read)
             const cap::Capability c = mmu_.peekCap(g);
             t.accrue(2); // decode / base extraction
             if (bitmap_.probe(t, c.base)) {
@@ -61,6 +64,7 @@ SweepEngine::sweepPageFast(sim::SimThread &t, Addr page_va)
         // equally invisible to the reference scan, which had already
         // walked past).
         for (unsigned pos = 0; pos < mem::kGranulesPerLine;) {
+            // lint: uncharged-ok (chargeRead above paid for the line)
             const unsigned live = mmu_.peekLineTagNibble(line) >> pos;
             if (live == 0)
                 break; // rest of the line is untagged right now
@@ -70,6 +74,7 @@ SweepEngine::sweepPageFast(sim::SimThread &t, Addr page_va)
             const Addr g = line + Addr{gi} * kGranuleSize;
             clean = false;
             ++stats_.caps_seen;
+            // lint: uncharged-ok (value on-chip after the line read)
             const cap::Capability c = mmu_.peekCap(g);
             t.accrue(2); // decode / base extraction
             if (bitmap_.probe(t, c.base)) {
@@ -95,6 +100,36 @@ SweepEngine::scanRegisters(sim::SimThread &t,
             ++stats_.regs_revoked;
         }
     }
+}
+
+bool
+SweepEngine::publishPage(sim::SimThread &t, vm::Pte &p, Addr page_va,
+                         const PublishOptions &o, vm::PteContext ctx)
+{
+    mmu_.addressSpace().notePtePublish(t, page_va, ctx);
+
+    // Clean-page detection must re-verify against live tags: a
+    // capability stored during a lockless sweep makes the caller's
+    // verdict stale (§4.2/§7.4). pageHasTags is uncharged host work.
+    const bool clean = o.clean && !mmu_.pageHasTags(page_va);
+    if (clean && o.clean_page_detection)
+        p.cap_ever = false;
+    if (o.set_generation) {
+        if (clean && o.always_trap_clean) {
+            // §7.6: leave the page in the always-trap disposition; its
+            // generation need not be maintained while it stays clean.
+            p.cap_load_trap = true;
+        } else {
+            p.clg = o.gen;
+            p.cap_load_trap = false;
+        }
+    }
+    p.cap_dirty = false;
+    if (o.charge_and_shootdown) {
+        t.accrue(mmu_.costs().pte_update);
+        mmu_.shootdownPage(t, page_va);
+    }
+    return clean;
 }
 
 bool

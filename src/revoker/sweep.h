@@ -35,6 +35,26 @@ struct SweepStats
     std::uint64_t regs_revoked = 0;
 };
 
+/**
+ * Per-site knobs for SweepEngine::publishPage(). Each revocation
+ * strategy publishes page dispositions with a different subset of the
+ * full Reloaded behaviour; the options select exactly the writes (and
+ * charges) the site performed before the choke point existed.
+ */
+struct PublishOptions
+{
+    unsigned gen = 0;     //!< generation to publish (set_generation)
+    bool clean = false;   //!< caller's (possibly stale) sweep verdict
+    /** Clear cap_ever when the page re-verifies clean. */
+    bool clean_page_detection = false;
+    /** §7.6: clean pages keep an always-trap disposition. */
+    bool always_trap_clean = false;
+    /** Refresh CLG / load-trap bits (epoch-healing sites). */
+    bool set_generation = true;
+    /** Charge the PTE update and shoot down the page's translations. */
+    bool charge_and_shootdown = true;
+};
+
 /** Shared page/register sweeping machinery. */
 class SweepEngine
 {
@@ -68,6 +88,18 @@ class SweepEngine
 
     /** Whether a single capability is slated for revocation. */
     bool isRevoked(sim::SimThread &t, const cap::Capability &c);
+
+    /**
+     * The single choke point through which every strategy publishes an
+     * in-place PTE disposition (CLG/trap refresh, cap-dirty clear,
+     * clean-page detection). Declares the publish to the address space
+     * (race-checker observation, or a hard locking assertion when no
+     * checker is attached), re-verifies cleanliness against live tags,
+     * and applies exactly the writes selected by @p o. Returns the
+     * re-verified clean verdict.
+     */
+    bool publishPage(sim::SimThread &t, vm::Pte &p, Addr page_va,
+                     const PublishOptions &o, vm::PteContext ctx);
 
     const SweepStats &stats() const { return stats_; }
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "base/logging.h"
+#include "check/race_checker.h"
 #include "trace/trace.h"
 
 namespace crev::sim {
@@ -118,6 +119,10 @@ Scheduler::spawn(std::string name, std::uint32_t core_mask,
     SimThread *t = threads_.back().get();
     if (current_ != nullptr)
         t->clock_ = current_->clock_;
+    if (checker_ != nullptr)
+        checker_->onThreadSpawn(
+            current_ != nullptr ? static_cast<int>(current_->id_) : -1,
+            id);
     t->host_ = std::thread([t] { t->threadMain(); });
     return t;
 }
@@ -127,6 +132,13 @@ Scheduler::setQuantumScale(SimThread &t, double scale)
 {
     CREV_ASSERT(scale > 0);
     t.quantum_scale_ = scale;
+}
+
+bool
+Scheduler::stwOwnedBy(const SimThread &t)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    return stw_active_ && stw_owner_ == &t;
 }
 
 bool
@@ -312,6 +324,8 @@ Scheduler::wake(SimThread &t, Cycles at)
     std::unique_lock<std::mutex> lk(mtx_);
     if (t.status_ != ThreadStatus::kBlocked)
         return;
+    if (checker_ != nullptr && current_ != nullptr)
+        checker_->onWake(current_->id_, t.id_);
     t.status_ = ThreadStatus::kReady;
     t.clock_ = std::max({t.clock_, at, last_stw_end_ <= at ? Cycles{0}
                                                            : last_stw_end_});
@@ -343,6 +357,8 @@ Scheduler::stopTheWorld(SimThread &self)
     if (tracer_ != nullptr)
         tracer_->record(self.id_, self.core_, begin,
                         trace::EventType::kStwBegin);
+    if (checker_ != nullptr)
+        checker_->onStwBegin(self.id_);
     self.yield_horizon_ = kInfinity;
     return begin;
 }
@@ -357,6 +373,8 @@ Scheduler::resumeWorld(SimThread &self)
     if (tracer_ != nullptr)
         tracer_->record(self.id_, self.core_, end,
                         trace::EventType::kStwEnd);
+    if (checker_ != nullptr)
+        checker_->onStwEnd(self.id_);
     stw_active_ = false;
     stw_owner_ = nullptr;
     for (auto &tp : threads_)

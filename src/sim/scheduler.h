@@ -38,6 +38,10 @@ namespace crev::trace {
 class Tracer;
 }
 
+namespace crev::check {
+class RaceChecker;
+}
+
 namespace crev::sim {
 
 class Scheduler;
@@ -237,6 +241,17 @@ class Scheduler
     void setTracer(trace::Tracer *t) { tracer_ = t; }
     trace::Tracer *tracer() const { return tracer_; }
 
+    /**
+     * Attach the race checker (null = off). Like the tracer, every
+     * hook is an off-clock observer: no simulated cycles, no yields,
+     * so attaching one cannot perturb a run (DESIGN.md §11).
+     */
+    void setChecker(check::RaceChecker *c) { checker_ = c; }
+    check::RaceChecker *checker() const { return checker_; }
+
+    /** Whether @p t currently owns an active stop-the-world window. */
+    bool stwOwnedBy(const SimThread &t);
+
   private:
     friend class SimThread;
 
@@ -253,6 +268,7 @@ class Scheduler
     const CostModel cm_;
 
     trace::Tracer *tracer_ = nullptr;
+    check::RaceChecker *checker_ = nullptr;
 
     std::mutex mtx_;
     std::condition_variable sched_cv_;

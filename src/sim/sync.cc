@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "check/race_checker.h"
 
 namespace crev::sim {
 
@@ -20,6 +21,8 @@ SimMutex::lock(SimThread &self)
             waiters_.erase(it);
     }
     owner_ = &self;
+    if (auto *c = self.scheduler().checker())
+        c->onMutexAcquire(self.id(), this);
 }
 
 bool
@@ -28,6 +31,8 @@ SimMutex::tryLock(SimThread &self)
     if (owner_ != nullptr)
         return false;
     owner_ = &self;
+    if (auto *c = self.scheduler().checker())
+        c->onMutexAcquire(self.id(), this);
     return true;
 }
 
@@ -35,6 +40,8 @@ void
 SimMutex::unlock(SimThread &self)
 {
     CREV_ASSERT(owner_ == &self);
+    if (auto *c = self.scheduler().checker())
+        c->onMutexRelease(self.id(), this);
     owner_ = nullptr;
     if (!waiters_.empty()) {
         SimThread *next = waiters_.front();

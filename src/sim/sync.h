@@ -14,6 +14,7 @@
 #include <deque>
 #include <vector>
 
+#include "base/logging.h"
 #include "base/types.h"
 #include "sim/scheduler.h"
 
@@ -37,6 +38,12 @@ class SimMutex
 
     bool heldBy(const SimThread &t) const { return owner_ == &t; }
     bool held() const { return owner_ != nullptr; }
+
+    /** Current holder (null when free); for debug diagnostics. */
+    const SimThread *holder() const { return owner_; }
+
+    /** Hard assertion that @p t holds this mutex (never compiled out). */
+    void assertHeld(const SimThread &t) const { CREV_ASSERT(owner_ == &t); }
 
     /** Times lock() found the mutex held (contention metric). */
     std::uint64_t contended() const { return contended_; }

@@ -24,25 +24,28 @@ class Samples
     void add(double v);
     void addAll(const std::vector<double> &vs);
 
-    std::size_t count() const { return values_.size(); }
-    bool empty() const { return values_.empty(); }
+    [[nodiscard]] std::size_t count() const { return values_.size(); }
+    [[nodiscard]] bool empty() const { return values_.empty(); }
 
-    double min() const;
-    double max() const;
-    double sum() const;
-    double mean() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double sum() const;
+    [[nodiscard]] double mean() const;
     /** Population standard deviation. */
-    double stddev() const;
+    [[nodiscard]] double stddev() const;
     /**
      * Exact quantile by linear interpolation. Total: q is clamped to
      * [0, 1] and the empty set yields 0.0, so bench code can query
      * tails without pre-checking counts.
      */
-    double percentile(double q) const;
-    double median() const { return percentile(0.5); }
+    [[nodiscard]] double percentile(double q) const;
+    [[nodiscard]] double median() const { return percentile(0.5); }
 
     /** Read-only access to the (unsorted) raw samples. */
-    const std::vector<double> &values() const { return values_; }
+    [[nodiscard]] const std::vector<double> &values() const
+    {
+        return values_;
+    }
 
   private:
     void ensureSorted() const;
@@ -65,17 +68,17 @@ struct Boxplot
 };
 
 /** Compute a boxplot summary of @p s. */
-Boxplot boxplot(const Samples &s);
+[[nodiscard]] Boxplot boxplot(const Samples &s);
 
 /** Geometric mean of a list of (positive) values. */
-double geomean(const std::vector<double> &vs);
+[[nodiscard]] double geomean(const std::vector<double> &vs);
 
 /**
  * Evaluate the empirical CDF of @p s at each of @p points, returning the
  * fraction of samples <= the point (fig. 7's normalized CDF).
  */
-std::vector<double> cdfAt(const Samples &s,
-                          const std::vector<double> &points);
+[[nodiscard]] std::vector<double> cdfAt(const Samples &s,
+                                        const std::vector<double> &points);
 
 } // namespace crev::stats
 

@@ -1,5 +1,6 @@
 #include "stats/table.h"
 
+#include <array>
 #include <cstdio>
 #include <sstream>
 
@@ -45,7 +46,7 @@ Table::render() const
     emit(header_);
     std::size_t total = 0;
     for (std::size_t c = 0; c < widths.size(); ++c)
-        total += widths[c] + (c ? 2 : 0);
+        total += widths[c] + (c > 0 ? 2 : 0);
     os << std::string(total, '-') << '\n';
     for (const auto &row : rows_)
         emit(row);
@@ -61,17 +62,18 @@ Table::print() const
 std::string
 Table::fmt(double v, int digits)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
-    return buf;
+    std::array<char, 64> buf;
+    std::snprintf(buf.data(), buf.size(), "%.*f", digits, v);
+    return buf.data();
 }
 
 std::string
 Table::pct(double ratio, int digits)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
-    return buf;
+    std::array<char, 64> buf;
+    std::snprintf(buf.data(), buf.size(), "%.*f%%", digits,
+                  ratio * 100.0);
+    return buf.data();
 }
 
 } // namespace crev::stats

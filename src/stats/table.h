@@ -22,15 +22,15 @@ class Table
     void addRow(std::vector<std::string> row);
 
     /** Render the table, header first, with a separator rule. */
-    std::string render() const;
+    [[nodiscard]] std::string render() const;
 
     /** Render and write to stdout. */
     void print() const;
 
     /** Format helper: fixed-point with @p digits decimals. */
-    static std::string fmt(double v, int digits = 2);
+    [[nodiscard]] static std::string fmt(double v, int digits = 2);
     /** Format helper: value as a percentage string, e.g. "12.3%". */
-    static std::string pct(double ratio, int digits = 1);
+    [[nodiscard]] static std::string pct(double ratio, int digits = 1);
 
   private:
     std::vector<std::string> header_;

@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "cap/compression.h"
+#include "check/race_checker.h"
 
 namespace crev::vm {
 
@@ -49,13 +50,20 @@ AddressSpace::guardPage(Addr va)
 }
 
 void
-AddressSpace::unmap(Addr base, Addr length)
+AddressSpace::unmap(sim::SimThread &t, Addr base, Addr length)
 {
     CREV_ASSERT(pageOffset(base) == 0);
     Reservation *r = reservationFor(base);
     CREV_ASSERT(r != nullptr);
     CREV_ASSERT(base + length <= r->base + r->requested);
     CREV_ASSERT(r->state == ReservationState::kActive);
+
+    if (checker_ != nullptr) {
+        const bool locked = pmap_lock_.heldBy(t) ||
+                            t.scheduler().stwOwnedBy(t);
+        for (Addr va = base; va < base + length; va += kPageSize)
+            checker_->onPteTeardown(t.id(), t.now(), va, locked);
+    }
 
     for (Addr va = base; va < base + length; va += kPageSize) {
         if (guarded_.count(va))
@@ -90,10 +98,17 @@ AddressSpace::takeNewlyQuarantined()
 }
 
 void
-AddressSpace::release(Reservation *r)
+AddressSpace::release(sim::SimThread &t, Reservation *r)
 {
     CREV_ASSERT(r->state == ReservationState::kQuarantined);
     r->state = ReservationState::kFreed;
+    if (checker_ != nullptr) {
+        const bool locked = pmap_lock_.heldBy(t) ||
+                            t.scheduler().stwOwnedBy(t);
+        for (Addr va = r->base; va < r->base + r->length;
+             va += kPageSize)
+            checker_->onPteTeardown(t.id(), t.now(), va, locked);
+    }
     for (Addr va = r->base; va < r->base + r->length; va += kPageSize)
         pages_.erase(va);
     ++pt_epoch_; // dangles any host-cached Pte pointers
@@ -186,6 +201,30 @@ AddressSpace::forEachResidentPage(
     for (auto &[va, p] : pages_)
         if (p.valid)
             fn(va, p);
+}
+
+void
+AddressSpace::notePtePublish(sim::SimThread &t, Addr va, PteContext ctx)
+{
+    const bool ok =
+        pmap_lock_.heldBy(t) || t.scheduler().stwOwnedBy(t);
+    if (checker_ != nullptr) {
+        checker_->onPtePublish(t.id(), t.now(), pageBase(va), ok);
+        return;
+    }
+    // No checker attached: enforce the claimed discipline outright.
+    if (ctx == PteContext::kLocked)
+        pmap_lock_.assertHeld(t);
+    else
+        CREV_ASSERT(ok);
+}
+
+void
+AddressSpace::setChecker(check::RaceChecker *c)
+{
+    checker_ = c;
+    if (c != nullptr)
+        c->nameLock(&pmap_lock_, "pmap");
 }
 
 std::vector<Addr>

@@ -26,6 +26,10 @@
 #include "sim/sync.h"
 #include "vm/pte.h"
 
+namespace crev::check {
+class RaceChecker;
+}
+
 namespace crev::vm {
 
 /** Lifecycle of a reservation. */
@@ -60,6 +64,16 @@ shadowByteFor(Addr va)
     return kShadowBase + (va >> (kGranuleBits + 3));
 }
 
+/**
+ * Locking context a caller claims when publishing an in-place PTE
+ * mutation (clearing CapDirty, setting CLG/trap bits): either the pmap
+ * lock is held, or the caller owns an active stop-the-world window.
+ */
+enum class PteContext {
+    kLocked, //!< publisher holds the pmap lock
+    kStw,    //!< publisher owns the stop-the-world window
+};
+
 /** The vmspace: reservations, page table, pmap lock. */
 class AddressSpace
 {
@@ -80,13 +94,13 @@ class AddressSpace
      * transitions to kQuarantined and is reported via
      * takeNewlyQuarantined() for the revoker to process.
      */
-    void unmap(Addr base, Addr length);
+    void unmap(sim::SimThread &t, Addr base, Addr length);
 
     /** Reservations that became quarantined since the last call. */
     std::vector<Reservation *> takeNewlyQuarantined();
 
     /** Release a revoked reservation (kernel layer, post-epoch). */
-    void release(Reservation *r);
+    void release(sim::SimThread &t, Reservation *r);
 
     /** The reservation containing @p va, or nullptr. */
     Reservation *reservationFor(Addr va);
@@ -114,6 +128,18 @@ class AddressSpace
 
     /** The pmap lock serialising PTE updates during revocation. */
     sim::SimMutex &pmapLock() { return pmap_lock_; }
+
+    /**
+     * Declare that @p t is about to publish an in-place mutation of the
+     * PTE for @p va under locking context @p ctx. With a race checker
+     * attached this forwards the (uncharged) observation and lets the
+     * run continue so the checker can report; without one it is a hard
+     * assertion that the claimed discipline actually holds.
+     */
+    void notePtePublish(sim::SimThread &t, Addr va, PteContext ctx);
+
+    /** Attach the race checker (null = off); names the pmap lock. */
+    void setChecker(check::RaceChecker *c);
 
     /** Frames freed since construction whose caches must be purged. */
     std::vector<Addr> takeFreedFrames();
@@ -145,6 +171,7 @@ class AddressSpace
     std::vector<Reservation *> newly_quarantined_;
     std::vector<Addr> freed_frames_;
     sim::SimMutex pmap_lock_;
+    check::RaceChecker *checker_ = nullptr;
     std::uint64_t pt_epoch_ = 0;
     Addr next_va_ = kHeapBase;
     Addr mapped_bytes_ = 0;

@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "cap/compression.h"
+#include "check/race_checker.h"
 #include "trace/trace.h"
 #include "vm/fault.h"
 
@@ -34,6 +35,8 @@ Mmu::coreGen(unsigned core) const
 void
 Mmu::flipAllCoreGens(sim::SimThread &t)
 {
+    if (auto *c = t.scheduler().checker())
+        c->onGenFlip(t.id(), t.now());
     gen_ ^= 1u;
     for (auto &g : core_gen_)
         g = gen_;

@@ -85,27 +85,30 @@ TEST(AddressSpace, DemandZeroThenResident)
 
 TEST(AddressSpace, UnmapCreatesGuardsAndQuarantinesReservation)
 {
-    mem::PhysMem pm;
-    AddressSpace as(pm);
-    const Addr base = as.reserve(kPageSize * 2);
-    as.makeResident(base);
-    as.makeResident(base + kPageSize);
-    EXPECT_EQ(pm.framesInUse(), 2u);
+    VmHarness h;
+    h.onThread([&](sim::SimThread &t) {
+        AddressSpace &as = h.as;
+        const Addr base = as.reserve(kPageSize * 2);
+        as.makeResident(base);
+        as.makeResident(base + kPageSize);
+        EXPECT_EQ(h.pm.framesInUse(), 2u);
 
-    as.unmap(base, kPageSize);
-    EXPECT_EQ(as.classify(base, false, false), FaultKind::kGuard);
-    EXPECT_EQ(pm.framesInUse(), 1u);
-    EXPECT_TRUE(as.takeNewlyQuarantined().empty());
+        as.unmap(t, base, kPageSize);
+        EXPECT_EQ(as.classify(base, false, false), FaultKind::kGuard);
+        EXPECT_EQ(h.pm.framesInUse(), 1u);
+        EXPECT_TRUE(as.takeNewlyQuarantined().empty());
 
-    as.unmap(base + kPageSize, kPageSize);
-    auto quarantined = as.takeNewlyQuarantined();
-    ASSERT_EQ(quarantined.size(), 1u);
-    EXPECT_EQ(quarantined[0]->state, ReservationState::kQuarantined);
+        as.unmap(t, base + kPageSize, kPageSize);
+        auto quarantined = as.takeNewlyQuarantined();
+        ASSERT_EQ(quarantined.size(), 1u);
+        EXPECT_EQ(quarantined[0]->state,
+                  ReservationState::kQuarantined);
 
-    // Released reservations' VA is never recycled.
-    as.release(quarantined[0]);
-    const Addr base2 = as.reserve(kPageSize);
-    EXPECT_GT(base2, base);
+        // Released reservations' VA is never recycled.
+        as.release(t, quarantined[0]);
+        const Addr base2 = as.reserve(kPageSize);
+        EXPECT_GT(base2, base);
+    });
 }
 
 TEST(AddressSpace, ShadowRegionIsImplicit)
@@ -162,7 +165,7 @@ TEST(Mmu, GuardTouchThrows)
     VmHarness h;
     h.onThread([&](sim::SimThread &t) {
         const Addr base = h.as.reserve(kPageSize);
-        h.as.unmap(base, kPageSize);
+        h.as.unmap(t, base, kPageSize);
         EXPECT_THROW(h.mmu.loadU64(t, base), MemoryFault);
     });
 }

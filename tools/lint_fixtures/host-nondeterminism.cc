@@ -1,0 +1,18 @@
+// Lint fixture: must fail the host-nondeterminism rule.
+// Not compiled — input for `crev_lint.py --self-test` only.
+#include <chrono>
+#include <cstdlib>
+
+namespace crev {
+
+unsigned long long
+seedFromHost()
+{
+    // Host entropy leaking into a simulated observable: the same
+    // (config, seed) would produce different metrics per run.
+    auto wall = std::chrono::system_clock::now().time_since_epoch();
+    return static_cast<unsigned long long>(wall.count()) +
+           static_cast<unsigned long long>(rand());
+}
+
+} // namespace crev

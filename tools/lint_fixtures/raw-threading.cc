@@ -1,0 +1,23 @@
+// Lint fixture: must fail the raw-threading rule.
+// Not compiled — input for `crev_lint.py --self-test` only.
+#include <mutex>
+#include <thread>
+
+namespace crev {
+
+struct HostLockedQuarantine
+{
+    // Host-side locking in simulated code: the blocking point is
+    // invisible to the scheduler, so it is neither deterministic nor
+    // accounted in virtual time. Must use sim::SimMutex.
+    std::mutex lock_;
+    std::thread worker_;
+
+    void
+    push()
+    {
+        std::lock_guard<std::mutex> g(lock_);
+    }
+};
+
+} // namespace crev

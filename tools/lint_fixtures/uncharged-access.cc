@@ -1,0 +1,20 @@
+// Lint fixture: must fail the uncharged-access rule.
+// Not compiled — input for `crev_lint.py --self-test` only.
+
+namespace crev {
+
+struct Mmu
+{
+    bool peekTag(unsigned long long va);
+};
+
+bool
+sweepGranuleFree(Mmu &mmu, unsigned long long va)
+{
+    // An uncharged tag peek on a simulation path with no annotation
+    // saying where the cycles are charged: the sweep would read
+    // memory for free and every derived timing would be wrong.
+    return mmu.peekTag(va);
+}
+
+} // namespace crev

@@ -1,0 +1,25 @@
+// Lint fixture: must fail the unordered-iteration rule.
+// Not compiled — input for `crev_lint.py --self-test` only.
+#include <cstdint>
+#include <unordered_set>
+
+namespace crev {
+
+struct PaintedExport
+{
+    std::unordered_set<std::uint64_t> painted_;
+
+    std::uint64_t
+    checksum() const
+    {
+        // Hash-order iteration feeding an exported value: the result
+        // depends on the host's hash seed and allocator, not on the
+        // simulation.
+        std::uint64_t sum = 0;
+        for (std::uint64_t g : painted_)
+            sum = sum * 31 + g;
+        return sum;
+    }
+};
+
+} // namespace crev

@@ -1,0 +1,26 @@
+// Lint fixture: every violation below carries a waiver annotation and
+// must therefore be CLEAN under `crev_lint.py --self-test`.
+// Not compiled — input for the self-test only.
+#include <mutex>
+
+namespace crev {
+
+struct Mmu
+{
+    bool peekTag(unsigned long long va);
+};
+
+struct Annotated
+{
+    // lint: threading-ok (fixture: host-side aggregation example)
+    std::mutex host_results_lock_;
+
+    bool
+    peeks(Mmu &mmu, unsigned long long va)
+    {
+        // lint: uncharged-ok (fixture: caller charges the line read)
+        return mmu.peekTag(va);
+    }
+};
+
+} // namespace crev
