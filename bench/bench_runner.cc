@@ -1,8 +1,15 @@
 #include "bench_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <numeric>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "core/mutator.h"
 #include "revoker/bitmap.h"
@@ -12,6 +19,77 @@
 
 namespace crev::benchutil {
 
+namespace {
+
+/**
+ * Most recent "host_seconds" per cell name from a trajectory file.
+ * Later occurrences overwrite earlier ones, so the newest run entry
+ * wins. Tolerant by construction: a missing file or any other text
+ * yields an empty (or partial) map and the caller falls back to
+ * static estimates.
+ */
+std::map<std::string, double>
+loadMeasuredCosts(const std::string &path)
+{
+    std::map<std::string, double> costs;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return costs;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    const std::string name_key = "{\"name\": \"";
+    const std::string secs_key = "\"host_seconds\": ";
+    std::size_t pos = 0;
+    while ((pos = text.find(name_key, pos)) != std::string::npos) {
+        pos += name_key.size();
+        const std::size_t name_end = text.find('"', pos);
+        if (name_end == std::string::npos)
+            break;
+        const std::string name = text.substr(pos, name_end - pos);
+        const std::size_t secs = text.find(secs_key, name_end);
+        if (secs == std::string::npos)
+            break;
+        costs[name] =
+            std::strtod(text.c_str() + secs + secs_key.size(), nullptr);
+        pos = name_end;
+    }
+    return costs;
+}
+
+/**
+ * Static cost estimate for cells with no measured history, from the
+ * cell-name convention "<workload>/.../<strategy>". Only the ordering
+ * matters, so rough relative weights are enough.
+ */
+double
+staticCostEstimate(const std::string &name)
+{
+    double cost = 1.0;
+    if (name.compare(0, 8, "pgbench/") == 0)
+        cost = 3.0;
+    else if (name.compare(0, 5, "grpc/") == 0)
+        cost = 2.0;
+    const std::size_t slash = name.rfind('/');
+    const std::string strategy =
+        slash == std::string::npos ? "" : name.substr(slash + 1);
+    if (strategy == "cheriot-filter")
+        cost *= 3.5;
+    else if (strategy == "cherivoke" || strategy == "cornucopia")
+        cost *= 2.5;
+    else if (strategy == "reloaded")
+        cost *= 2.0;
+    else if (strategy == "paint+sync")
+        cost *= 1.5;
+    return cost;
+}
+
+} // namespace
+
 unsigned
 benchThreads()
 {
@@ -20,7 +98,18 @@ benchThreads()
         if (n > 0)
             return static_cast<unsigned>(n);
     }
-    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned hw = std::thread::hardware_concurrency();
+#if defined(__linux__)
+    // hardware_concurrency() reports the machine, not the cpuset this
+    // process is confined to; oversubscribing a pinned container makes
+    // "parallel" runs strictly slower than serial ones.
+    cpu_set_t set;
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const unsigned usable = static_cast<unsigned>(CPU_COUNT(&set));
+        if (usable != 0 && (hw == 0 || usable < hw))
+            hw = usable;
+    }
+#endif
     return hw != 0 ? hw : 1;
 }
 
@@ -38,9 +127,29 @@ ParallelRunner::run(unsigned threads)
     // them once on this thread so workers only ever read them.
     workload::specProfiles();
 
-    auto results = parallelMap(
+    // Longest-expected-first start order. Stable sort with the
+    // submission index as tiebreak keeps the order deterministic for
+    // any cost map contents.
+    const std::map<std::string, double> measured =
+        loadMeasuredCosts(cost_file_);
+    std::vector<double> cost(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const auto it = measured.find(cells_[i].name);
+        cost[i] = it != measured.end()
+                      ? it->second
+                      : staticCostEstimate(cells_[i].name);
+    }
+    std::vector<std::size_t> order(cells_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return cost[a] > cost[b];
+                     });
+
+    auto by_start = parallelMap(
         cells_.size(),
-        [&](std::size_t i) {
+        [&](std::size_t k) {
+            const std::size_t i = order[k];
             CellResult r;
             r.name = cells_[i].name;
             const auto start = std::chrono::steady_clock::now();
@@ -52,6 +161,12 @@ ParallelRunner::run(unsigned threads)
             return r;
         },
         threads);
+
+    // Scatter back to submission order — scheduling is invisible in
+    // the results.
+    std::vector<CellResult> results(cells_.size());
+    for (std::size_t k = 0; k < by_start.size(); ++k)
+        results[order[k]] = std::move(by_start[k]);
     cells_.clear();
     return results;
 }
@@ -66,6 +181,8 @@ sweepRegimeName(SweepRegime r)
         return "sparse";
       case SweepRegime::kFull:
         return "full";
+      case SweepRegime::kRevokeDense:
+        return "revoke-dense";
     }
     return "?";
 }
@@ -91,42 +208,59 @@ measureSweepRegime(SweepRegime regime, bool host_fast_paths,
             ctx.store64(c, off0 + p * kPageSize, 1);
 
         const cap::Capability v = ctx.malloc(64);
+        const bool revoke_dense = regime == SweepRegime::kRevokeDense;
         const std::size_t caps_per_page =
             regime == SweepRegime::kClean    ? 0
             : regime == SweepRegime::kSparse ? 8
+            : revoke_dense                   ? 64
                                              : kGranulesPerPage;
         const std::size_t stride =
             caps_per_page == 0 ? 0 : kGranulesPerPage / caps_per_page;
-        for (std::size_t p = 0; p < pages; ++p)
-            for (std::size_t k = 0; k < caps_per_page; ++k)
-                ctx.storeCap(c,
-                             off0 + p * kPageSize +
-                                 k * stride * kGranuleSize,
-                             v);
+        auto armPages = [&] {
+            for (std::size_t p = 0; p < pages; ++p)
+                for (std::size_t k = 0; k < caps_per_page; ++k)
+                    ctx.storeCap(c,
+                                 off0 + p * kPageSize +
+                                     k * stride * kGranuleSize,
+                                 v);
+        };
+        armPages();
 
-        // Nothing is painted in this local bitmap, so probes read a
-        // zero bit and never clear tags: every repeat sweeps the same
-        // population.
+        // Revoke-dense paints the victim, so every probe hits and the
+        // sweep clears every tag it finds (a quarantine-heavy epoch).
+        // The other regimes leave the local bitmap empty: probes read
+        // a zero bit, never clear tags, and every repeat sweeps the
+        // same population.
         revoker::RevocationBitmap bitmap(ctx.machine().mmu());
         revoker::SweepEngine engine(ctx.machine().mmu(), bitmap,
                                     host_fast_paths);
         sim::SimThread &t = ctx.thread();
+        if (revoke_dense)
+            bitmap.paint(t, v.base, 64);
 
         // One untimed warmup pass: faults the sweep's host code and
         // data paths in so the first timed regime isn't cold.
         for (std::size_t p = 0; p < pages; ++p)
             engine.sweepPage(t, first_page + p * kPageSize);
 
-        const Cycles sim_start = ctx.now();
-        const auto host_start = std::chrono::steady_clock::now();
-        for (std::size_t rep = 0; rep < repeats; ++rep)
+        // Revoke-dense re-arms the tags before each repeat; only the
+        // sweep sections are timed (host and simulated alike), so the
+        // sim-cycles determinism check still compares pure sweep work.
+        double host_secs = 0;
+        Cycles sim_cycles = 0;
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+            if (revoke_dense)
+                armPages();
+            const Cycles sim_start = ctx.now();
+            const auto host_start = std::chrono::steady_clock::now();
             for (std::size_t p = 0; p < pages; ++p)
                 engine.sweepPage(t, first_page + p * kPageSize);
-        const double host_secs =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - host_start)
-                .count();
-        const Cycles sim_cycles = ctx.now() - sim_start;
+            host_secs += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             host_start)
+                             .count();
+            sim_cycles += ctx.now() - sim_start;
+        }
 
         const double total_pages =
             static_cast<double>(pages) * static_cast<double>(repeats);

@@ -31,7 +31,8 @@ namespace crev::benchutil {
 
 /**
  * Worker count for host-parallel benching: the CREV_BENCH_THREADS
- * environment variable when set, else hardware concurrency (min 1).
+ * environment variable when set, else hardware concurrency capped at
+ * the process's CPU-affinity set (min 1).
  */
 unsigned benchThreads();
 
@@ -39,6 +40,11 @@ unsigned benchThreads();
  * Run fn(i) for every i in [0, n) across @p threads host threads
  * (0 = benchThreads()). Results land at their own index, so output
  * order is deterministic. fn must not touch shared mutable state.
+ *
+ * @p threads == 0 always executes on spawned workers, even when the
+ * pool has a single slot: the pooled configuration must measure the
+ * pool path (worker stacks, per-thread malloc arenas), not silently
+ * degrade to the caller's thread. An explicit 1 runs inline.
  */
 template <typename Fn>
 auto
@@ -47,10 +53,13 @@ parallelMap(std::size_t n, Fn fn, unsigned threads = 0)
 {
     using R = decltype(fn(std::size_t{0}));
     std::vector<R> out(n);
+    if (n == 0)
+        return out;
+    const bool always_pool = threads == 0;
     unsigned workers = threads != 0 ? threads : benchThreads();
     if (workers > n)
         workers = static_cast<unsigned>(n);
-    if (workers <= 1) {
+    if (workers <= 1 && !always_pool) {
         for (std::size_t i = 0; i < n; ++i)
             out[i] = fn(i);
         return out;
@@ -84,13 +93,30 @@ struct CellResult
 /**
  * Collects named cells, then runs them across a host thread pool.
  * Results come back in submission order.
+ *
+ * Cells are *started* longest-expected-first: with cells spanning two
+ * orders of magnitude in runtime, submission-order scheduling
+ * routinely strands one slow cell on an otherwise idle pool at the
+ * tail. Expected costs come from the most recent "host_seconds"
+ * recorded per cell name in a prior trajectory file (setCostFile),
+ * falling back to a static strategy/workload weight table for cells
+ * never measured. Scheduling order never touches results: each cell
+ * owns its Machine and lands at its submission index.
  */
 class ParallelRunner
 {
   public:
     void add(std::string name, std::function<core::RunMetrics()> fn);
 
-    /** Run all cells on @p threads workers (0 = benchThreads()). */
+    /**
+     * Trajectory file to read expected per-cell costs from (default
+     * BENCH_TRAJECTORY.json in the working directory; missing or
+     * unparsable files just mean the static fallback costs).
+     */
+    void setCostFile(std::string path) { cost_file_ = std::move(path); }
+
+    /** Run all cells on @p threads workers (0 = benchThreads(),
+     *  always on spawned pool workers — see parallelMap). */
     std::vector<CellResult> run(unsigned threads = 0);
 
     std::size_t size() const { return cells_.size(); }
@@ -102,15 +128,20 @@ class ParallelRunner
         std::function<core::RunMetrics()> fn;
     };
     std::vector<Cell> cells_;
+    std::string cost_file_ = "BENCH_TRAJECTORY.json";
 };
 
 // --- sweep-throughput harness (microbench + BENCH_*.json) ---
 
 /** Tag population of the pages the sweep harness scans. */
 enum class SweepRegime {
-    kClean,  //!< no tagged granules anywhere
-    kSparse, //!< 8 scattered capabilities per page
-    kFull,   //!< every granule tagged (256 per page)
+    kClean,       //!< no tagged granules anywhere
+    kSparse,      //!< 8 scattered capabilities per page
+    kFull,        //!< every granule tagged (256 per page)
+    kRevokeDense, //!< 64 caps per page, all aimed at painted memory:
+                  //!< every probe hits and every tag is cleared, so
+                  //!< the harness re-arms the pages (untimed) before
+                  //!< each timed repeat
 };
 
 const char *sweepRegimeName(SweepRegime r);

@@ -155,4 +155,11 @@ BM_SweepPageFull(benchmark::State &state)
 }
 BENCHMARK(BM_SweepPageFull)->Iterations(1);
 
+void
+BM_SweepPageRevokeDense(benchmark::State &state)
+{
+    BM_SweepPageRegime(state, benchutil::SweepRegime::kRevokeDense);
+}
+BENCHMARK(BM_SweepPageRevokeDense)->Iterations(1);
+
 } // namespace

@@ -58,6 +58,16 @@ bool defaultTrace();
  */
 bool defaultCheck();
 
+/**
+ * Default for MachineConfig::sweep_accel: true unless the
+ * CREV_SWEEP_ACCEL environment variable is set to "0". Like
+ * host_fast_paths this is a pure host-side lever: the cap-dirty page
+ * index and the speculative pre-scan pipeline change which host code
+ * selects and decodes sweep work, never the simulated charges, so
+ * RunMetrics are byte-identical either way.
+ */
+bool defaultSweepAccel();
+
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
     Strategy::kBaseline,   Strategy::kPaintOnly,
@@ -88,6 +98,12 @@ struct MachineConfig
      *  packed tag-nibble sweeps). Pure host optimisation: results are
      *  byte-identical either way (tests/determinism_test.cpp). */
     bool host_fast_paths = defaultHostFastPaths();
+
+    /** Hierarchical sweep acceleration (DESIGN.md §12): page-index
+     *  driven sweep candidate selection plus the speculative host
+     *  pre-scan pipeline. Pure host optimisation, like
+     *  host_fast_paths: results are byte-identical either way. */
+    bool sweep_accel = defaultSweepAccel();
 
     /** Virtual-time event tracing (DESIGN.md §10). Zero simulated
      *  cost: RunMetrics are bit-identical with tracing on or off. */

@@ -54,6 +54,13 @@ defaultCheck()
     return env != nullptr && std::strcmp(env, "0") != 0;
 }
 
+bool
+defaultSweepAccel()
+{
+    const char *env = std::getenv("CREV_SWEEP_ACCEL");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     if (cfg.trace)
@@ -102,6 +109,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     opts.background_sweepers = cfg.background_sweepers;
     opts.audit = cfg.audit;
     opts.host_fast_paths = cfg.host_fast_paths;
+    opts.sweep_accel = cfg.sweep_accel;
     opts.injector = injector_.get();
     opts.tracer = tracer_.get();
 
@@ -291,6 +299,7 @@ Machine::metrics() const
     if (revoker_) {
         m.epochs = revoker_->timings();
         m.sweep = revoker_->sweepStats();
+        m.prescan = revoker_->prescanStats();
     }
     m.quarantine = shim_->stats();
     m.allocator = snm_->stats();

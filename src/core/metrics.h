@@ -51,6 +51,10 @@ struct RunMetrics
     /** Revocation epoch timings (empty for baseline). */
     std::vector<revoker::EpochTiming> epochs;
     revoker::SweepStats sweep;
+    /** Host-side pre-scan pipeline counters (not a simulated
+     *  observable: all-zero with sweep acceleration off, and excluded
+     *  from the determinism fingerprint). */
+    revoker::PrescanStats prescan;
     alloc::QuarantineStats quarantine;
     alloc::AllocStats allocator;
     vm::MmuStats mmu;

@@ -22,16 +22,18 @@ Cache::setIndex(Addr line_addr) const
 void
 Cache::trackFill(Addr line_addr)
 {
-    ++frame_lines_[frameOfLine(line_addr)];
+    const auto pfn = static_cast<std::size_t>(frameOfLine(line_addr));
+    if (pfn >= frame_lines_.size())
+        frame_lines_.resize(pfn + 1, 0);
+    ++frame_lines_[pfn];
 }
 
 void
 Cache::trackDrop(Addr line_addr)
 {
-    auto it = frame_lines_.find(frameOfLine(line_addr));
-    CREV_ASSERT(it != frame_lines_.end() && it->second > 0);
-    if (--it->second == 0)
-        frame_lines_.erase(it);
+    const auto pfn = static_cast<std::size_t>(frameOfLine(line_addr));
+    CREV_ASSERT(pfn < frame_lines_.size() && frame_lines_[pfn] > 0);
+    --frame_lines_[pfn];
 }
 
 CacheResult
@@ -93,8 +95,9 @@ Cache::invalidateLine(Addr addr)
 unsigned
 Cache::residentLinesOf(Addr pfn) const
 {
-    auto it = frame_lines_.find(pfn);
-    return it == frame_lines_.end() ? 0u : it->second;
+    return pfn < frame_lines_.size()
+               ? frame_lines_[static_cast<std::size_t>(pfn)]
+               : 0u;
 }
 
 void

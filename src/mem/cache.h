@@ -17,7 +17,6 @@
 #define CREV_MEM_CACHE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
@@ -99,8 +98,9 @@ class Cache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 
-    /** pfn -> resident line count; entries erased at zero. */
-    std::unordered_map<Addr, unsigned> frame_lines_;
+    /** pfn -> resident line count, indexed directly (PhysMem hands
+     *  out dense pfns, so this stays small); grown on first fill. */
+    std::vector<unsigned> frame_lines_;
 };
 
 } // namespace crev::mem

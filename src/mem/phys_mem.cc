@@ -56,6 +56,14 @@ PhysMem::frame(Addr pfn) const
     return *lookupFrame(pfn);
 }
 
+const Frame &
+PhysMem::frameUncached(Addr pfn) const
+{
+    auto it = frames_.find(pfn);
+    CREV_ASSERT(it != frames_.end());
+    return *it->second;
+}
+
 std::size_t
 PhysMem::granuleIndex(Addr paddr)
 {

@@ -192,6 +192,15 @@ class PhysMem
     Frame &frame(Addr pfn);
     const Frame &frame(Addr pfn) const;
 
+    /**
+     * Cache-free frame lookup for concurrent host readers (the
+     * pre-scan workers). frame() mutates the one-entry frame cache
+     * even through the const overload, so it must never be called
+     * from more than one host thread at a time; this accessor touches
+     * no shared mutable state.
+     */
+    const Frame &frameUncached(Addr pfn) const;
+
     /** Read @p len bytes at physical address @p paddr (intra-page). */
     void read(Addr paddr, void *out, std::size_t len) const;
 

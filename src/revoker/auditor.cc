@@ -14,8 +14,7 @@ Auditor::checkCap(const cap::Capability &c, const std::string &where,
 {
     if (!c.tag)
         return;
-    const Addr granule = roundDown(c.base, kGranuleSize);
-    if (revoker_.auditSet().count(granule) != 0) {
+    if (revoker_.auditSet().test(c.base)) {
         char buf[160];
         std::snprintf(buf, sizeof(buf),
                       "stale capability in %s: base=0x%llx "
@@ -32,6 +31,16 @@ Auditor::findViolations()
     ++audits_;
     std::vector<std::string> out;
     mem::PhysMem &pm = mmu_.physMem();
+
+    // 0. The two-level painted-set summaries. Every sweep probe's
+    // self-check and every clean-region skip trusts the level-1 words
+    // and running count, so their agreement with the level-0 ground
+    // truth is an audited invariant, not an assumption.
+    for (const std::string &v :
+         revoker_.bitmap().painted().checkConsistent())
+        out.push_back("painted-set summary: " + v);
+    for (const std::string &v : revoker_.auditSet().checkConsistent())
+        out.push_back("audit-set summary: " + v);
 
     // 1. All of user memory. While walking, cross-check the host
     // tag-summary structures against the ground-truth tag words: a

@@ -24,12 +24,7 @@ RevocationBitmap::setRange(sim::SimThread &t, Addr base, Addr len,
     // yield between them), or a concurrent probe's self-check would
     // observe them out of sync.
     auto mirror = [&](Addr from, Addr to) {
-        for (Addr i = from; i < to; ++i) {
-            if (value)
-                painted_.insert(i << kGranuleBits);
-            else
-                painted_.erase(i << kGranuleBits);
-        }
+        painted_.setGranules(from, to, value);
     };
 
     // Partial leading/trailing bytes need an atomic RMW (a real
@@ -145,14 +140,16 @@ RevocationBitmap::probe(sim::SimThread &t, Addr addr)
         mmu_.loadData(t, byte_va, &b, 1);
     const bool bit = (b >> (g & 7)) & 1;
     // Self-check: the simulated bitmap and host mirror must agree.
-    CREV_ASSERT(bit == (painted_.count(roundDown(addr, kGranuleSize)) != 0));
+    // O(1) against the two-level summary, so it stays cheap enough to
+    // keep compiled into the hot path of both sweep configurations.
+    CREV_ASSERT(bit == painted_.test(addr));
     return bit;
 }
 
 bool
 RevocationBitmap::probeQuiet(Addr addr) const
 {
-    return painted_.count(roundDown(addr, kGranuleSize)) != 0;
+    return painted_.test(addr);
 }
 
 } // namespace crev::revoker

@@ -11,16 +11,18 @@
  *
  * A host-side mirror of the painted set is maintained in parallel;
  * it backs the off-clock Auditor and a self-check that the simulated
- * bits never diverge from the mirror.
+ * bits never diverge from the mirror. The mirror is a two-level
+ * ShadowSummary, so the self-check and probeQuiet are O(1) word tests
+ * rather than hash lookups.
  */
 
 #ifndef CREV_REVOKER_BITMAP_H_
 #define CREV_REVOKER_BITMAP_H_
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "base/types.h"
+#include "revoker/shadow_summary.h"
 #include "sim/scheduler.h"
 #include "vm/mmu.h"
 
@@ -47,10 +49,10 @@ class RevocationBitmap
     /** Uncharged probe for assertions and the auditor. */
     bool probeQuiet(Addr addr) const;
 
-    /** Host-side mirror of painted granule base addresses. */
-    const std::unordered_set<Addr> &painted() const { return painted_; }
+    /** Host-side two-level mirror of the painted granule set. */
+    const ShadowSummary &painted() const { return painted_; }
 
-    std::uint64_t paintedGranules() const { return painted_.size(); }
+    std::uint64_t paintedGranules() const { return painted_.count(); }
 
     /** Attach an event tracer (null = off); paints become kPaint
      *  phase brackets on the painting thread. */
@@ -68,7 +70,7 @@ class RevocationBitmap
     void setRange(sim::SimThread &t, Addr base, Addr len, bool value);
 
     vm::Mmu &mmu_;
-    std::unordered_set<Addr> painted_;
+    ShadowSummary painted_;
     trace::Tracer *tracer_ = nullptr;
     bool torn_rmw_for_test_ = false;
 };

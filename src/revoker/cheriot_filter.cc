@@ -56,11 +56,10 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
     // Reloaded skip re-sweeps, provided here by the load filter).
     const Cycles cbegin = self.now();
     tracePhaseBegin(self, trace::Phase::kConcurrentSweep);
-    std::vector<Addr> pages;
-    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
-        if (p.cap_ever)
-            pages.push_back(va);
-    });
+    const std::vector<Addr> pages =
+        collectPages(as.capEverPages(),
+                     [](const vm::Pte &p) { return p.cap_ever; });
+    prescanPages(pages);
     sim::SimMutex &pmap = as.pmapLock();
     for (Addr va : pages) {
         pmap.lock(self);
@@ -82,6 +81,7 @@ CheriotFilterRevoker::doEpoch(sim::SimThread &self)
         }
         pmap.unlock(self);
     }
+    prescanDone();
     tracePhaseEnd(self, trace::Phase::kConcurrentSweep);
     timing.concurrent_duration = self.now() - cbegin;
 

@@ -20,13 +20,12 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
     scanRegistersAndHoards(self);
 
     // Visit every page that has ever held capabilities; the whole
-    // sweep happens with the world stopped.
-    std::vector<Addr> pages;
-    mmu_.addressSpace().forEachResidentPage(
-        [&](Addr va, vm::Pte &p) {
-            if (p.cap_ever)
-                pages.push_back(va);
-        });
+    // sweep happens with the world stopped. The cap-ever page index
+    // replaces the full page-table walk (identical list either way).
+    const std::vector<Addr> pages = collectPages(
+        mmu_.addressSpace().capEverPages(),
+        [](const vm::Pte &p) { return p.cap_ever; });
+    prescanPages(pages);
     PublishOptions dirty_clear;
     dirty_clear.set_generation = false;
     dirty_clear.charge_and_shootdown = false;
@@ -37,6 +36,7 @@ CheriVokeRevoker::doEpoch(sim::SimThread &self)
             sweep_.publishPage(self, *p, va, dirty_clear,
                                vm::PteContext::kStw);
     }
+    prescanDone();
 
     timing.stw_duration = self.now() - begin;
     tracePhaseEnd(self, trace::Phase::kStwScan);

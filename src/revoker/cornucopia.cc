@@ -24,11 +24,10 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
     // Our re-implementation (paper §4.5) never clears cap_ever.
     const Cycles cbegin = self.now();
     tracePhaseBegin(self, trace::Phase::kConcurrentSweep);
-    std::vector<Addr> pages;
-    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
-        if (p.cap_ever)
-            pages.push_back(va);
-    });
+    const std::vector<Addr> pages =
+        collectPages(as.capEverPages(),
+                     [](const vm::Pte &p) { return p.cap_ever; });
+    prescanPages(pages);
     PublishOptions dirty_clear;
     dirty_clear.set_generation = false;
     dirty_clear.charge_and_shootdown = false;
@@ -44,6 +43,7 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
         pmap.unlock(self);
         sweep_.sweepPage(self, va);
     }
+    prescanDone();
     tracePhaseEnd(self, trace::Phase::kConcurrentSweep);
     timing.concurrent_duration = self.now() - cbegin;
 
@@ -52,11 +52,11 @@ CornucopiaRevoker::doEpoch(sim::SimThread &self)
     const Cycles begin = stwBegin(self);
     tracePhaseBegin(self, trace::Phase::kStwScan);
     scanRegistersAndHoards(self);
-    std::vector<Addr> redirtied;
-    as.forEachResidentPage([&](Addr va, vm::Pte &p) {
-        if (p.cap_dirty)
-            redirtied.push_back(va);
-    });
+    // The cap-dirty index narrows the re-sweep to pages actually
+    // re-dirtied during phase 1 without another full walk.
+    const std::vector<Addr> redirtied =
+        collectPages(as.capDirtyPages(),
+                     [](const vm::Pte &p) { return p.cap_dirty; });
     for (Addr va : redirtied) {
         sweep_.sweepPage(self, va);
         vm::Pte *p = as.findPte(va);

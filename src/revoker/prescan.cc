@@ -1,0 +1,119 @@
+#include "revoker/prescan.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+// lint: threading-ok (host pre-scan workers; see safety note below)
+#include <thread>
+
+#include "base/logging.h"
+
+namespace crev::revoker {
+
+namespace {
+
+/** Snapshot and pre-decode one resident page into @p out. */
+void
+scanPage(const mem::Frame &f, const ShadowSummary &painted, Addr va,
+         PrescanPipeline::PageScan &out)
+{
+    out.page_va = va;
+    out.tags = f.tagWords();
+    for (std::size_t k = 0; k < mem::TagWords::kWords; ++k) {
+        std::uint64_t w = out.tags.word(k);
+        while (w != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(w));
+            w &= w - 1;
+            const std::size_t g = k * 64 + bit;
+            PrescanPipeline::Candidate c;
+            c.granule = static_cast<std::uint16_t>(g);
+            const std::uint8_t *p =
+                f.bytes.data() + g * kGranuleSize;
+            std::memcpy(&c.bits.lo, p, 8);
+            std::memcpy(&c.bits.hi, p + 8, 8);
+            c.cap = cap::decode(c.bits, true);
+            c.painted_hint = painted.anyInBlockOf(c.cap.base);
+            out.cands.push_back(c);
+        }
+    }
+}
+
+} // namespace
+
+void
+PrescanPipeline::build(vm::AddressSpace &as,
+                       const ShadowSummary &painted,
+                       const std::vector<Addr> &pages)
+{
+    pages_.clear();
+
+    // Resolve PTEs on the calling (simulated) thread: map lookups are
+    // cheap, and it keeps the workers away from the page table.
+    std::vector<std::pair<Addr, Addr>> work; // (page va, pfn)
+    work.reserve(pages.size());
+    for (Addr va : pages) {
+        const vm::Pte *p = as.findPte(va);
+        if (p != nullptr && p->valid)
+            work.emplace_back(va, p->pfn);
+    }
+    std::sort(work.begin(), work.end());
+    work.erase(std::unique(work.begin(), work.end()), work.end());
+
+    pages_.resize(work.size());
+    const mem::PhysMem &pm = as.physMem();
+
+    // Striped partitioning: worker w owns entries w, w+W, ... Each
+    // slot is written by exactly one worker and the output position is
+    // fixed by the sorted work list, so the result is independent of
+    // thread count and interleaving — no synchronisation needed.
+    //
+    // Safety: the calling simulated thread holds the scheduler's
+    // execution token for the whole call (build never yields), so no
+    // simulated code can mutate frames or the painted summary while
+    // the workers read them, and every worker joins before return.
+    // lint: threading-ok (read-only fan-out, joined before return)
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const std::size_t nworkers =
+        std::min<std::size_t>({work.size() / 16, hw == 0 ? 1 : hw, 4});
+    auto run = [&](std::size_t w, std::size_t stride) {
+        for (std::size_t i = w; i < work.size(); i += stride)
+            scanPage(pm.frameUncached(work[i].second), painted,
+                     work[i].first, pages_[i]);
+    };
+    if (nworkers <= 1) {
+        run(0, 1);
+    } else {
+        // lint: threading-ok (host pre-scan fan-out; joined below)
+        std::vector<std::thread> workers;
+        workers.reserve(nworkers);
+        for (std::size_t w = 0; w < nworkers; ++w)
+            // lint: threading-ok (host pre-scan fan-out; joined below)
+            workers.emplace_back(run, w, nworkers);
+        for (auto &t : workers)
+            t.join();
+    }
+
+    stats_.pages_prescanned += pages_.size();
+    for (const PageScan &s : pages_)
+        stats_.candidate_caps += s.cands.size();
+}
+
+const PrescanPipeline::PageScan *
+PrescanPipeline::find(Addr page_va) const
+{
+    auto it = std::lower_bound(
+        pages_.begin(), pages_.end(), page_va,
+        [](const PageScan &s, Addr va) { return s.page_va < va; });
+    if (it == pages_.end() || it->page_va != page_va)
+        return nullptr;
+    return &*it;
+}
+
+void
+PrescanPipeline::clear()
+{
+    pages_.clear();
+}
+
+} // namespace crev::revoker

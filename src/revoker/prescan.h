@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The speculative host pre-scan pipeline (DESIGN.md §12.3).
+ *
+ * Before a strategy starts sweeping its page work list, host worker
+ * threads snapshot each page's packed tag words and pre-decode every
+ * tagged granule's capability — the expensive host-side work of the
+ * sweep inner loop — ahead of the background-sweep cursor. The real
+ * sweep then *validates* each candidate against the live tag nibble
+ * and raw capability bits at the virtual instant it reaches the
+ * granule (the same discipline sweepPageFast already applies to its
+ * packed nibbles): on a match it reuses the pre-decoded base, on a
+ * mismatch it decodes live. Simulated charges, probes, and SweepStats
+ * are produced only by the real sweep at its own virtual instants, so
+ * RunMetrics are byte-identical with the pipeline on or off.
+ *
+ * Safety: build() runs on the simulated thread that currently owns
+ * the scheduler's execution token and joins all workers before
+ * returning, so the page table, frames, and painted summary are
+ * quiescent for the workers' read-only visit. Workers use the
+ * cache-free PhysMem accessor; the one-entry frame cache is not
+ * thread-safe.
+ */
+
+#ifndef CREV_REVOKER_PRESCAN_H_
+#define CREV_REVOKER_PRESCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "cap/compression.h"
+#include "mem/phys_mem.h"
+#include "revoker/shadow_summary.h"
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+/** Host-side pipeline counters (never part of simulated results). */
+struct PrescanStats
+{
+    std::uint64_t pages_prescanned = 0;
+    std::uint64_t candidate_caps = 0; //!< pre-decoded tagged granules
+    std::uint64_t validated_hits = 0; //!< live bits matched snapshot
+    std::uint64_t mismatches = 0;     //!< stale snapshot; decoded live
+};
+
+/** Pre-computed tag summaries and candidate-revocation lists. */
+class PrescanPipeline
+{
+  public:
+    /** One pre-decoded tagged granule of a scanned page. */
+    struct Candidate
+    {
+        std::uint16_t granule = 0; //!< intra-page granule index
+        cap::CapBits bits;         //!< raw bits at snapshot time
+        cap::Capability cap;       //!< pre-decoded value
+        /** Level-1 summary said the base's region had painted bits. */
+        bool painted_hint = false;
+    };
+
+    /** Snapshot of one page, candidates in ascending granule order. */
+    struct PageScan
+    {
+        Addr page_va = 0;
+        mem::TagWords tags; //!< packed tag words at snapshot time
+        std::vector<Candidate> cands;
+    };
+
+    /**
+     * Snapshot and pre-decode @p pages (base VAs; non-resident entries
+     * are skipped). Must be called from the simulated thread holding
+     * the execution token; all worker threads are joined before
+     * return. Replaces any previous pipeline contents.
+     */
+    void build(vm::AddressSpace &as, const ShadowSummary &painted,
+               const std::vector<Addr> &pages);
+
+    /** The scan for @p page_va, or nullptr (binary search). */
+    const PageScan *find(Addr page_va) const;
+
+    /** Drop all scans (end of the sweep pass). */
+    void clear();
+
+    PrescanStats &stats() { return stats_; }
+    const PrescanStats &stats() const { return stats_; }
+
+  private:
+    std::vector<PageScan> pages_; //!< ascending page_va
+    PrescanStats stats_;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_PRESCAN_H_

@@ -108,14 +108,14 @@ ReloadedRevoker::nextWork()
 void
 ReloadedRevoker::collectStalePages()
 {
+    // The resident-page index replaces the full page-table walk
+    // (identical ascending list: the index mirrors the valid PTEs).
     const unsigned gen = mmu_.currentGen();
-    work_.clear();
-    work_next_ = 0;
-    mmu_.addressSpace().forEachResidentPage(
-        [&](Addr va, vm::Pte &p) {
-            if (p.clg != gen && !p.cap_load_trap)
-                work_.push_back(va);
+    work_ = collectPages(
+        mmu_.addressSpace().residentPageSet(), [gen](const vm::Pte &p) {
+            return p.clg != gen && !p.cap_load_trap;
         });
+    work_next_ = 0;
 }
 
 void
@@ -245,6 +245,9 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
     const Cycles cbegin = self.now();
     tracePhaseBegin(self, trace::Phase::kConcurrentSweep);
     collectStalePages();
+    // Pre-decode the whole work list ahead of the sweep cursor; the
+    // helpers pulling from work_ share the pipeline via sweep_.
+    prescanPages(work_);
 
     epoch_active_ = true;
     helper_event_.notifyAll(self);
@@ -282,6 +285,7 @@ ReloadedRevoker::doEpoch(sim::SimThread &self)
            !recoveryRequested() && !forceCompleted())
         fault_done_event_.wait(self);
     tracePhaseEnd(self, trace::Phase::kDrain);
+    prescanDone();
 
     if (recoveryRequested() || forceCompleted()) {
         // Degradation: a lost fault completion (or similar) wedged the

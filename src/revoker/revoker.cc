@@ -75,9 +75,47 @@ Revoker::snapshotAuditSet()
 void
 Revoker::onDequarantine(Addr base, Addr len)
 {
-    for (Addr g = roundDown(base, kGranuleSize); g < base + len;
-         g += kGranuleSize)
-        audit_set_.erase(g);
+    audit_set_.clearRange(base, len);
+}
+
+std::vector<Addr>
+Revoker::collectPages(const std::set<Addr> &index,
+                      const std::function<bool(const vm::Pte &)> &want)
+{
+    std::vector<Addr> pages;
+    vm::AddressSpace &as = mmu_.addressSpace();
+    if (sweepAccel()) {
+        // The index is a superset of the pages whose live PTE passes
+        // the predicate, so filtering it reproduces the full walk's
+        // list exactly (both ascend in VA).
+        for (Addr va : index) {
+            const vm::Pte *p = as.findPte(va);
+            if (p != nullptr && p->valid && want(*p))
+                pages.push_back(va);
+        }
+    } else {
+        as.forEachResidentPage([&](Addr va, vm::Pte &p) {
+            if (want(p))
+                pages.push_back(va);
+        });
+    }
+    return pages;
+}
+
+void
+Revoker::prescanPages(const std::vector<Addr> &pages)
+{
+    if (!sweepAccel() || pages.empty())
+        return;
+    prescan_.build(mmu_.addressSpace(), bitmap_.painted(), pages);
+    sweep_.setPrescan(&prescan_);
+}
+
+void
+Revoker::prescanDone()
+{
+    sweep_.setPrescan(nullptr);
+    prescan_.clear();
 }
 
 void

@@ -24,13 +24,16 @@
 #define CREV_REVOKER_REVOKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "base/types.h"
 #include "kern/kernel.h"
 #include "revoker/bitmap.h"
+#include "revoker/prescan.h"
 #include "revoker/sweep.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
@@ -81,6 +84,9 @@ struct RevokerOptions
     bool audit = false;
     /** Host-side sweep fast paths (see MachineConfig::host_fast_paths). */
     bool host_fast_paths = true;
+    /** Hierarchical sweep acceleration (MachineConfig::sweep_accel):
+     *  index-driven page selection + speculative pre-scan. */
+    bool sweep_accel = true;
     /** Fault injector for chaos campaigns (null: no injection). */
     sim::FaultInjector *injector = nullptr;
     /** Event tracer (null: tracing off; zero simulated cost). */
@@ -120,6 +126,12 @@ class Revoker
     /** Aggregate sweep work. */
     const SweepStats &sweepStats() const { return sweep_.stats(); }
 
+    /** Host-side pre-scan pipeline counters. */
+    const PrescanStats &prescanStats() const
+    {
+        return prescan_.stats();
+    }
+
     std::uint64_t epochsCompleted() const { return epochs_; }
 
     kern::Kernel &kernel() { return kernel_; }
@@ -131,7 +143,7 @@ class Revoker
      * the epoch completes is an invariant violation. Dequarantine
      * clears entries via onDequarantine().
      */
-    const std::unordered_set<Addr> &auditSet() const { return audit_set_; }
+    const ShadowSummary &auditSet() const { return audit_set_; }
     void onDequarantine(Addr base, Addr len);
 
     /** Installed by the Machine when auditing is on. */
@@ -219,6 +231,37 @@ class Revoker
     void snapshotAuditSet();
 
     /**
+     * Whether index-driven page selection and the pre-scan pipeline
+     * are active (both host levers must be on; either way the
+     * simulated results are identical).
+     */
+    bool sweepAccel() const
+    {
+        return opts_.sweep_accel && opts_.host_fast_paths;
+    }
+
+    /**
+     * Collect the strategy's sweep candidates: the pages of @p index
+     * (a host-side AddressSpace page index) whose live PTE satisfies
+     * @p want. With sweep acceleration off, falls back to the full
+     * page-table walk — both produce the identical ascending-VA list,
+     * because the indexes are (super)sets of the flagged pages.
+     */
+    std::vector<Addr>
+    collectPages(const std::set<Addr> &index,
+                 const std::function<bool(const vm::Pte &)> &want);
+
+    /**
+     * Speculatively pre-scan @p pages ahead of the sweep cursor and
+     * attach the pipeline to the sweep engine. No-op without sweep
+     * acceleration.
+     */
+    void prescanPages(const std::vector<Addr> &pages);
+
+    /** Detach and drop the pre-scan pipeline (end of sweep pass). */
+    void prescanDone();
+
+    /**
      * Enter stop-the-world, applying any injected entry delay (lost
      * IPI model) first. All strategies stop the world through here.
      */
@@ -247,6 +290,7 @@ class Revoker
     RevocationBitmap &bitmap_;
     RevokerOptions opts_;
     SweepEngine sweep_;
+    PrescanPipeline prescan_;
     std::vector<EpochTiming> timings_;
 
   private:
@@ -254,7 +298,7 @@ class Revoker
     sim::SimEvent epoch_event_;
     bool request_pending_ = false;
     std::uint64_t epochs_ = 0;
-    std::unordered_set<Addr> audit_set_;
+    ShadowSummary audit_set_;
     AuditHook audit_hook_;
 
     // Recovery-protocol state (see class comment).

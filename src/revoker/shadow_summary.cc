@@ -1,0 +1,112 @@
+#include "revoker/shadow_summary.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace crev::revoker {
+
+ShadowSummary::ShadowSummary()
+    : l1_(kBlocks / 64, 0), block_counts_(kBlocks, 0), blocks_(kBlocks)
+{
+}
+
+void
+ShadowSummary::setGranules(Addr g_from, Addr g_to, bool value)
+{
+    CREV_ASSERT(g_from <= g_to);
+    CREV_ASSERT(g_from >= kGranuleFloor);
+    CREV_ASSERT(g_to <= kGranuleFloor + kGranuleCount);
+
+    Addr i = g_from - kGranuleFloor;
+    const Addr end = g_to - kGranuleFloor;
+    while (i < end) {
+        const std::size_t b =
+            static_cast<std::size_t>(i / kGranulesPerBlock);
+        std::vector<std::uint64_t> &blk = blocks_[b];
+        if (blk.empty()) {
+            if (!value) {
+                // Clearing an untouched block: nothing to do.
+                i = std::min<Addr>(
+                    end, static_cast<Addr>(b + 1) * kGranulesPerBlock);
+                continue;
+            }
+            blk.assign(kWordsPerBlock, 0);
+        }
+        const Addr word_base = i & ~Addr{63};
+        const Addr word_end = std::min<Addr>(end, word_base + 64);
+        std::uint64_t mask = ~std::uint64_t{0}
+                             << static_cast<unsigned>(i - word_base);
+        if (word_end - word_base < 64)
+            mask &= (std::uint64_t{1}
+                     << static_cast<unsigned>(word_end - word_base)) -
+                    1;
+        std::uint64_t &w = blk[(i / 64) % kWordsPerBlock];
+        const std::uint64_t old = w;
+        w = value ? (old | mask) : (old & ~mask);
+        if (w != old) {
+            const int delta = std::popcount(w) - std::popcount(old);
+            count_ = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(count_) + delta);
+            block_counts_[b] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(block_counts_[b]) + delta);
+            if (block_counts_[b] != 0)
+                l1_[b >> 6] |= std::uint64_t{1} << (b & 63);
+            else
+                l1_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+        }
+        i = word_end;
+    }
+}
+
+void
+ShadowSummary::clearRange(Addr base, Addr len)
+{
+    if (len == 0)
+        return;
+    setGranules(base >> kGranuleBits,
+                (base + len + kGranuleSize - 1) >> kGranuleBits, false);
+}
+
+std::vector<std::string>
+ShadowSummary::checkConsistent() const
+{
+    std::vector<std::string> out;
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+        std::uint64_t cnt = 0;
+        for (std::uint64_t w : blocks_[b])
+            cnt += static_cast<std::uint64_t>(std::popcount(w));
+        total += cnt;
+        if (cnt != block_counts_[b]) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "block %zu population %llu != maintained %u",
+                          b, static_cast<unsigned long long>(cnt),
+                          block_counts_[b]);
+            out.push_back(buf);
+        }
+        const bool l1 = ((l1_[b >> 6] >> (b & 63)) & 1) != 0;
+        if (l1 != (cnt != 0)) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "block %zu level-1 bit %d but population %llu",
+                          b, l1 ? 1 : 0,
+                          static_cast<unsigned long long>(cnt));
+            out.push_back(buf);
+        }
+    }
+    if (total != count_) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "total population %llu != maintained count %llu",
+                      static_cast<unsigned long long>(total),
+                      static_cast<unsigned long long>(count_));
+        out.push_back(buf);
+    }
+    return out;
+}
+
+} // namespace crev::revoker

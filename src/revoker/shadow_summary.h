@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Two-level host mirror of the painted granule set.
+ *
+ * The flat host mirror of the revocation bitmap used to be a hash set
+ * of granule base addresses, making the probe self-check and every
+ * probeQuiet a hash lookup on the sweep's hottest path. This class
+ * replaces it with the hierarchy PoisonCap argues for: a dense level-0
+ * bitmap (one bit per 16-byte heap granule, in lazily allocated
+ * 4096-granule blocks) under a level-1 "any bit set in this block"
+ * bitmap. Membership tests are two word probes; clean-region skipping
+ * is one.
+ *
+ * The structure is pure host state — updates happen at exactly the
+ * points the old mirror updated (inside the same NoYield windows), so
+ * the simulated shadow bytes and this mirror still move atomically
+ * with respect to the scheduler. The Auditor cross-checks the level-1
+ * words and running count against the level-0 ground truth.
+ */
+
+#ifndef CREV_REVOKER_SHADOW_SUMMARY_H_
+#define CREV_REVOKER_SHADOW_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "vm/address_space.h"
+
+namespace crev::revoker {
+
+/** Two-level bitmap over the heap's granules (host-side only). */
+class ShadowSummary
+{
+  public:
+    /** First heap granule index (absolute address >> kGranuleBits). */
+    static constexpr Addr kGranuleFloor = vm::kHeapBase >> kGranuleBits;
+    /** Number of granules the heap can hold. */
+    static constexpr Addr kGranuleCount =
+        (vm::kHeapCeiling - vm::kHeapBase) >> kGranuleBits;
+    /** Level-0 words per lazily-allocated block (512 bytes each). */
+    static constexpr std::size_t kWordsPerBlock = 64;
+    static constexpr std::size_t kGranulesPerBlock = kWordsPerBlock * 64;
+    static constexpr std::size_t kBlocks =
+        kGranuleCount / kGranulesPerBlock;
+
+    ShadowSummary();
+
+    /**
+     * Whether the granule containing @p addr is painted. Addresses
+     * outside the heap (probes carry arbitrary capability bases) are
+     * never painted and test false via the level-1 word alone.
+     */
+    bool test(Addr addr) const
+    {
+        const Addr g = addr >> kGranuleBits;
+        if (g < kGranuleFloor || g - kGranuleFloor >= kGranuleCount)
+            return false;
+        const Addr i = g - kGranuleFloor;
+        const std::size_t b =
+            static_cast<std::size_t>(i / kGranulesPerBlock);
+        if (((l1_[b >> 6] >> (b & 63)) & 1) == 0)
+            return false;
+        const std::vector<std::uint64_t> &blk = blocks_[b];
+        return ((blk[(i / 64) % kWordsPerBlock] >> (i & 63)) & 1) != 0;
+    }
+
+    /**
+     * Whether *any* granule in the 64 KiB block containing @p addr is
+     * painted — the O(1) clean-region test (level-1 word only).
+     */
+    bool anyInBlockOf(Addr addr) const
+    {
+        const Addr g = addr >> kGranuleBits;
+        if (g < kGranuleFloor || g - kGranuleFloor >= kGranuleCount)
+            return false;
+        const std::size_t b = static_cast<std::size_t>(
+            (g - kGranuleFloor) / kGranulesPerBlock);
+        return ((l1_[b >> 6] >> (b & 63)) & 1) != 0;
+    }
+
+    /**
+     * Set or clear the bits for granule *indices* [g_from, g_to) —
+     * the index space the bitmap's byte RMW already works in. Must lie
+     * within the heap.
+     */
+    void setGranules(Addr g_from, Addr g_to, bool value);
+
+    /**
+     * Clear every granule overlapping [base, base+len) (dequarantine;
+     * ends need not be aligned).
+     */
+    void clearRange(Addr base, Addr len);
+
+    /** Total painted granules (maintained incrementally). */
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Structural self-check: recompute every block's population and
+     * level-1 bit from the level-0 words and compare against the
+     * maintained summaries. Returns one string per violation.
+     */
+    std::vector<std::string> checkConsistent() const;
+
+  private:
+    /** Level-1: bit b set iff block b has any level-0 bit set. */
+    std::vector<std::uint64_t> l1_;
+    /** Per-block set-bit population (drives level-1 clearing). */
+    std::vector<std::uint32_t> block_counts_;
+    /** Level-0 blocks; empty vector = never allocated (all clear). */
+    std::vector<std::vector<std::uint64_t>> blocks_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_SHADOW_SUMMARY_H_

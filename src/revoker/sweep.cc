@@ -1,6 +1,7 @@
 #include "revoker/sweep.h"
 
 #include <bit>
+#include <cstring>
 
 #include "base/logging.h"
 #include "cap/compression.h"
@@ -49,12 +50,33 @@ SweepEngine::sweepPageReference(sim::SimThread &t, Addr page_va)
 bool
 SweepEngine::sweepPageFast(sim::SimThread &t, Addr page_va)
 {
+    // Resolve the page's frame once instead of re-dispatching through
+    // the MMU per line/granule. The pointer stays valid across the
+    // yields inside probe(): quiesce blocks munmap while the epoch
+    // counter is odd, and Frame storage is never deallocated (freed
+    // frames stay in the table for reuse).
+    const vm::Pte *pte = mmu_.addressSpace().findPte(page_va);
+    CREV_ASSERT(pte != nullptr && pte->valid);
+    const mem::Frame &f = mmu_.physMem().frame(pte->pfn);
+    const Addr paddr_base = pte->pfn << kPageBits;
+
+    // Speculative pre-scan: candidates pre-decoded ahead of the sweep
+    // cursor, usable only when the live raw bits still match the
+    // snapshot. The cursor walks the (granule-ordered) list in step
+    // with the live scan below.
+    const PrescanPipeline::PageScan *scan =
+        prescan_ == nullptr ? nullptr : prescan_->find(page_va);
+    std::size_t ci = 0;
+
     bool clean = true;
 
     for (Addr line = page_va; line < page_va + kPageSize;
          line += kLineSize) {
-        mmu_.chargeRead(t, line, kLineSize);
+        mmu_.chargeReadPaddr(t, paddr_base | (line - page_va),
+                             kLineSize);
         ++stats_.lines_read;
+        const std::size_t li =
+            static_cast<std::size_t>(line - page_va) >> kLineBits;
 
         // One packed nibble replaces four peekTag dispatches, but the
         // probe/clear of a tagged granule can yield and let mutators
@@ -64,21 +86,44 @@ SweepEngine::sweepPageFast(sim::SimThread &t, Addr page_va)
         // equally invisible to the reference scan, which had already
         // walked past).
         for (unsigned pos = 0; pos < mem::kGranulesPerLine;) {
-            // lint: uncharged-ok (chargeRead above paid for the line)
-            const unsigned live = mmu_.peekLineTagNibble(line) >> pos;
+            // Live re-read (chargeRead above paid for the line).
+            const unsigned live = f.lineNibble(li) >> pos;
             if (live == 0)
                 break; // rest of the line is untagged right now
             const unsigned gi =
                 pos + static_cast<unsigned>(std::countr_zero(live));
             pos = gi + 1;
-            const Addr g = line + Addr{gi} * kGranuleSize;
+            const std::size_t gidx =
+                li * mem::kGranulesPerLine + gi;
             clean = false;
             ++stats_.caps_seen;
-            // lint: uncharged-ok (value on-chip after the line read)
-            const cap::Capability c = mmu_.peekCap(g);
+            // Live raw bits (on-chip after the line read).
+            cap::CapBits bits;
+            const std::uint8_t *raw =
+                f.bytes.data() + gidx * kGranuleSize;
+            std::memcpy(&bits.lo, raw, 8);
+            std::memcpy(&bits.hi, raw + 8, 8);
+            cap::Capability c;
+            if (scan != nullptr) {
+                while (ci < scan->cands.size() &&
+                       scan->cands[ci].granule < gidx)
+                    ++ci;
+            }
+            if (scan != nullptr && ci < scan->cands.size() &&
+                scan->cands[ci].granule == gidx &&
+                scan->cands[ci].bits == bits) {
+                // Validated hit: the snapshot's pre-decoded value is
+                // the decode of these exact live bits.
+                c = scan->cands[ci].cap;
+                ++prescan_->stats().validated_hits;
+            } else {
+                c = cap::decode(bits, true);
+                if (scan != nullptr)
+                    ++prescan_->stats().mismatches;
+            }
             t.accrue(2); // decode / base extraction
             if (bitmap_.probe(t, c.base)) {
-                mmu_.kernelClearTag(t, g);
+                mmu_.kernelClearTag(t, line + Addr{gi} * kGranuleSize);
                 ++stats_.caps_revoked;
             }
         }
@@ -114,6 +159,8 @@ SweepEngine::publishPage(sim::SimThread &t, vm::Pte &p, Addr page_va,
     const bool clean = o.clean && !mmu_.pageHasTags(page_va);
     if (clean && o.clean_page_detection)
         p.cap_ever = false;
+    mmu_.addressSpace().noteCapPublish(page_va,
+                                       clean && o.clean_page_detection);
     if (o.set_generation) {
         if (clean && o.always_trap_clean) {
             // §7.6: leave the page in the always-trap disposition; its

@@ -19,6 +19,7 @@
 #include "base/types.h"
 #include "cap/capability.h"
 #include "revoker/bitmap.h"
+#include "revoker/prescan.h"
 #include "sim/scheduler.h"
 #include "vm/mmu.h"
 
@@ -105,6 +106,14 @@ class SweepEngine
 
     bool hostFastPaths() const { return host_fast_paths_; }
 
+    /**
+     * Attach (or detach, with null) a speculative pre-scan pipeline.
+     * Only the fast sweep consults it, and only as a source of
+     * pre-decoded capability values that are validated against live
+     * raw bits before use; charges and probes are unaffected.
+     */
+    void setPrescan(PrescanPipeline *p) { prescan_ = p; }
+
   private:
     bool sweepPageReference(sim::SimThread &t, Addr page_va);
     bool sweepPageFast(sim::SimThread &t, Addr page_va);
@@ -112,6 +121,7 @@ class SweepEngine
     vm::Mmu &mmu_;
     RevocationBitmap &bitmap_;
     bool host_fast_paths_;
+    PrescanPipeline *prescan_ = nullptr;
     SweepStats stats_;
 };
 

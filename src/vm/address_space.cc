@@ -76,6 +76,9 @@ AddressSpace::unmap(sim::SimThread &t, Addr base, Addr length)
             it->second.valid = false;
             it->second.pfn = 0;
             --resident_;
+            resident_pages_.erase(va);
+            cap_ever_pages_.erase(va);
+            cap_dirty_pages_.erase(va);
         }
         guardPage(va);
         CREV_ASSERT(r->mapped_bytes >= kPageSize);
@@ -109,8 +112,12 @@ AddressSpace::release(sim::SimThread &t, Reservation *r)
              va += kPageSize)
             checker_->onPteTeardown(t.id(), t.now(), va, locked);
     }
-    for (Addr va = r->base; va < r->base + r->length; va += kPageSize)
+    for (Addr va = r->base; va < r->base + r->length; va += kPageSize) {
         pages_.erase(va);
+        resident_pages_.erase(va);
+        cap_ever_pages_.erase(va);
+        cap_dirty_pages_.erase(va);
+    }
     ++pt_epoch_; // dangles any host-cached Pte pointers
 
     // Virtual addresses are never recycled: address-space non-reuse is
@@ -190,6 +197,7 @@ AddressSpace::makeResident(Addr va)
         p.pfn = pm_.allocFrame();
         p.valid = true;
         ++resident_;
+        resident_pages_.insert(page);
     }
     return p;
 }

@@ -229,6 +229,7 @@ Mmu::storeCap(sim::SimThread &t, Addr va, const cap::Capability &c)
             // Hardware-managed dirty bit update (§4.2).
             p->cap_dirty = true;
             p->cap_ever = true;
+            as_.noteCapStore(pageBase(va));
             invalidatePteCache();
             t.accrue(cm_.pte_update);
             tlbs_[t.core()].insert(pageOf(va), *p);

@@ -102,6 +102,16 @@ class Mmu
     cap::Capability peekCap(Addr va);
     /** Charge a read of @p len bytes at @p va (sweep line fetches). */
     void chargeRead(sim::SimThread &t, Addr va, std::size_t len);
+    /**
+     * chargeRead for a caller that already resolved the physical
+     * address (the fast sweep resolves its page's frame once):
+     * identical simulated charge, no host-side PTE lookup.
+     */
+    void
+    chargeReadPaddr(sim::SimThread &t, Addr paddr, std::size_t len)
+    {
+        chargeAccess(t, t.core(), paddr, len, false);
+    }
     /** Charge a write (tag clears dirty a line). */
     void chargeWrite(sim::SimThread &t, Addr va, std::size_t len);
 

@@ -117,6 +117,29 @@ TEST(Determinism, FastPathsPreserveSpecMetricsAllStrategies)
     }
 }
 
+/** The sweep-acceleration layers (two-level summary skips, the
+ *  capability-dirty page indexes, the pre-scan pipeline) are pure
+ *  host-side levers too: RunMetrics must be bit-identical with
+ *  cfg.sweep_accel on and off, for every strategy. Set explicitly so
+ *  the test is independent of CREV_SWEEP_ACCEL in the environment. */
+TEST(Determinism, SweepAccelPreservesSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        std::string fp[2];
+        for (int accel = 0; accel < 2; ++accel) {
+            MachineConfig cfg;
+            cfg.strategy = s;
+            cfg.policy = workload::specPolicy();
+            cfg.sweep_accel = accel != 0;
+            Machine m(cfg);
+            workload::runSpec(m, workload::specProfile("hmmer_retro"));
+            fp[accel] = fingerprint(m.metrics());
+        }
+        EXPECT_EQ(fp[1], fp[0])
+            << "strategy " << core::strategyName(s);
+    }
+}
+
 /** Tracing charges zero simulated cycles: the complete RunMetrics
  *  fingerprint is bit-identical with the tracer on or off, for every
  *  strategy (the whole suite also passes under CREV_TRACE=1, which
@@ -188,12 +211,14 @@ churn(Machine &m, Mutator &ctx, int iters)
 }
 
 RunMetrics
-runChaosWith(Strategy s, bool host_fast_paths)
+runChaosWith(Strategy s, bool host_fast_paths,
+             bool sweep_accel = true)
 {
     MachineConfig cfg;
     cfg.strategy = s;
     cfg.audit = true;
     cfg.host_fast_paths = host_fast_paths;
+    cfg.sweep_accel = sweep_accel;
     cfg.policy.min_bytes = 32 * 1024; // revoke frequently
     cfg.background_sweepers = 2;
     cfg.seed = 42;
@@ -226,6 +251,22 @@ TEST(Determinism, FastPathsPreserveChaosMetricsAllStrategies)
         const std::string reference =
             fingerprint(runChaosWith(s, false));
         EXPECT_EQ(fast, reference)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+TEST(Determinism, SweepAccelPreservesChaosMetricsAllStrategies)
+{
+    // Same chaos campaign, toggling only the sweep-acceleration
+    // layers. The per-epoch audit is on, so the Auditor's summary
+    // consistency cross-check runs in both configurations; degraded
+    // epochs exercise the emergency sweep's unaccelerated page walk.
+    for (Strategy s : core::kAllStrategies) {
+        const std::string accel =
+            fingerprint(runChaosWith(s, true, true));
+        const std::string plain =
+            fingerprint(runChaosWith(s, true, false));
+        EXPECT_EQ(accel, plain)
             << "strategy " << core::strategyName(s);
     }
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_TRAJECTORY.json determinism record.
+
+The trajectory file accumulates one entry per bench_all run (DESIGN.md
+§9). Every entry self-reports whether the host-optimization determinism
+contract held during that run; this tool turns those self-reports into
+a CI gate:
+
+  - every run's "end_to_end.sim_results_match" must be true;
+  - every run's sweep_microbench rows must have "sim_cycles_match"
+    true;
+  - runs must carry a non-empty "label" and at least one microbench
+    row (catches truncated/hand-edited files).
+
+Exits non-zero with a diagnostic naming the offending run label.
+Usage: check_trajectory.py BENCH_TRAJECTORY.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trajectory: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail('no "runs" array (not a trajectory file?)')
+
+    for i, run in enumerate(runs):
+        label = run.get("label")
+        if not isinstance(label, str) or not label:
+            fail(f"run {i} has no label")
+        rows = run.get("sweep_microbench")
+        if not isinstance(rows, list) or not rows:
+            fail(f'run "{label}" has no sweep_microbench rows')
+        for row in rows:
+            if row.get("sim_cycles_match") is not True:
+                fail(
+                    f'run "{label}" regime "{row.get("regime")}": '
+                    "simulated cycles diverged between fast and "
+                    "reference sweeps"
+                )
+        e2e = run.get("end_to_end", {})
+        if e2e.get("sim_results_match") is not True:
+            fail(
+                f'run "{label}": simulated results diverged across '
+                "host configurations"
+            )
+
+    print(
+        f"check_trajectory: OK: {len(runs)} run(s), determinism "
+        "contract held in all"
+    )
+
+
+if __name__ == "__main__":
+    main()
