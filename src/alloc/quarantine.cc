@@ -1,9 +1,11 @@
 #include "alloc/quarantine.h"
 
+#include <new>
 #include <stdexcept>
 
 #include "base/logging.h"
 #include "check/race_checker.h"
+#include "sim/fault_injector.h"
 
 namespace crev::alloc {
 
@@ -87,10 +89,75 @@ QuarantineShim::maybeTrigger(sim::SimThread &t)
     ++stats_.revocations_triggered;
     stats_.sum_alloc_at_trigger += snm_.liveBytes();
     stats_.sum_quar_at_trigger += quarantine_bytes_;
-    revoker_->requestEpoch(t);
+    sendEpochRequest(t);
 
     // Frees continue into the other buffer meanwhile.
     cur_ ^= 1;
+}
+
+bool
+QuarantineShim::handoffFaultsArmed() const
+{
+    return injector_ != nullptr &&
+           (injector_->plan().quarantine_drop_prob > 0.0 ||
+            injector_->plan().quarantine_duplicate_prob > 0.0);
+}
+
+void
+QuarantineShim::sendEpochRequest(sim::SimThread &t)
+{
+    if (injector_ != nullptr && injector_->dropQuarantineHandoff(t))
+        return; // lost in flight; the waiter detects and re-sends
+    revoker_->requestEpoch(t);
+    if (injector_ != nullptr && injector_->duplicateQuarantineHandoff(t))
+        revoker_->requestEpoch(t); // idempotent while one is pending
+}
+
+void
+QuarantineShim::waitForCounterRecovering(sim::SimThread &t,
+                                         std::uint64_t target)
+{
+    if (!handoffFaultsArmed()) {
+        revoker_->waitForEpochCounter(t, target);
+        return;
+    }
+    // SimEvent has no timed wait, so the recovering variant is a
+    // sleep-poll loop; the poll period is well under any epoch.
+    constexpr Cycles kPoll = 250'000;
+    revoker::RecoveryManager::Ticket tk;
+    while (kernel_.epoch().value() < target) {
+        if (t.scheduler().shuttingDown())
+            return;
+        if (!revoker_->requestPending() &&
+            !revoker_->epochInProgress()) {
+            // Counter short, nothing queued, nothing running: the
+            // hand-off was dropped in flight. Re-send it.
+            if (recovery_ != nullptr) {
+                if (!tk.open)
+                    tk = recovery_->open(
+                        t, trace::RecoveryProtocol::kQuarantineHandoff);
+                if (recovery_->attempt(t, tk)) {
+                    ++stats_.handoff_resends;
+                    sendEpochRequest(t);
+                    t.sleep(recovery_->backoff(tk));
+                    continue;
+                }
+                // Retries exhausted (or the protocol deadline passed):
+                // close the ticket and degrade to a direct request on
+                // the unfaultable path plus a plain wait.
+                recovery_->close(t, tk,
+                                 recovery_->failureOutcome(t.now(), tk));
+                revoker_->requestEpoch(t);
+                revoker_->waitForEpochCounter(t, target);
+                return;
+            }
+            ++stats_.handoff_resends;
+            sendEpochRequest(t);
+        }
+        t.sleep(kPoll);
+    }
+    if (recovery_ != nullptr && tk.open)
+        recovery_->close(t, tk, trace::RecoveryOutcome::kSucceeded);
 }
 
 void
@@ -111,7 +178,7 @@ QuarantineShim::maybeBlock(sim::SimThread &t)
             tracer_->record(t.id(), t.core(), wait_begin,
                             trace::EventType::kQuarantineBlock, 0,
                             target);
-        revoker_->waitForEpochCounter(t, target);
+        waitForCounterRecovering(t, target);
         if (tracer_ != nullptr)
             tracer_->record(t.id(), t.core(), t.now(),
                             trace::EventType::kQuarantineUnblock, 0,
@@ -130,8 +197,32 @@ QuarantineShim::malloc(sim::SimThread &t, std::size_t size)
         maybeDequarantine(t);
         maybeTrigger(t);
         maybeBlock(t);
+        ensureAddressSpaceFor(t, size);
     }
     return snm_.alloc(t, size);
+}
+
+void
+QuarantineShim::ensureAddressSpaceFor(sim::SimThread &t,
+                                      std::size_t size)
+{
+    const std::size_t demand = snm_.mmapDemandFor(size);
+    if (demand == 0)
+        return;
+    vm::AddressSpace &as = kernel_.mmu().addressSpace();
+    if (as.canReserve(demand))
+        return;
+
+    // Address space exhausted while bytes sit in quarantine: degrade
+    // to an emergency full drain — every quarantined object is
+    // revoked and recycled — instead of letting reserve() assert.
+    ++stats_.emergency_reclaims;
+    warn("quarantine: address space exhausted (demand=%zu bytes); "
+         "forcing emergency reclaim",
+         demand);
+    drainLocked(t);
+    if (!as.canReserve(demand))
+        throw std::bad_alloc();
 }
 
 void
@@ -184,20 +275,26 @@ QuarantineShim::drain(sim::SimThread &t)
     if (!enabled())
         return;
     Locked guard(heap_lock_, t);
+    drainLocked(t);
+}
+
+void
+QuarantineShim::drainLocked(sim::SimThread &t)
+{
     while (quarantine_bytes_ > 0) {
         for (Buffer &b : buffers_) {
             if (b.bytes > 0 && !b.awaiting) {
                 const std::uint64_t e = kernel_.epoch().read(t);
                 b.target = kernel_.epoch().dequarantineTarget(e);
                 b.awaiting = true;
-                revoker_->requestEpoch(t);
+                sendEpochRequest(t);
             }
         }
         std::uint64_t target = 0;
         for (const Buffer &b : buffers_)
             if (b.awaiting)
                 target = std::max(target, b.target);
-        revoker_->waitForEpochCounter(t, target);
+        waitForCounterRecovering(t, target);
         if (t.scheduler().shuttingDown())
             return;
         maybeDequarantine(t);

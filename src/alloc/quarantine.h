@@ -23,10 +23,15 @@
 #include <vector>
 
 #include "alloc/snmalloc_lite.h"
+#include "revoker/recovery.h"
 #include "revoker/revoker.h"
 
 namespace crev::check {
 class RaceChecker;
+}
+
+namespace crev::sim {
+class FaultInjector;
 }
 
 namespace crev::alloc {
@@ -58,6 +63,10 @@ struct QuarantineStats
     std::uint64_t blocked_cycles = 0;
     /** High-water mark of bytes held in quarantine. */
     std::uint64_t max_quarantine_bytes = 0;
+    /** Address-space exhaustion degraded to a forced full drain. */
+    std::uint64_t emergency_reclaims = 0;
+    /** Epoch hand-off requests re-sent after a detected loss. */
+    std::uint64_t handoff_resends = 0;
 
     double
     meanAllocAtTrigger() const
@@ -112,6 +121,17 @@ class QuarantineShim
      *  observes quarantine-buffer accesses and releases. */
     void setChecker(check::RaceChecker *c);
 
+    /** Attach the fault injector (null = off): arms the dropped /
+     *  duplicated epoch hand-off domain. */
+    void setFaultInjector(sim::FaultInjector *fi) { injector_ = fi; }
+
+    /** Attach the recovery manager (null = off): lost hand-offs are
+     *  re-sent under kQuarantineHandoff tickets. */
+    void setRecoveryManager(revoker::RecoveryManager *rm)
+    {
+        recovery_ = rm;
+    }
+
   private:
     struct Entry
     {
@@ -135,6 +155,40 @@ class QuarantineShim
     void maybeTrigger(sim::SimThread &t);
     /** Block while quarantine is pathologically oversized. */
     void maybeBlock(sim::SimThread &t);
+
+    /**
+     * Send the epoch request through the (possibly faulty) hand-off
+     * channel: the injector may drop the message outright or deliver
+     * it twice. Without an armed injector this is exactly
+     * requestEpoch().
+     */
+    void sendEpochRequest(sim::SimThread &t);
+
+    /**
+     * Wait for the epoch counter to reach @p target, detecting and
+     * re-sending lost hand-offs: when the counter is short, no request
+     * is pending, and no epoch is in progress, the request was dropped
+     * in flight — re-send it under a kQuarantineHandoff ticket with
+     * saturating backoff, degrading to a direct (unfaultable) request
+     * once retries are exhausted. Without the quarantine fault domain
+     * armed this is exactly waitForEpochCounter().
+     */
+    void waitForCounterRecovering(sim::SimThread &t,
+                                  std::uint64_t target);
+
+    /** Whether the dropped/duplicated hand-off domain is armed. */
+    bool handoffFaultsArmed() const;
+
+    /** drain() body; the heap lock must already be held by @p t. */
+    void drainLocked(sim::SimThread &t);
+
+    /**
+     * Ensure the allocator can satisfy an mmap for @p size bytes:
+     * on address-space exhaustion, degrade to an emergency full drain
+     * (revoke-and-reclaim everything quarantined) and throw
+     * std::bad_alloc only if the space is still insufficient.
+     */
+    void ensureAddressSpaceFor(sim::SimThread &t, std::size_t size);
 
     /** RAII heap lock: malloc/free from multiple threads serialise
      *  here (snmalloc proper uses per-thread allocators; a single
@@ -165,6 +219,8 @@ class QuarantineShim
     QuarantineStats stats_;
     trace::Tracer *tracer_ = nullptr;
     check::RaceChecker *checker_ = nullptr;
+    sim::FaultInjector *injector_ = nullptr;
+    revoker::RecoveryManager *recovery_ = nullptr;
 };
 
 } // namespace crev::alloc

@@ -119,6 +119,31 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
 }
 
 std::size_t
+SnmallocLite::mmapDemandFor(std::size_t size) const
+{
+    const int sc = sizeClassFor(size);
+    if (sc < 0) {
+        const std::size_t bytes = roundUp(size, kPageSize);
+        auto it = large_free_.find(bytes);
+        if (it != large_free_.end() && !it->second.empty())
+            return 0;
+        return bytes;
+    }
+    const ClassState &cs = classes_[sc];
+    if (cs.free_head != 0)
+        return 0;
+    if (cs.bump + kSizeClasses[sc] <= cs.slab_end)
+        return 0;
+    // A fresh chunk is needed; in the worst case the arena is
+    // exhausted too and carveChunk() mmaps a whole new one.
+    const Addr base = roundUp(arena_bump_, kPageSize);
+    if (base + kChunkSize <= arena_end_)
+        return 0;
+    return std::max<std::size_t>(kArenaSize,
+                                 roundUp(kChunkSize, kPageSize));
+}
+
+std::size_t
 SnmallocLite::objectSize(Addr base) const
 {
     const ChunkMeta &m = chunkFor(base);

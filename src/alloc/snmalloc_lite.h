@@ -94,6 +94,15 @@ class SnmallocLite
     /** Bytes in live allocations (rounded sizes). */
     std::size_t liveBytes() const { return live_bytes_; }
 
+    /**
+     * Address-space bytes an alloc(@p size) would have to mmap right
+     * now — 0 when it can be served from free lists, the current slab,
+     * the current arena, or the large-chunk cache. The quarantine shim
+     * probes this before allocating so address-space exhaustion can
+     * degrade to emergency reclaim instead of asserting.
+     */
+    std::size_t mmapDemandFor(std::size_t size) const;
+
     const AllocStats &stats() const { return stats_; }
 
     /** The size class index holding @p size, or -1 if large. */

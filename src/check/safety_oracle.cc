@@ -1,0 +1,70 @@
+#include "check/safety_oracle.h"
+
+#include <sstream>
+
+namespace crev::check {
+
+void
+SafetyOracle::commitGranule(Addr granule)
+{
+    revoked_[granule] = current_epoch_;
+    ++granules_committed_;
+}
+
+void
+SafetyOracle::clearRange(Addr base, Addr len)
+{
+    if (len == 0)
+        return;
+    const Addr g_from = base >> kGranuleBits;
+    const Addr g_to = (base + len + kGranuleSize - 1) >> kGranuleBits;
+    revoked_.erase(revoked_.lower_bound(g_from),
+                   revoked_.lower_bound(g_to));
+}
+
+void
+SafetyOracle::onCapLoad(unsigned tid, Cycles now, Addr va,
+                        Addr cap_base)
+{
+    ++loads_checked_;
+    if (revoked_.empty())
+        return;
+    const auto it = revoked_.find(cap_base >> kGranuleBits);
+    if (it == revoked_.end())
+        return;
+    if (violations_.size() >= kMaxViolations) {
+        ++suppressed_;
+        return;
+    }
+    OracleViolation v;
+    v.tid = tid;
+    v.at = now;
+    v.va = va;
+    v.cap_base = cap_base;
+    v.epoch = it->second;
+    violations_.push_back(v);
+}
+
+std::string
+SafetyOracle::reportJson() const
+{
+    std::ostringstream os;
+    os << "{\"violations\":[";
+    bool first = true;
+    for (const OracleViolation &v : violations_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"tid\":" << v.tid << ",\"at\":" << v.at
+           << ",\"va\":" << v.va << ",\"cap_base\":" << v.cap_base
+           << ",\"epoch\":" << v.epoch << "}";
+    }
+    os << "],\"suppressed\":" << suppressed_
+       << ",\"loads_checked\":" << loads_checked_
+       << ",\"epochs_committed\":" << epochs_committed_
+       << ",\"granules_committed\":" << granules_committed_
+       << ",\"granules_held\":" << revoked_.size() << "}";
+    return os.str();
+}
+
+} // namespace crev::check

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The temporal-safety oracle (DESIGN.md §13.3).
+ *
+ * A ground-truth checker for the paper's end-to-end guarantee: once a
+ * revocation epoch *completes*, no capability whose base lies in
+ * address space quarantined before that epoch began may ever again be
+ * loaded with its tag intact. The revoker commits the epoch's audit
+ * set into the oracle at epoch completion (granule indices enumerated
+ * from the host-side ShadowSummary); the allocator clears entries at
+ * dequarantine, when the address space legitimately returns to
+ * service. Between those two points, any tagged capability entering a
+ * register file via Mmu::loadCap whose base falls in a committed
+ * granule is a temporal-safety violation — the exact bug class the
+ * load barrier exists to make impossible.
+ *
+ * Like the tracer and the race checker, the oracle is a pure
+ * observer: no hook accrues simulated cycles or yields, so RunMetrics
+ * are bit-identical with the oracle on or off
+ * (tests/determinism_test.cpp holds this). Violations are
+ * virtual-time stamped and appended in execution order; the report is
+ * byte-identical across same-seed runs (Machine::oracleReportJson()).
+ */
+
+#ifndef CREV_CHECK_SAFETY_ORACLE_H_
+#define CREV_CHECK_SAFETY_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace crev::check {
+
+/** One revoked-capability load, stamped with virtual time. */
+struct OracleViolation
+{
+    unsigned tid = 0;           //!< loading thread
+    Cycles at = 0;              //!< virtual time of the load
+    Addr va = 0;                //!< address the capability was loaded from
+    Addr cap_base = 0;          //!< the revoked capability's base
+    std::uint64_t epoch = 0;    //!< epoch whose completion revoked it
+};
+
+/**
+ * Revoked-generation record and load-time assertion. One instance per
+ * Machine; the MMU calls onCapLoad for every tagged capability load
+ * (after the CHERIoT filter, so filtered loads — already detagged —
+ * are exempt, matching the §6.3 semantics).
+ */
+class SafetyOracle
+{
+  public:
+    /** An epoch completed; granules committed next belong to it. */
+    void commitEpoch(std::uint64_t epoch)
+    {
+        current_epoch_ = epoch;
+        ++epochs_committed_;
+    }
+
+    /**
+     * Record one revoked granule (absolute index, address >>
+     * kGranuleBits) under the epoch of the last commitEpoch call.
+     */
+    void commitGranule(Addr granule);
+
+    /**
+     * Address space [base, base+len) returns to service
+     * (dequarantine); drop every overlapping granule.
+     */
+    void clearRange(Addr base, Addr len);
+
+    /** Tagged capability entering a register file. */
+    void onCapLoad(unsigned tid, Cycles now, Addr va, Addr cap_base);
+
+    // --- results ---
+    bool clean() const { return violations_.empty(); }
+    const std::vector<OracleViolation> &violations() const
+    {
+        return violations_;
+    }
+    /** Violations dropped past the report cap. */
+    std::uint64_t suppressed() const { return suppressed_; }
+    std::uint64_t loadsChecked() const { return loads_checked_; }
+    std::uint64_t epochsCommitted() const { return epochs_committed_; }
+    std::uint64_t granulesCommitted() const
+    {
+        return granules_committed_;
+    }
+    /** Granules currently held revoked (committed, not yet reused). */
+    std::uint64_t granulesHeld() const { return revoked_.size(); }
+
+    /**
+     * Deterministic JSON report (virtual-time stamped, execution
+     * order), exported next to the race-checker report.
+     */
+    std::string reportJson() const;
+
+  private:
+    static constexpr std::size_t kMaxViolations = 1000;
+
+    /** granule index → epoch whose completion revoked it */
+    std::map<Addr, std::uint64_t> revoked_;
+    std::uint64_t current_epoch_ = 0;
+    std::uint64_t epochs_committed_ = 0;
+    std::uint64_t granules_committed_ = 0;
+    std::uint64_t loads_checked_ = 0;
+    std::vector<OracleViolation> violations_;
+    std::uint64_t suppressed_ = 0;
+};
+
+} // namespace crev::check
+
+#endif // CREV_CHECK_SAFETY_ORACLE_H_

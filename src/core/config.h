@@ -68,6 +68,14 @@ bool defaultCheck();
  */
 bool defaultSweepAccel();
 
+/**
+ * Default for MachineConfig::oracle: false unless the CREV_ORACLE
+ * environment variable is set to something other than "0". The
+ * temporal-safety oracle is an off-clock observer like the race
+ * checker: RunMetrics are bit-identical with it on or off.
+ */
+bool defaultOracle();
+
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
     Strategy::kBaseline,   Strategy::kPaintOnly,
@@ -113,6 +121,11 @@ struct MachineConfig
      *  happens-before checking over the declared shared-state domains.
      *  Zero simulated cost, like tracing. */
     bool check = defaultCheck();
+    /** Temporal-safety oracle (DESIGN.md §13): records revoked-object
+     *  generations and asserts no revoked capability ever loads into
+     *  a register file after its epoch completed. Zero simulated
+     *  cost, like the race checker. */
+    bool oracle = defaultOracle();
     /** Per-thread trace ring capacity, in events. */
     std::size_t trace_buffer_events = 1u << 16;
 

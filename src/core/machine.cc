@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include "base/logging.h"
 #include "core/mutator.h"
@@ -61,8 +62,17 @@ defaultSweepAccel()
     return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
+bool
+defaultOracle()
+{
+    const char *env = std::getenv("CREV_ORACLE");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
+    if (const std::string err = cfg.faults.validate(); !err.empty())
+        throw std::invalid_argument("invalid FaultPlan: " + err);
     if (cfg.trace)
         tracer_ = std::make_unique<trace::Tracer>(
             cfg.trace_buffer_events);
@@ -89,6 +99,35 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
             mmu_->setAccessPenaltyHook([this](sim::SimThread &t) {
                 return injector_->memAccessPenalty(t.now());
             });
+        // Core stalls are drawn at yield points; the hook only fires
+        // for armed nonzero probabilities, so plans without the domain
+        // replay their exact decision streams.
+        sched_->setStallHook([this](sim::SimThread &t) {
+            return injector_->coreStall(t);
+        });
+        mmu_->setFaultInjector(injector_.get());
+    }
+
+    if (cfg.faults.enabled || cfg.watchdog.enabled) {
+        recovery_ = std::make_unique<revoker::RecoveryManager>();
+        recovery_->setTracer(tracer_.get());
+        // The epoch ladder keeps PR-1 timings: its backoff envelope
+        // comes from the watchdog policy, and its retry budget is
+        // effectively unbounded (the ladder never gives up — safety
+        // rungs 3/4 always complete the epoch by fiat).
+        revoker::RecoveryPolicy ladder;
+        ladder.max_retries = ~0u;
+        ladder.deadline = 0;
+        ladder.backoff_base = cfg.watchdog.backoff_base;
+        ladder.max_backoff = cfg.watchdog.max_backoff;
+        recovery_->setPolicy(trace::RecoveryProtocol::kEpochLadder,
+                             ladder);
+        mmu_->setRecoveryManager(recovery_.get());
+    }
+
+    if (cfg.oracle) {
+        oracle_ = std::make_unique<check::SafetyOracle>();
+        mmu_->setSafetyOracle(oracle_.get());
     }
 
     if (cfg.strategy == Strategy::kBaseline) {
@@ -180,16 +219,28 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         }
     });
 
+    // The oracle is never attached for paint-only: its epochs complete
+    // without revoking, so committing the audit set would flag legal
+    // loads of merely-quarantined objects.
+    if (oracle_ && cfg.strategy != Strategy::kPaintOnly)
+        revoker_->setOracle(oracle_.get());
+
     auditor_ = std::make_unique<revoker::Auditor>(*sched_, *mmu_,
                                                   *kernel_, *revoker_);
+    auditor_->setFaultInjector(injector_.get());
+    auditor_->setRecoveryManager(recovery_.get());
     if (cfg.audit && cfg.strategy != Strategy::kPaintOnly)
-        revoker_->setAuditHook([this] { auditor_->check(); });
+        revoker_->setAuditHook([this](sim::SimThread &self) {
+            auditor_->check(&self);
+        });
 
     snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
     shim_ = std::make_unique<alloc::QuarantineShim>(
         *snm_, *kernel_, revoker_.get(), bitmap_.get(), cfg.policy);
     shim_->setTracer(tracer_.get());
     shim_->setChecker(checker_.get());
+    shim_->setFaultInjector(injector_.get());
+    shim_->setRecoveryManager(recovery_.get());
 
     // The revocation service daemon(s).
     sim::SimThread *rev_thread = sched_->spawn(
@@ -221,6 +272,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         watchdog_ = std::make_unique<revoker::EpochWatchdog>(
             *sched_, *revoker_, *mmu_, *kernel_, cfg.watchdog);
         watchdog_->setTracer(tracer_.get());
+        watchdog_->setRecoveryManager(recovery_.get());
         if (cfg.strategy == Strategy::kReloaded) {
             auto *rel = static_cast<revoker::ReloadedRevoker *>(
                 revoker_.get());
@@ -308,6 +360,20 @@ Machine::metrics() const
         m.recovery = watchdog_->stats();
     if (injector_)
         m.faults_injected = injector_->counters();
+    if (recovery_) {
+        for (unsigned i = 0; i < trace::kNumRecoveryProtocols; ++i) {
+            const auto p = static_cast<trace::RecoveryProtocol>(i);
+            m.recovery_protocols[i] = recovery_->stats(p);
+            m.recovery_latency[i] = recovery_->latencies(p);
+        }
+    }
+    if (auditor_)
+        m.summary_repairs = auditor_->summaryRepairs();
+    if (oracle_) {
+        m.oracle_loads_checked = oracle_->loadsChecked();
+        m.oracle_violations = oracle_->violations().size() +
+                              oracle_->suppressed();
+    }
     return m;
 }
 
@@ -317,6 +383,14 @@ Machine::checkReportJson() const
     if (!checker_)
         return "";
     return checker_->reportJson();
+}
+
+std::string
+Machine::oracleReportJson() const
+{
+    if (!oracle_)
+        return "";
+    return oracle_->reportJson();
 }
 
 std::string

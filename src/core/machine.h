@@ -28,6 +28,7 @@
 #include "alloc/quarantine.h"
 #include "alloc/snmalloc_lite.h"
 #include "check/race_checker.h"
+#include "check/safety_oracle.h"
 #include "core/config.h"
 #include "core/metrics.h"
 #include "kern/kernel.h"
@@ -35,6 +36,7 @@
 #include "mem/phys_mem.h"
 #include "revoker/auditor.h"
 #include "revoker/bitmap.h"
+#include "revoker/recovery.h"
 #include "revoker/revoker.h"
 #include "revoker/watchdog.h"
 #include "sim/fault_injector.h"
@@ -93,10 +95,19 @@ class Machine
     revoker::EpochWatchdog *watchdogOrNull() { return watchdog_.get(); }
     trace::Tracer *tracerOrNull() { return tracer_.get(); }
     check::RaceChecker *checkerOrNull() { return checker_.get(); }
+    check::SafetyOracle *oracleOrNull() { return oracle_.get(); }
+    revoker::RecoveryManager *recoveryOrNull()
+    {
+        return recovery_.get();
+    }
+    revoker::Auditor *auditorOrNull() { return auditor_.get(); }
 
     /** Race-checker report JSON; empty if checking was off. Written
      *  next to the Chrome trace by the bench tooling. */
     std::string checkReportJson() const;
+
+    /** Safety-oracle report JSON; empty if the oracle was off. */
+    std::string oracleReportJson() const;
 
     /** Chrome trace-event JSON of the run; empty if tracing was off.
      *  Byte-identical across same-seed runs. */
@@ -109,6 +120,8 @@ class Machine
     MachineConfig cfg_;
     std::unique_ptr<trace::Tracer> tracer_;
     std::unique_ptr<check::RaceChecker> checker_;
+    std::unique_ptr<check::SafetyOracle> oracle_;
+    std::unique_ptr<revoker::RecoveryManager> recovery_;
     mem::PhysMem pm_;
     std::unique_ptr<mem::MemorySystem> ms_;
     std::unique_ptr<sim::Scheduler> sched_;

@@ -107,6 +107,10 @@ RunMetrics::exportTo(trace::MetricsRegistry &reg) const
     reg.counter("quarantine.blocked_cycles", quarantine.blocked_cycles);
     reg.counter("quarantine.max_quarantine_bytes",
                 quarantine.max_quarantine_bytes);
+    reg.counter("quarantine.emergency_reclaims",
+                quarantine.emergency_reclaims);
+    reg.counter("quarantine.handoff_resends",
+                quarantine.handoff_resends);
     if (quarantine.revocations_triggered > 0) {
         const double n =
             static_cast<double>(quarantine.revocations_triggered);
@@ -121,6 +125,7 @@ RunMetrics::exportTo(trace::MetricsRegistry &reg) const
     reg.counter("vm.demand_faults", mmu.demand_faults);
     reg.counter("vm.load_barrier_faults", mmu.load_barrier_faults);
     reg.counter("vm.tlb_shootdowns", mmu.tlb_shootdowns);
+    reg.counter("vm.shootdown_resends", mmu.shootdown_resends);
 
     reg.counter("watchdog.deadline_misses", recovery.deadline_misses);
     reg.counter("watchdog.nudges", recovery.nudges);
@@ -131,6 +136,7 @@ RunMetrics::exportTo(trace::MetricsRegistry &reg) const
                 recovery.recovery_requests);
     reg.counter("watchdog.stw_fallbacks", recovery.stw_fallbacks);
     reg.counter("watchdog.emergency_epochs", recovery.emergency_epochs);
+    reg.counter("watchdog.stalled_threads", recovery.stalled_threads);
 
     reg.counter("chaos.sweeper_stalls", faults_injected.sweeper_stalls);
     reg.counter("chaos.sweeper_kills", faults_injected.sweeper_kills);
@@ -138,6 +144,43 @@ RunMetrics::exportTo(trace::MetricsRegistry &reg) const
     reg.counter("chaos.faults_duplicated",
                 faults_injected.faults_duplicated);
     reg.counter("chaos.stw_delays", faults_injected.stw_delays);
+    reg.counter("chaos.shootdown_drops",
+                faults_injected.shootdown_drops);
+    reg.counter("chaos.shootdown_lates",
+                faults_injected.shootdown_lates);
+    reg.counter("chaos.core_stalls", faults_injected.core_stalls);
+    reg.counter("chaos.summary_corruptions",
+                faults_injected.summary_corruptions);
+    reg.counter("chaos.quarantine_drops",
+                faults_injected.quarantine_drops);
+    reg.counter("chaos.quarantine_duplicates",
+                faults_injected.quarantine_duplicates);
+
+    reg.counter("audit.summary_repairs", summary_repairs);
+    reg.counter("oracle.loads_checked", oracle_loads_checked);
+    reg.counter("oracle.violations", oracle_violations);
+
+    // Per-protocol recovery counters and latency histograms. Every
+    // protocol's histogram key is emitted even when no ticket closed,
+    // so consumers (and the soak CI gate) can rely on the keys.
+    for (unsigned i = 0; i < trace::kNumRecoveryProtocols; ++i) {
+        const auto p = static_cast<trace::RecoveryProtocol>(i);
+        const std::string prefix =
+            std::string("recovery.") + trace::recoveryProtocolName(p);
+        const revoker::RecoveryProtocolStats &st =
+            recovery_protocols[i];
+        reg.counter(prefix + ".tickets", st.tickets);
+        reg.counter(prefix + ".attempts", st.attempts);
+        reg.counter(prefix + ".successes", st.successes);
+        reg.counter(prefix + ".retries_exhausted",
+                    st.retries_exhausted);
+        reg.counter(prefix + ".deadline_expiries",
+                    st.deadline_expiries);
+        reg.counter(prefix + ".total_latency_cycles",
+                    st.total_latency);
+        reg.counter(prefix + ".max_latency_cycles", st.max_latency);
+        reg.samples(prefix + ".latency_cycles", recovery_latency[i]);
+    }
 }
 
 } // namespace crev::core

@@ -10,6 +10,7 @@
 #ifndef CREV_CORE_METRICS_H_
 #define CREV_CORE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -18,10 +19,12 @@
 #include "alloc/quarantine.h"
 #include "base/types.h"
 #include "mem/memory_system.h"
+#include "revoker/recovery.h"
 #include "revoker/revoker.h"
 #include "revoker/sweep.h"
 #include "revoker/watchdog.h"
 #include "sim/fault_injector.h"
+#include "stats/summary.h"
 #include "vm/mmu.h"
 
 namespace crev::trace {
@@ -63,6 +66,20 @@ struct RunMetrics
     revoker::RecoveryStats recovery;
     /** Faults actually injected (all-zero without a fault plan). */
     sim::FaultCounters faults_injected;
+
+    /** Per-protocol RecoveryManager counters (all-zero when no
+     *  manager was built). Indexed by trace::RecoveryProtocol. */
+    std::array<revoker::RecoveryProtocolStats,
+               trace::kNumRecoveryProtocols>
+        recovery_protocols{};
+    /** Per-protocol recovery latency samples (open→close cycles). */
+    std::array<stats::Samples, trace::kNumRecoveryProtocols>
+        recovery_latency;
+    /** Summary corruptions detected and repaired by the Auditor. */
+    std::uint64_t summary_repairs = 0;
+    /** Temporal-safety oracle totals (zero when the oracle is off). */
+    std::uint64_t oracle_loads_checked = 0;
+    std::uint64_t oracle_violations = 0;
 
     /** Epochs that needed an emergency STW sweep to complete. */
     std::size_t degradedEpochs() const;

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "cap/compression.h"
+#include "sim/fault_injector.h"
 #include "vm/address_space.h"
 
 namespace crev::revoker {
@@ -98,9 +99,77 @@ Auditor::findViolations()
     return out;
 }
 
-void
-Auditor::check()
+bool
+Auditor::groundTruthPainted(Addr granule)
 {
+    // The simulated shadow byte holding this granule's bit. A
+    // non-resident shadow page means the kernel never painted anything
+    // there: the true bit is clear.
+    std::uint8_t byte = 0;
+    if (!mmu_.peekByte(vm::kShadowBase + (granule >> 3), &byte))
+        return false;
+    return ((byte >> (granule & 7)) & 1) != 0;
+}
+
+void
+Auditor::repairSummaries(sim::SimThread *self)
+{
+    ShadowSummary &painted =
+        revoker_.bitmap().mutableSummaryForRepair();
+    std::vector<std::size_t> bad = painted.inconsistentBlocks();
+    if (bad.empty())
+        return;
+
+    // One ticket covers the whole repair episode; each round (however
+    // many blocks it rebuilds) is one attempt. The rebuild source is
+    // the simulated shadow bytes — the ground truth the mirror
+    // shadows — so a single round normally suffices; the bounded loop
+    // guards the guard.
+    RecoveryManager::Ticket tk;
+    const bool managed = recovery_ != nullptr && self != nullptr;
+    if (managed)
+        tk = recovery_->open(*self,
+                             RecoveryProtocol::kSummaryRepair);
+    bool repaired = false;
+    for (;;) {
+        if (managed && !recovery_->attempt(*self, tk))
+            break;
+        for (std::size_t b : bad)
+            painted.rebuildBlock(
+                b, [this](Addr g) { return groundTruthPainted(g); });
+        ++summary_repairs_;
+        bad = painted.inconsistentBlocks();
+        if (bad.empty()) {
+            repaired = true;
+            break;
+        }
+        if (!managed)
+            break;
+    }
+    if (managed)
+        recovery_->close(*self, tk,
+                         repaired
+                             ? RecoveryOutcome::kSucceeded
+                             : recovery_->failureOutcome(self->now(),
+                                                         tk));
+    if (!repaired)
+        panic("painted-set summary corruption unrepairable "
+              "(%zu blocks still inconsistent)",
+              bad.size());
+}
+
+void
+Auditor::check(sim::SimThread *self)
+{
+    if (self != nullptr && injector_ != nullptr) {
+        std::uint64_t entropy = 0;
+        if (injector_->corruptSummaryWord(*self, &entropy)) {
+            Addr granule = 0;
+            revoker_.bitmap().mutableSummaryForRepair().corruptBit(
+                entropy, &granule);
+        }
+    }
+    repairSummaries(self);
     const auto violations = findViolations();
     if (!violations.empty()) {
         for (const auto &v : violations)

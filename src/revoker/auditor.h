@@ -18,9 +18,14 @@
 #include <vector>
 
 #include "kern/kernel.h"
+#include "revoker/recovery.h"
 #include "revoker/revoker.h"
 #include "sim/scheduler.h"
 #include "vm/mmu.h"
+
+namespace crev::sim {
+class FaultInjector;
+} // namespace crev::sim
 
 namespace crev::revoker {
 
@@ -40,21 +45,53 @@ class Auditor
      */
     std::vector<std::string> findViolations();
 
-    /** Scan and panic on any violation (installed as the audit hook). */
-    void check();
+    /**
+     * Scan and panic on any violation (installed as the audit hook).
+     * With a thread and a fault injector attached, the painted-set
+     * summary may first take a seeded bit flip; the audit detects the
+     * damage and repairs the block from ground-truth shadow bytes
+     * (panicking only if repair fails), all inside this call — the
+     * corruption never escapes into a probe's self-check.
+     */
+    void check(sim::SimThread *self = nullptr);
 
     /** Total audits performed. */
     std::uint64_t audits() const { return audits_; }
+
+    /** Summary corruptions detected (and repaired) so far. */
+    std::uint64_t summaryRepairs() const { return summary_repairs_; }
+
+    /** Attach the fault injector (null = off): arms the corrupted
+     *  summary-word domain at audit entry. */
+    void setFaultInjector(sim::FaultInjector *fi) { injector_ = fi; }
+
+    /** Attach the recovery manager (null = off): summary rebuilds
+     *  become kSummaryRepair tickets. */
+    void setRecoveryManager(RecoveryManager *rm) { recovery_ = rm; }
 
   private:
     void checkCap(const cap::Capability &c, const std::string &where,
                   std::vector<std::string> &out);
 
+    /**
+     * Detect maintained-summary damage in the painted set and rebuild
+     * the inconsistent blocks from the simulated shadow bytes (the
+     * ground truth the mirror shadows). Panics if the structure is
+     * still inconsistent after the bounded repair attempts.
+     */
+    void repairSummaries(sim::SimThread *self);
+
+    /** Ground truth for one granule: its simulated shadow bit. */
+    bool groundTruthPainted(Addr granule);
+
     sim::Scheduler &sched_;
     vm::Mmu &mmu_;
     kern::Kernel &kernel_;
     Revoker &revoker_;
+    sim::FaultInjector *injector_ = nullptr;
+    RecoveryManager *recovery_ = nullptr;
     std::uint64_t audits_ = 0;
+    std::uint64_t summary_repairs_ = 0;
 };
 
 } // namespace crev::revoker

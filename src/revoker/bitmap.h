@@ -52,6 +52,14 @@ class RevocationBitmap
     /** Host-side two-level mirror of the painted granule set. */
     const ShadowSummary &painted() const { return painted_; }
 
+    /**
+     * Mutable mirror access for the Auditor's fault-domain paths
+     * only: chaos corruption (ShadowSummary::corruptBit) and the
+     * ground-truth rebuild (ShadowSummary::rebuildBlock). Simulation
+     * paths keep using paint()/clear().
+     */
+    ShadowSummary &mutableSummaryForRepair() { return painted_; }
+
     std::uint64_t paintedGranules() const { return painted_.count(); }
 
     /** Attach an event tracer (null = off); paints become kPaint

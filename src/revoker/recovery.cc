@@ -1,0 +1,32 @@
+#include "revoker/recovery.h"
+
+namespace crev::revoker {
+
+RecoveryManager::RecoveryManager()
+{
+    // Protocol-specific defaults; the Machine overrides the epoch
+    // ladder's envelope from WatchdogPolicy so the refactored watchdog
+    // reproduces PR 1's timings exactly.
+    RecoveryPolicy shootdown;
+    shootdown.max_retries = 8;
+    shootdown.deadline = 0;
+    shootdown.backoff_base = 64;
+    shootdown.max_backoff = 4096;
+    setPolicy(RecoveryProtocol::kShootdownResend, shootdown);
+
+    RecoveryPolicy repair;
+    repair.max_retries = 4;
+    repair.deadline = 0;
+    repair.backoff_base = 0;
+    repair.max_backoff = 0;
+    setPolicy(RecoveryProtocol::kSummaryRepair, repair);
+
+    RecoveryPolicy handoff;
+    handoff.max_retries = 6;
+    handoff.deadline = 0;
+    handoff.backoff_base = 250'000;
+    handoff.max_backoff = 16'000'000;
+    setPolicy(RecoveryProtocol::kQuarantineHandoff, handoff);
+}
+
+} // namespace crev::revoker

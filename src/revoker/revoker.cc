@@ -2,6 +2,7 @@
 
 #include "base/logging.h"
 #include "check/race_checker.h"
+#include "check/safety_oracle.h"
 #include "sim/fault_injector.h"
 #include "vm/address_space.h"
 
@@ -76,6 +77,19 @@ void
 Revoker::onDequarantine(Addr base, Addr len)
 {
     audit_set_.clearRange(base, len);
+    if (oracle_ != nullptr)
+        oracle_->clearRange(base, len);
+}
+
+void
+Revoker::commitOracle(sim::SimThread &self)
+{
+    if (oracle_ == nullptr)
+        return;
+    (void)self;
+    oracle_->commitEpoch(kernel_.epoch().value());
+    audit_set_.forEachSet(
+        [this](Addr g) { oracle_->commitGranule(g); });
 }
 
 std::vector<Addr>
@@ -174,6 +188,7 @@ Revoker::finishEpoch(sim::SimThread &self)
     if (force_completed_)
         return; // the watchdog already advanced the counter for us
     kernel_.epoch().advance(self);
+    commitOracle(self);
 }
 
 Cycles
@@ -222,10 +237,11 @@ Revoker::forceCompleteEpoch(sim::SimThread &self)
     // quarantined mappings reaped, waiters released. When the daemon
     // eventually resumes, finishEpoch() skips its own advance.
     kernel_.epoch().advance(self);
+    commitOracle(self);
     kernel_.reapQuarantinedMappings(self);
     epoch_event_.notifyAll(self);
     if (opts_.audit && audit_hook_)
-        audit_hook_();
+        audit_hook_(self);
 }
 
 void
@@ -245,6 +261,7 @@ Revoker::emergencyEpoch(sim::SimThread &self)
     timing.recovery.forced = true;
 
     epoch.advance(self); // even: epoch complete
+    commitOracle(self);
     const SweepStats &after = sweep_.stats();
     timing.pages_swept = after.pages_swept - before.pages_swept;
     timing.caps_revoked = after.caps_revoked - before.caps_revoked;
@@ -254,7 +271,7 @@ Revoker::emergencyEpoch(sim::SimThread &self)
     kernel_.reapQuarantinedMappings(self);
     epoch_event_.notifyAll(self);
     if (opts_.audit && audit_hook_)
-        audit_hook_();
+        audit_hook_(self);
 }
 
 void
@@ -296,7 +313,7 @@ Revoker::daemonBody(sim::SimThread &self)
         epoch_event_.notifyAll(self);
 
         if (opts_.audit && audit_hook_)
-            audit_hook_();
+            audit_hook_(self);
     }
 }
 

@@ -40,6 +40,10 @@
 #include "trace/trace.h"
 #include "vm/mmu.h"
 
+namespace crev::check {
+class SafetyOracle;
+} // namespace crev::check
+
 namespace crev::sim {
 class FaultInjector;
 } // namespace crev::sim
@@ -146,9 +150,19 @@ class Revoker
     const ShadowSummary &auditSet() const { return audit_set_; }
     void onDequarantine(Addr base, Addr len);
 
-    /** Installed by the Machine when auditing is on. */
-    using AuditHook = std::function<void()>;
+    /** Installed by the Machine when auditing is on; runs on the
+     *  thread that completed the epoch (chaos injection and recovery
+     *  tickets need its clock). */
+    using AuditHook = std::function<void(sim::SimThread &)>;
     void setAuditHook(AuditHook h) { audit_hook_ = std::move(h); }
+
+    /**
+     * Attach the temporal-safety oracle (null = off). At every epoch
+     * completion the audit set's granules are committed as revoked;
+     * dequarantine clears them. Never attached for paint-only, whose
+     * epochs complete without revoking anything.
+     */
+    void setOracle(check::SafetyOracle *o) { oracle_ = o; }
 
     // --- recovery protocol (EpochWatchdog side) ---
     //
@@ -231,6 +245,13 @@ class Revoker
     void snapshotAuditSet();
 
     /**
+     * Commit the completed epoch's audit set into the safety oracle
+     * (no-op without one). Must run after the counter reaches even and
+     * before waiters can dequarantine.
+     */
+    void commitOracle(sim::SimThread &self);
+
+    /**
      * Whether index-driven page selection and the pre-scan pipeline
      * are active (both host levers must be on; either way the
      * simulated results are identical).
@@ -300,6 +321,7 @@ class Revoker
     std::uint64_t epochs_ = 0;
     ShadowSummary audit_set_;
     AuditHook audit_hook_;
+    check::SafetyOracle *oracle_ = nullptr;
 
     // Recovery-protocol state (see class comment).
     bool epoch_in_progress_ = false;

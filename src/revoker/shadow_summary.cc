@@ -109,4 +109,90 @@ ShadowSummary::checkConsistent() const
     return out;
 }
 
+void
+ShadowSummary::forEachSet(const std::function<void(Addr)> &fn) const
+{
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+        if (((l1_[b >> 6] >> (b & 63)) & 1) == 0)
+            continue;
+        const std::vector<std::uint64_t> &blk = blocks_[b];
+        if (blk.empty())
+            continue;
+        for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+            std::uint64_t word = blk[w];
+            while (word != 0) {
+                const unsigned bit = static_cast<unsigned>(
+                    std::countr_zero(word));
+                word &= word - 1;
+                fn(kGranuleFloor +
+                   static_cast<Addr>(b) * kGranulesPerBlock +
+                   static_cast<Addr>(w) * 64 + bit);
+            }
+        }
+    }
+}
+
+bool
+ShadowSummary::corruptBit(std::uint64_t entropy, Addr *granule_out)
+{
+    std::vector<std::size_t> allocated;
+    for (std::size_t b = 0; b < kBlocks; ++b)
+        if (!blocks_[b].empty())
+            allocated.push_back(b);
+    if (allocated.empty())
+        return false;
+    const std::size_t b = allocated[entropy % allocated.size()];
+    const std::size_t w =
+        static_cast<std::size_t>(entropy >> 20) % kWordsPerBlock;
+    const unsigned bit = static_cast<unsigned>(entropy >> 40) % 64;
+    blocks_[b][w] ^= std::uint64_t{1} << bit;
+    *granule_out = kGranuleFloor +
+                   static_cast<Addr>(b) * kGranulesPerBlock +
+                   static_cast<Addr>(w) * 64 + bit;
+    return true;
+}
+
+std::vector<std::size_t>
+ShadowSummary::inconsistentBlocks() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+        std::uint64_t cnt = 0;
+        for (std::uint64_t w : blocks_[b])
+            cnt += static_cast<std::uint64_t>(std::popcount(w));
+        const bool l1 = ((l1_[b >> 6] >> (b & 63)) & 1) != 0;
+        if (cnt != block_counts_[b] || l1 != (cnt != 0))
+            out.push_back(b);
+    }
+    return out;
+}
+
+void
+ShadowSummary::rebuildBlock(std::size_t b,
+                            const std::function<bool(Addr)> &painted)
+{
+    CREV_ASSERT(b < kBlocks);
+    std::vector<std::uint64_t> &blk = blocks_[b];
+    if (blk.empty())
+        blk.assign(kWordsPerBlock, 0);
+    const Addr base = kGranuleFloor +
+                      static_cast<Addr>(b) * kGranulesPerBlock;
+    std::uint64_t pop = 0;
+    for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+        std::uint64_t word = 0;
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            if (painted(base + static_cast<Addr>(w) * 64 + bit))
+                word |= std::uint64_t{1} << bit;
+        }
+        blk[w] = word;
+        pop += static_cast<std::uint64_t>(std::popcount(word));
+    }
+    count_ = count_ - block_counts_[b] + pop;
+    block_counts_[b] = static_cast<std::uint32_t>(pop);
+    if (pop != 0)
+        l1_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    else
+        l1_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+}
+
 } // namespace crev::revoker

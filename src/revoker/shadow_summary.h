@@ -22,6 +22,7 @@
 #define CREV_REVOKER_SHADOW_SUMMARY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,40 @@ class ShadowSummary
      * maintained summaries. Returns one string per violation.
      */
     std::vector<std::string> checkConsistent() const;
+
+    /**
+     * Visit every set granule's absolute index, ascending (host-side;
+     * the safety oracle snapshots revoked generations with this).
+     */
+    void forEachSet(const std::function<void(Addr)> &fn) const;
+
+    // --- fault-domain support (PR 6) ---
+
+    /**
+     * Chaos injection: flip one level-0 bit in an allocated block,
+     * deliberately leaving the maintained population/level-1/total
+     * summaries stale — pure damage for checkConsistent() to detect
+     * and the repair path to heal. @p entropy picks the site
+     * deterministically. Returns false (no damage) when no block has
+     * ever been allocated; otherwise the flipped granule's absolute
+     * index is written to @p granule_out.
+     */
+    bool corruptBit(std::uint64_t entropy, Addr *granule_out);
+
+    /**
+     * Block indices whose maintained summaries disagree with their
+     * level-0 words (empty on a consistent structure).
+     */
+    std::vector<std::size_t> inconsistentBlocks() const;
+
+    /**
+     * Rebuild block @p b's level-0 words from ground truth — @p
+     * painted maps an absolute granule index to its true bit (the
+     * simulated shadow bytes) — and restore the maintained
+     * population, level-1 bit, and running total.
+     */
+    void rebuildBlock(std::size_t b,
+                      const std::function<bool(Addr)> &painted);
 
   private:
     /** Level-1: bit b set iff block b has any level-0 bit set. */

@@ -69,6 +69,11 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
 {
     std::uint64_t watched_seq = 0;
     unsigned attempt = 0;
+    RecoveryManager::Ticket ladder;
+    const auto closeLadder = [&](trace::RecoveryOutcome o) {
+        if (recovery_ != nullptr && ladder.open)
+            recovery_->close(self, ladder, o);
+    };
 
     for (;;) {
         self.sleep(policy_.poll_interval);
@@ -90,10 +95,13 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
         }
 
         if (!rev_.epochInProgress()) {
+            // The watched epoch (if any) reached completion.
+            closeLadder(trace::RecoveryOutcome::kSucceeded);
             attempt = 0;
             continue;
         }
         if (rev_.epochSeq() != watched_seq) {
+            closeLadder(trace::RecoveryOutcome::kSucceeded);
             watched_seq = rev_.epochSeq();
             attempt = 0;
         }
@@ -101,9 +109,18 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
         if (self.now() - rev_.epochStartedAt() <= deadline())
             continue;
 
-        // Overdue: climb the degradation ladder.
-        if (attempt == 0)
+        // Overdue: climb the degradation ladder. Each escalation round
+        // is one attempt on the epoch's kEpochLadder ticket.
+        if (attempt == 0) {
             ++stats_.deadline_misses;
+            if (recovery_ != nullptr && !ladder.open)
+                ladder = recovery_->open(
+                    self, trace::RecoveryProtocol::kEpochLadder);
+        }
+        if (recovery_ != nullptr)
+            (void)recovery_->attempt(self, ladder);
+        stats_.stalled_threads +=
+            sched_.stalledThreads(self.now(), deadline()).size();
         if (attempt < policy_.max_nudges) {
             traceEscalation(self, 1);
             nudgeRound(self);
@@ -115,6 +132,7 @@ EpochWatchdog::daemonBody(sim::SimThread &self)
             traceEscalation(self, 3);
             rev_.forceCompleteEpoch(self);
             ++stats_.stw_fallbacks;
+            closeLadder(trace::RecoveryOutcome::kSucceeded);
             // The epoch is now complete (by fiat); the ladder must
             // re-arm rather than carry this escalation level into the
             // next epoch and instantly force-complete it too. The seq

@@ -35,6 +35,7 @@
 #include <functional>
 
 #include "base/types.h"
+#include "revoker/recovery.h"
 #include "revoker/revoker.h"
 
 namespace crev::revoker {
@@ -81,6 +82,9 @@ struct RecoveryStats
     std::uint64_t recovery_requests = 0; //!< rung-2 degraded requests
     std::uint64_t stw_fallbacks = 0;     //!< rung-3 force completions
     std::uint64_t emergency_epochs = 0;  //!< epochs run by the watchdog
+    /** Stalled-thread observations while an epoch was overdue (one
+     *  per stalled thread per escalation round). */
+    std::uint64_t stalled_threads = 0;
 };
 
 /**
@@ -116,6 +120,14 @@ class EpochWatchdog
      *  kWatchdogEscalate instants (arg8 = rung 1..4). */
     void setTracer(trace::Tracer *t) { tracer_ = t; }
 
+    /**
+     * Attach the recovery manager (null = off): each overdue epoch
+     * becomes a kEpochLadder ticket whose attempts mirror the ladder's
+     * escalation rounds. Purely observational — the ladder's own
+     * timings and rung order are unchanged.
+     */
+    void setRecoveryManager(RecoveryManager *rm) { recovery_ = rm; }
+
   private:
     /** Deadline for the epoch in progress, from pages left to sweep. */
     Cycles deadline() const;
@@ -138,6 +150,7 @@ class EpochWatchdog
     RespawnFn respawn_;
     RecoveryStats stats_;
     trace::Tracer *tracer_ = nullptr;
+    RecoveryManager *recovery_ = nullptr;
 };
 
 } // namespace crev::revoker

@@ -23,6 +23,7 @@
 #define CREV_SIM_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <string>
 
 #include "base/rng.h"
 #include "base/types.h"
@@ -81,6 +82,53 @@ struct FaultPlan
     Cycles mem_spike_period = 0;
     Cycles mem_spike_duration = 0;
     Cycles mem_spike_extra = 0;
+
+    // --- TLB shootdown IPIs (checked once per target core) ---
+
+    /** Probability one core's shootdown IPI is lost. Safe for the
+     *  barrier designs (a stale TLB entry just re-traps and heals);
+     *  costs the initiator a bounded re-send round. */
+    double shootdown_drop_prob = 0.0;
+    /** Cap on lost IPIs per run (keeps re-send rounds bounded). */
+    unsigned max_shootdown_drops = 16;
+    /** Probability a core acks its IPI late, and by how much. */
+    double shootdown_late_prob = 0.0;
+    Cycles shootdown_late_cycles = 0;
+
+    // --- simulated-core stalls (checked at yield points) ---
+
+    /** Probability a thread's core freezes at a yield point. */
+    double core_stall_prob = 0.0;
+    Cycles core_stall_cycles = 0;
+    /** Cap on core stalls per run. */
+    unsigned max_core_stalls = 4;
+
+    // --- shadow-summary corruption (checked at audit entry) ---
+
+    /** Probability one ShadowSummary L0 word takes a bit flip before
+     *  an audit; the Auditor must detect and repair it from
+     *  ground-truth shadow bytes. */
+    double summary_corrupt_prob = 0.0;
+    unsigned max_summary_corruptions = 8;
+
+    // --- quarantine epoch hand-off (checked per revocation request) ---
+
+    /** Probability the allocator's epoch request to the revoker is
+     *  lost (recovered by the allocator's bounded re-send, degrading
+     *  to an emergency epoch). */
+    double quarantine_drop_prob = 0.0;
+    unsigned max_quarantine_drops = 4;
+    /** Probability the request is delivered twice (benign: requests
+     *  are idempotent while one is pending; a late duplicate costs at
+     *  most one spurious epoch). */
+    double quarantine_duplicate_prob = 0.0;
+
+    /**
+     * Structural validation: empty string when the plan is
+     * well-formed, else a message naming the offending field. The
+     * Machine rejects invalid plans at construction.
+     */
+    std::string validate() const;
 };
 
 /** How many of each fault actually fired (RunMetrics observability). */
@@ -91,6 +139,12 @@ struct FaultCounters
     std::uint64_t faults_dropped = 0;
     std::uint64_t faults_duplicated = 0;
     std::uint64_t stw_delays = 0;
+    std::uint64_t shootdown_drops = 0;
+    std::uint64_t shootdown_lates = 0;
+    std::uint64_t core_stalls = 0;
+    std::uint64_t summary_corruptions = 0;
+    std::uint64_t quarantine_drops = 0;
+    std::uint64_t quarantine_duplicates = 0;
 };
 
 /** Draws fault decisions from a FaultPlan's seeded stream. */
@@ -113,6 +167,30 @@ class FaultInjector
 
     /** Extra cycles to charge before entering stop-the-world. */
     Cycles stwEntryDelay(SimThread &t);
+
+    /** Whether @p target_core's shootdown IPI is lost (bounded). */
+    bool dropShootdownIpi(SimThread &t, unsigned target_core);
+
+    /** Extra ack latency for @p target_core's IPI; 0 = on time. */
+    Cycles shootdownAckDelay(SimThread &t, unsigned target_core);
+
+    /** Stall duration for @p t's core at a yield point; 0 = none
+     *  (bounded by plan). */
+    Cycles coreStall(SimThread &t);
+
+    /**
+     * Whether a ShadowSummary word should be corrupted before the
+     * audit at this instant (bounded). On true, @p entropy_out
+     * receives a fresh draw the caller uses to pick block/word/bit, so
+     * the damage site is part of the deterministic decision stream.
+     */
+    bool corruptSummaryWord(SimThread &t, std::uint64_t *entropy_out);
+
+    /** Whether this quarantine epoch request is lost (bounded). */
+    bool dropQuarantineHandoff(SimThread &t);
+
+    /** Whether this quarantine epoch request is delivered twice. */
+    bool duplicateQuarantineHandoff(SimThread &t);
 
     /**
      * Extra per-access memory latency at virtual time @p now. Pure

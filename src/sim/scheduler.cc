@@ -43,6 +43,15 @@ SimThread::reg(unsigned i) const
 void
 SimThread::yieldSlow()
 {
+    if (sched_.stall_hook_) {
+        // A stuck/slow core: the blackout is charged before the yield
+        // so the whole stall is one opaque interval on this thread.
+        const Cycles stall = sched_.stall_hook_(*this);
+        if (stall > 0) {
+            clock_ += stall;
+            busy_ += stall;
+        }
+    }
     sched_.handoff(*this, ThreadStatus::kReady);
 }
 
@@ -67,7 +76,16 @@ SimThread::threadMain()
 {
     {
         std::unique_lock<std::mutex> lk(sched_.mtx_);
-        cv_.wait(lk, [this] { return status_ == ThreadStatus::kRunning; });
+        cv_.wait(lk, [this] {
+            return status_ == ThreadStatus::kRunning ||
+                   sched_.tearing_down_;
+        });
+        if (status_ != ThreadStatus::kRunning) {
+            // Scheduler destroyed before run(): exit without ever
+            // executing the body.
+            status_ = ThreadStatus::kDone;
+            return;
+        }
     }
     try {
         body_(*this);
@@ -101,6 +119,12 @@ Scheduler::Scheduler(unsigned num_cores, const CostModel &cm)
 
 Scheduler::~Scheduler()
 {
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        tearing_down_ = true;
+        for (auto &t : threads_)
+            t->cv_.notify_all();
+    }
     for (auto &t : threads_)
         if (t->host_.joinable())
             t->host_.join();
@@ -139,6 +163,22 @@ Scheduler::stwOwnedBy(const SimThread &t)
 {
     std::unique_lock<std::mutex> lk(mtx_);
     return stw_active_ && stw_owner_ == &t;
+}
+
+std::vector<unsigned>
+Scheduler::stalledThreads(Cycles now, Cycles horizon)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    std::vector<unsigned> out;
+    for (const auto &tp : threads_) {
+        if (tp->status_ == ThreadStatus::kDone)
+            continue;
+        if (tp->heartbeats_ == 0 && tp->clock_ == 0)
+            continue; // never scheduled yet
+        if (tp->last_beat_at_ + horizon < now)
+            out.push_back(tp->id_);
+    }
+    return out;
 }
 
 bool
@@ -285,6 +325,8 @@ Scheduler::handoff(SimThread &self, ThreadStatus new_status)
 {
     std::unique_lock<std::mutex> lk(mtx_);
     self.status_ = new_status;
+    ++self.heartbeats_;
+    self.last_beat_at_ = self.clock_;
     if (tracer_ != nullptr)
         tracer_->record(self.id_, self.core_, self.clock_,
                         new_status == ThreadStatus::kReady

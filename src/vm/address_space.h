@@ -88,6 +88,15 @@ class AddressSpace
     Addr reserve(Addr length, bool cap_store = true);
 
     /**
+     * Whether a reserve(@p length) would fit below the heap ceiling
+     * (same padding/alignment math, no side effects). The allocator
+     * probes this before mmap so address-space exhaustion can degrade
+     * to emergency quarantine reclaim instead of tripping reserve()'s
+     * assertion.
+     */
+    bool canReserve(Addr length) const;
+
+    /**
      * Unmap [base, base+length) inside one reservation. Freed frames
      * return to the physical pool immediately; the virtual range
      * becomes guard pages. When the whole reservation is unmapped it

@@ -3,6 +3,9 @@
 #include "base/logging.h"
 #include "cap/compression.h"
 #include "check/race_checker.h"
+#include "check/safety_oracle.h"
+#include "revoker/recovery.h"
+#include "sim/fault_injector.h"
 #include "trace/trace.h"
 #include "vm/fault.h"
 
@@ -51,8 +54,6 @@ void
 Mmu::shootdownPage(sim::SimThread &t, Addr va)
 {
     const Addr page = pageBase(va);
-    for (auto &tlb : tlbs_)
-        tlb.invalidatePage(pageOf(page));
     // Shootdowns follow in-place PTE rewrites (self-heals, trap-bit
     // arming): the one-entry cache may hold the page being rewritten.
     invalidatePteCache();
@@ -60,7 +61,64 @@ Mmu::shootdownPage(sim::SimThread &t, Addr va)
     if (tracer_ != nullptr)
         tracer_->record(t.id(), t.core(), t.now(),
                         trace::EventType::kTlbShootdown, 0, page);
-    t.accrueNoYield(cm_.tlb_shootdown);
+
+    // Ack-based IPI protocol. Each round sends an IPI to every core
+    // that has not yet acked and charges one shootdown round on the
+    // initiator (accrueNoYield: this runs under NoYield windows and
+    // pmap locks, so it must never become a scheduling point). With no
+    // injector — or the shootdown domains disarmed — every core acks
+    // in round one and the charge sequence is exactly the PR 1
+    // synchronous shootdown's. An injected drop leaves the target's
+    // TLB stale for the round, which is *safe* for the barrier
+    // designs (a stale generation only re-traps and self-heals); the
+    // cost is the bounded re-send rounds below, ticketed through the
+    // kShootdownResend recovery protocol with saturating backoff.
+    CREV_ASSERT(tlbs_.size() <= 64);
+    std::uint64_t pending =
+        tlbs_.size() >= 64 ? ~0ull : (1ull << tlbs_.size()) - 1;
+    revoker::RecoveryManager::Ticket ticket;
+    for (;;) {
+        Cycles ack_wait = 0;
+        for (unsigned c = 0; c < tlbs_.size(); ++c) {
+            if ((pending >> c & 1) == 0)
+                continue;
+            if (injector_ != nullptr &&
+                injector_->dropShootdownIpi(t, c))
+                continue; // IPI lost; the core never sees it
+            tlbs_[c].invalidatePage(pageOf(page));
+            if (injector_ != nullptr) {
+                const Cycles late = injector_->shootdownAckDelay(t, c);
+                ack_wait = late > ack_wait ? late : ack_wait;
+            }
+            pending &= ~(1ull << c);
+        }
+        t.accrueNoYield(cm_.tlb_shootdown + ack_wait);
+        if (pending == 0)
+            break;
+
+        // Deadline passed with IPIs outstanding: re-send, bounded.
+        if (recovery_ != nullptr && !ticket.open)
+            ticket = recovery_->open(
+                t, trace::RecoveryProtocol::kShootdownResend);
+        if (recovery_ != nullptr && !recovery_->attempt(t, ticket)) {
+            // Retry budget spent: NMI-grade fallback — invalidate the
+            // stragglers synchronously so the machine never runs with
+            // an unbounded-stale TLB, and record the failure.
+            for (unsigned c = 0; c < tlbs_.size(); ++c)
+                if (pending >> c & 1)
+                    tlbs_[c].invalidatePage(pageOf(page));
+            t.accrueNoYield(cm_.tlb_shootdown);
+            recovery_->close(t, ticket,
+                             recovery_->failureOutcome(t.now(), ticket));
+            return;
+        }
+        ++stats_.shootdown_resends;
+        if (recovery_ != nullptr)
+            t.accrueNoYield(recovery_->backoff(ticket));
+    }
+    if (ticket.open)
+        recovery_->close(t, ticket,
+                         trace::RecoveryOutcome::kSucceeded);
 }
 
 void
@@ -211,6 +269,11 @@ Mmu::loadCap(sim::SimThread &t, Addr va)
         // capabilities on their way into the register file.
         if (c.tag && filter_ && filter_(t, c))
             c.tag = false;
+        // Temporal-safety oracle: no revoked capability may reach a
+        // register file after its revocation epoch completed. Pure
+        // host-side observer — zero simulated cost.
+        if (c.tag && oracle_ != nullptr)
+            oracle_->onCapLoad(t.id(), t.now(), va, c.base);
         return c;
     }
 }
@@ -337,6 +400,16 @@ Mmu::chargeWrite(sim::SimThread &t, Addr va, std::size_t len)
     CREV_ASSERT(p != nullptr && p->valid);
     chargeAccess(t, t.core(), (p->pfn << kPageBits) | pageOffset(va),
                  len, true);
+}
+
+bool
+Mmu::peekByte(Addr va, std::uint8_t *out)
+{
+    Pte *p = findPteCached(va);
+    if (p == nullptr || !p->valid)
+        return false;
+    pm_.read((p->pfn << kPageBits) | pageOffset(va), out, 1);
+    return true;
 }
 
 bool

@@ -28,6 +28,18 @@
 #include "vm/address_space.h"
 #include "vm/tlb.h"
 
+namespace crev::check {
+class SafetyOracle;
+} // namespace crev::check
+
+namespace crev::revoker {
+class RecoveryManager;
+} // namespace crev::revoker
+
+namespace crev::sim {
+class FaultInjector;
+} // namespace crev::sim
+
 namespace crev::vm {
 
 /** MMU event counters. */
@@ -36,6 +48,8 @@ struct MmuStats
     std::uint64_t demand_faults = 0;
     std::uint64_t load_barrier_faults = 0;
     std::uint64_t tlb_shootdowns = 0;
+    /** Ack-based shootdown rounds beyond the first (lost/late IPIs). */
+    std::uint64_t shootdown_resends = 0;
 };
 
 /** The machine's MMU (one per simulated process/machine). */
@@ -155,6 +169,30 @@ class Mmu
      *  kTlbShootdown instants. */
     void setTracer(trace::Tracer *t) { tracer_ = t; }
 
+    /** Attach the fault injector (null = off): arms the lost/late
+     *  shootdown-IPI domain in shootdownPage's ack protocol. */
+    void setFaultInjector(sim::FaultInjector *fi) { injector_ = fi; }
+
+    /** Attach the recovery manager (null = off): shootdown re-send
+     *  rounds become kShootdownResend tickets. */
+    void setRecoveryManager(revoker::RecoveryManager *rm)
+    {
+        recovery_ = rm;
+    }
+
+    /** Attach the temporal-safety oracle (null = off): every tagged
+     *  capability entering a register file is checked against the
+     *  revoked-generation record. Zero simulated cost. */
+    void setSafetyOracle(check::SafetyOracle *o) { oracle_ = o; }
+
+    /**
+     * Uncharged single-byte peek of simulated memory (via the page
+     * tables, no TLB, no cost): the Auditor's summary-repair path
+     * reads ground-truth shadow bytes with it. Returns false when the
+     * page is not resident.
+     */
+    bool peekByte(Addr va, std::uint8_t *out);
+
     // --- load-generation plumbing ---
 
     void setLoadFaultHandler(LoadFaultHandler h) { handler_ = std::move(h); }
@@ -228,6 +266,9 @@ class Mmu
     LoadFilter filter_;
     AccessPenaltyHook penalty_;
     MmuStats stats_;
+    sim::FaultInjector *injector_ = nullptr;
+    revoker::RecoveryManager *recovery_ = nullptr;
+    check::SafetyOracle *oracle_ = nullptr;
 
     bool host_fast_paths_ = true;
     Addr cached_vpn_ = 0;

@@ -77,19 +77,45 @@ fingerprint(const RunMetrics &m)
        << " bf=" << m.allocator.bytes_freed_total << "\n";
     os << "mmu df=" << m.mmu.demand_faults
        << " lbf=" << m.mmu.load_barrier_faults
-       << " shoot=" << m.mmu.tlb_shootdowns << "\n";
+       << " shoot=" << m.mmu.tlb_shootdowns
+       << " resend=" << m.mmu.shootdown_resends << "\n";
     os << "recov miss=" << m.recovery.deadline_misses
        << " nudge=" << m.recovery.nudges
        << " reap=" << m.recovery.sweepers_reaped
        << " resp=" << m.recovery.sweepers_respawned
        << " req=" << m.recovery.recovery_requests
        << " stw=" << m.recovery.stw_fallbacks
-       << " emerg=" << m.recovery.emergency_epochs << "\n";
+       << " emerg=" << m.recovery.emergency_epochs
+       << " stallt=" << m.recovery.stalled_threads << "\n";
     os << "inj stall=" << m.faults_injected.sweeper_stalls
        << " kill=" << m.faults_injected.sweeper_kills
        << " drop=" << m.faults_injected.faults_dropped
        << " dup=" << m.faults_injected.faults_duplicated
-       << " delay=" << m.faults_injected.stw_delays << "\n";
+       << " delay=" << m.faults_injected.stw_delays
+       << " sdrop=" << m.faults_injected.shootdown_drops
+       << " slate=" << m.faults_injected.shootdown_lates
+       << " cstall=" << m.faults_injected.core_stalls
+       << " corrupt=" << m.faults_injected.summary_corruptions
+       << " qdrop=" << m.faults_injected.quarantine_drops
+       << " qdup=" << m.faults_injected.quarantine_duplicates << "\n";
+    os << "heal repairs=" << m.summary_repairs
+       << " ereclaim=" << m.quarantine.emergency_reclaims
+       << " hresend=" << m.quarantine.handoff_resends << "\n";
+    for (unsigned i = 0; i < trace::kNumRecoveryProtocols; ++i) {
+        const auto &p = m.recovery_protocols[i];
+        os << "rp[" << trace::recoveryProtocolName(
+                           static_cast<trace::RecoveryProtocol>(i))
+           << "] t=" << p.tickets << " a=" << p.attempts
+           << " s=" << p.successes << " re=" << p.retries_exhausted
+           << " de=" << p.deadline_expiries
+           << " lat=" << p.total_latency << "/" << p.max_latency
+           << "\n";
+    }
+    // Deliberately excluded: m.prescan (host-side pipeline counters,
+    // zero with sweep_accel off) and m.oracle_* (observer totals that
+    // count only when the oracle is attached). Everything above is a
+    // simulated observable and must be bit-identical across host-side
+    // and observer configuration changes.
     return os.str();
 }
 
@@ -165,6 +191,35 @@ TEST(Determinism, TracingPreservesSpecMetricsAllStrategies)
     }
 }
 
+/** The temporal-safety oracle is an off-clock observer like the
+ *  tracer: every simulated observable must be bit-identical with the
+ *  oracle on or off, for every strategy. (Its own totals — loads
+ *  checked, violations — are excluded from the fingerprint, exactly
+ *  like the host-side prescan counters.) */
+TEST(Determinism, OraclePreservesSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        MachineConfig cfg;
+        cfg.strategy = s;
+        cfg.policy = workload::specPolicy();
+
+        cfg.oracle = true;
+        Machine on(cfg);
+        workload::runSpec(on, workload::specProfile("hmmer_retro"));
+        EXPECT_EQ(on.metrics().oracle_violations, 0u)
+            << "strategy " << core::strategyName(s);
+
+        cfg.oracle = false;
+        Machine off(cfg);
+        workload::runSpec(off, workload::specProfile("hmmer_retro"));
+        EXPECT_EQ(off.metrics().oracle_loads_checked, 0u);
+
+        EXPECT_EQ(fingerprint(on.metrics()),
+                  fingerprint(off.metrics()))
+            << "strategy " << core::strategyName(s);
+    }
+}
+
 /** Heap churn with capability links, register parking, and hoards —
  *  the same mix the chaos campaign uses, shrunk to gate size. */
 void
@@ -212,13 +267,14 @@ churn(Machine &m, Mutator &ctx, int iters)
 
 RunMetrics
 runChaosWith(Strategy s, bool host_fast_paths,
-             bool sweep_accel = true)
+             bool sweep_accel = true, bool oracle = false)
 {
     MachineConfig cfg;
     cfg.strategy = s;
     cfg.audit = true;
     cfg.host_fast_paths = host_fast_paths;
     cfg.sweep_accel = sweep_accel;
+    cfg.oracle = oracle;
     cfg.policy.min_bytes = 32 * 1024; // revoke frequently
     cfg.background_sweepers = 2;
     cfg.seed = 42;
@@ -233,6 +289,17 @@ runChaosWith(Strategy s, bool host_fast_paths,
     cfg.faults.fault_duplicate_prob = 0.10;
     cfg.faults.stw_delay_prob = 0.25;
     cfg.faults.stw_delay_cycles = 25'000;
+    // PR-6 fault domains, all armed: the determinism contract covers
+    // every recovery path (shootdown re-send, summary repair,
+    // quarantine hand-off re-delivery, core stalls).
+    cfg.faults.shootdown_drop_prob = 0.2;
+    cfg.faults.shootdown_late_prob = 0.2;
+    cfg.faults.shootdown_late_cycles = 10'000;
+    cfg.faults.core_stall_prob = 0.005;
+    cfg.faults.core_stall_cycles = 100'000;
+    cfg.faults.summary_corrupt_prob = 0.25;
+    cfg.faults.quarantine_drop_prob = 0.25;
+    cfg.faults.quarantine_duplicate_prob = 0.25;
     Machine m(cfg);
     m.spawnMutator("app", 1u << 3,
                    [&](Mutator &ctx) { churn(m, ctx, 800); });
@@ -267,6 +334,21 @@ TEST(Determinism, SweepAccelPreservesChaosMetricsAllStrategies)
         const std::string plain =
             fingerprint(runChaosWith(s, true, false));
         EXPECT_EQ(accel, plain)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+TEST(Determinism, OraclePreservesChaosMetricsAllStrategies)
+{
+    // The oracle rides a full chaos campaign (every fault domain
+    // armed, audit on) without perturbing one scheduling point — and
+    // reports zero violations even while recovery paths run hot.
+    for (Strategy s : core::kAllStrategies) {
+        const RunMetrics on = runChaosWith(s, true, true, true);
+        const RunMetrics off = runChaosWith(s, true, true, false);
+        EXPECT_EQ(on.oracle_violations, 0u)
+            << "strategy " << core::strategyName(s);
+        EXPECT_EQ(fingerprint(on), fingerprint(off))
             << "strategy " << core::strategyName(s);
     }
 }

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the RecoveryManager (DESIGN.md §13): ticket
+ * lifecycle accounting, retry exhaustion, deadline expiry, and the
+ * saturating backoff arithmetic that must match the watchdog
+ * ladder's established overflow-safe form bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "revoker/recovery.h"
+#include "sim/scheduler.h"
+
+namespace crev::revoker {
+namespace {
+
+using trace::RecoveryOutcome;
+using trace::RecoveryProtocol;
+
+/** Run @p body on one simulated thread and return after completion.
+ *  The manager is an off-clock observer, so driving it from a real
+ *  SimThread only matters for now()/latency bookkeeping. */
+void
+onSimThread(std::function<void(sim::SimThread &)> body)
+{
+    sim::CostModel cm;
+    sim::Scheduler s(1, cm);
+    s.spawn("t", 1, [&](sim::SimThread &t) { body(t); });
+    s.run();
+}
+
+TEST(RecoveryManager, TicketLifecycleCountsAttemptsAndLatency)
+{
+    RecoveryManager rm;
+    onSimThread([&](sim::SimThread &t) {
+        auto tk = rm.open(t, RecoveryProtocol::kShootdownResend);
+        EXPECT_TRUE(tk.open);
+        EXPECT_TRUE(rm.attempt(t, tk));
+        t.accrueNoYield(5'000);
+        EXPECT_TRUE(rm.attempt(t, tk));
+        t.accrueNoYield(7'000);
+        rm.close(t, tk, RecoveryOutcome::kSucceeded);
+        EXPECT_FALSE(tk.open);
+    });
+    const RecoveryProtocolStats &st =
+        rm.stats(RecoveryProtocol::kShootdownResend);
+    EXPECT_EQ(st.tickets, 1u);
+    EXPECT_EQ(st.attempts, 2u);
+    EXPECT_EQ(st.successes, 1u);
+    EXPECT_EQ(st.retries_exhausted, 0u);
+    EXPECT_EQ(st.deadline_expiries, 0u);
+    EXPECT_EQ(st.total_latency, 12'000u);
+    EXPECT_EQ(st.max_latency, 12'000u);
+    const stats::Samples &lat =
+        rm.latencies(RecoveryProtocol::kShootdownResend);
+    ASSERT_EQ(lat.count(), 1u);
+    EXPECT_EQ(lat.values()[0], 12'000.0);
+    // Other protocols are untouched.
+    EXPECT_EQ(rm.stats(RecoveryProtocol::kEpochLadder).tickets, 0u);
+}
+
+TEST(RecoveryManager, RetryExhaustionDeniesWithoutConsuming)
+{
+    RecoveryManager rm;
+    RecoveryPolicy pol;
+    pol.max_retries = 3;
+    pol.deadline = 0;
+    rm.setPolicy(RecoveryProtocol::kSummaryRepair, pol);
+    onSimThread([&](sim::SimThread &t) {
+        auto tk = rm.open(t, RecoveryProtocol::kSummaryRepair);
+        EXPECT_TRUE(rm.attempt(t, tk));
+        EXPECT_TRUE(rm.attempt(t, tk));
+        EXPECT_TRUE(rm.attempt(t, tk));
+        // Budget spent: denial must not consume further attempts.
+        EXPECT_FALSE(rm.attempt(t, tk));
+        EXPECT_FALSE(rm.attempt(t, tk));
+        EXPECT_EQ(tk.attempts, 3u);
+        EXPECT_TRUE(rm.retriesExhausted(tk));
+        EXPECT_EQ(rm.failureOutcome(t.now(), tk),
+                  RecoveryOutcome::kRetriesExhausted);
+        rm.close(t, tk, rm.failureOutcome(t.now(), tk));
+    });
+    const RecoveryProtocolStats &st =
+        rm.stats(RecoveryProtocol::kSummaryRepair);
+    EXPECT_EQ(st.attempts, 3u);
+    EXPECT_EQ(st.successes, 0u);
+    EXPECT_EQ(st.retries_exhausted, 1u);
+}
+
+TEST(RecoveryManager, DeadlineExpiryDeniesAndNamesTheOutcome)
+{
+    RecoveryManager rm;
+    RecoveryPolicy pol;
+    pol.max_retries = 100;
+    pol.deadline = 10'000;
+    rm.setPolicy(RecoveryProtocol::kQuarantineHandoff, pol);
+    onSimThread([&](sim::SimThread &t) {
+        t.accrueNoYield(500); // nonzero open time
+        auto tk = rm.open(t, RecoveryProtocol::kQuarantineHandoff);
+        EXPECT_TRUE(rm.attempt(t, tk));
+        t.accrueNoYield(10'000); // exactly at the deadline: still ok
+        EXPECT_FALSE(rm.deadlineExpired(t.now(), tk));
+        EXPECT_TRUE(rm.attempt(t, tk));
+        t.accrueNoYield(1); // one cycle past: expired
+        EXPECT_TRUE(rm.deadlineExpired(t.now(), tk));
+        EXPECT_FALSE(rm.attempt(t, tk));
+        EXPECT_EQ(tk.attempts, 2u);
+        EXPECT_EQ(rm.failureOutcome(t.now(), tk),
+                  RecoveryOutcome::kDeadlineExpired);
+        rm.close(t, tk, rm.failureOutcome(t.now(), tk));
+    });
+    const RecoveryProtocolStats &st =
+        rm.stats(RecoveryProtocol::kQuarantineHandoff);
+    EXPECT_EQ(st.attempts, 2u);
+    EXPECT_EQ(st.deadline_expiries, 1u);
+    EXPECT_EQ(st.max_latency, 10'001u);
+}
+
+TEST(RecoveryManager, BackoffDoublesThenSaturates)
+{
+    RecoveryManager rm;
+    RecoveryPolicy pol;
+    pol.max_retries = 100;
+    pol.backoff_base = 250'000;
+    pol.max_backoff = 16'000'000;
+    rm.setPolicy(RecoveryProtocol::kShootdownResend, pol);
+    onSimThread([&](sim::SimThread &t) {
+        auto tk = rm.open(t, RecoveryProtocol::kShootdownResend);
+        // attempts=0: base << 0.
+        EXPECT_EQ(rm.backoff(tk), 250'000u);
+        const Cycles expect[] = {500'000u,    1'000'000u, 2'000'000u,
+                                 4'000'000u,  8'000'000u, 16'000'000u,
+                                 16'000'000u, 16'000'000u};
+        for (Cycles e : expect) {
+            ASSERT_TRUE(rm.attempt(t, tk));
+            EXPECT_EQ(rm.backoff(tk), e);
+        }
+        rm.close(t, tk, RecoveryOutcome::kSucceeded);
+    });
+}
+
+TEST(RecoveryManager, BackoffMatchesWatchdogLadderArithmetic)
+{
+    // The kEpochLadder refactor must not change ladder timings: for
+    // every (base, cap, attempt) the manager's backoff must equal the
+    // watchdog's backoffDelay — including the overflow-prone corners
+    // (base in the top bits of Cycles, zero base, tiny cap).
+    const Cycles bases[] = {0, 1, 1000, 250'000, Cycles{1} << 58,
+                            Cycles{1} << 62};
+    const Cycles caps[] = {1, 1000, 16'000'000, Cycles{1} << 60};
+    for (Cycles base : bases) {
+        for (Cycles cap : caps) {
+            RecoveryManager rm;
+            RecoveryPolicy pol;
+            pol.backoff_base = base;
+            pol.max_backoff = cap;
+            rm.setPolicy(RecoveryProtocol::kEpochLadder, pol);
+            RecoveryManager::Ticket tk;
+            tk.proto = RecoveryProtocol::kEpochLadder;
+            tk.open = true;
+            for (unsigned attempt = 0; attempt < 10; ++attempt) {
+                tk.attempts = attempt;
+                const Cycles expect_cap =
+                    std::max<Cycles>(cap, 1);
+                const Cycles expect_base =
+                    std::max<Cycles>(base, 1);
+                const unsigned shift = std::min(attempt, 6u);
+                const Cycles want =
+                    expect_base > (expect_cap >> shift)
+                        ? expect_cap
+                        : std::min(expect_base << shift, expect_cap);
+                EXPECT_EQ(rm.backoff(tk), want)
+                    << "base=" << base << " cap=" << cap
+                    << " attempt=" << attempt;
+            }
+        }
+    }
+}
+
+TEST(RecoveryManager, ZeroBackoffPolicyMeansNoDelay)
+{
+    RecoveryManager rm;
+    RecoveryPolicy pol;
+    pol.backoff_base = 0;
+    pol.max_backoff = 0;
+    rm.setPolicy(RecoveryProtocol::kSummaryRepair, pol);
+    RecoveryManager::Ticket tk;
+    tk.proto = RecoveryProtocol::kSummaryRepair;
+    tk.attempts = 3;
+    EXPECT_EQ(rm.backoff(tk), 0u);
+}
+
+TEST(RecoveryManager, CloseIsIdempotentAndClosedTicketsDeny)
+{
+    RecoveryManager rm;
+    onSimThread([&](sim::SimThread &t) {
+        auto tk = rm.open(t, RecoveryProtocol::kEpochLadder);
+        EXPECT_TRUE(rm.attempt(t, tk));
+        rm.close(t, tk, RecoveryOutcome::kSucceeded);
+        rm.close(t, tk, RecoveryOutcome::kSucceeded); // no double count
+        EXPECT_FALSE(rm.attempt(t, tk));              // closed = denied
+    });
+    const RecoveryProtocolStats &st =
+        rm.stats(RecoveryProtocol::kEpochLadder);
+    EXPECT_EQ(st.tickets, 1u);
+    EXPECT_EQ(st.successes, 1u);
+    EXPECT_EQ(st.attempts, 1u);
+}
+
+} // namespace
+} // namespace crev::revoker

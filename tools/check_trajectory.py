@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_TRAJECTORY.json determinism record.
+"""Validate accumulating bench records (BENCH_TRAJECTORY.json,
+BENCH_SOAK.json).
 
-The trajectory file accumulates one entry per bench_all run (DESIGN.md
-§9). Every entry self-reports whether the host-optimization determinism
-contract held during that run; this tool turns those self-reports into
-a CI gate:
+Both files accumulate one entry per run and self-report whether the
+run's contract held; this tool turns those self-reports into a CI
+gate. The file kind is dispatched on the top-level "bench" key.
 
+bench_all trajectory files (DESIGN.md §9):
   - every run's "end_to_end.sim_results_match" must be true;
   - every run's sweep_microbench rows must have "sim_cycles_match"
     true;
   - runs must carry a non-empty "label" and at least one microbench
     row (catches truncated/hand-edited files).
 
+soak files (DESIGN.md §13):
+  - every strategy of every run must have "survived" true and
+    "oracle_violations" == 0 (the machine outlived its fault schedule
+    with zero temporal-safety violations);
+  - every run's "oracle_e2e.sim_cycles_match" must be true (attaching
+    the oracle did not perturb simulated time).
+
 Exits non-zero with a diagnostic naming the offending run label.
-Usage: check_trajectory.py BENCH_TRAJECTORY.json
+Usage: check_trajectory.py FILE [FILE ...]
 """
 
 import json
@@ -25,20 +33,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        sys.exit(2)
-    try:
-        with open(sys.argv[1]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {sys.argv[1]}: {e}")
-
-    runs = doc.get("runs")
-    if not isinstance(runs, list) or not runs:
-        fail('no "runs" array (not a trajectory file?)')
-
+def check_trajectory_runs(runs):
     for i, run in enumerate(runs):
         label = run.get("label")
         if not isinstance(label, str) or not label:
@@ -59,11 +54,66 @@ def main():
                 f'run "{label}": simulated results diverged across '
                 "host configurations"
             )
+    return "determinism contract held in all"
 
-    print(
-        f"check_trajectory: OK: {len(runs)} run(s), determinism "
-        "contract held in all"
-    )
+
+def check_soak_runs(runs):
+    for i, run in enumerate(runs):
+        label = run.get("label")
+        if not isinstance(label, str) or not label:
+            fail(f"soak run {i} has no label")
+        strategies = run.get("strategies")
+        if not isinstance(strategies, list) or not strategies:
+            fail(f'soak run "{label}" has no strategies')
+        for s in strategies:
+            name = s.get("strategy", "?")
+            if s.get("survived") is not True:
+                fail(
+                    f'soak run "{label}" strategy "{name}": did not '
+                    "survive its fault schedule"
+                )
+            if s.get("oracle_violations") != 0:
+                fail(
+                    f'soak run "{label}" strategy "{name}": '
+                    f'{s.get("oracle_violations")} temporal-safety '
+                    "oracle violation(s)"
+                )
+        e2e = run.get("oracle_e2e", {})
+        if e2e.get("sim_cycles_match") is not True:
+            fail(
+                f'soak run "{label}": attaching the oracle perturbed '
+                "simulated time"
+            )
+    return "all strategies survived, zero oracle violations"
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f'{path}: no "runs" array (not an accumulating '
+             "bench file?)")
+
+    kind = doc.get("bench", "bench_all")
+    if kind == "soak":
+        verdict = check_soak_runs(runs)
+    else:
+        verdict = check_trajectory_runs(runs)
+    print(f"check_trajectory: OK: {path}: {len(runs)} run(s), "
+          f"{verdict}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_file(path)
 
 
 if __name__ == "__main__":

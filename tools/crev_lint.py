@@ -29,11 +29,21 @@ confirm every linted translation unit is actually part of the build:
                         and TLB shootdown (the PR 3 stale-PTE-cache bug
                         class); a file using them must also invalidate.
   uncharged-access      uncharged accessors (peekTag, peekCap,
-                        peekLineTagNibble, probeQuiet) are reserved for
-                        off-clock observers (auditor, race checker,
-                        tracer) and the vm layer that owns the cost
-                        model; simulation paths must use the charging
-                        APIs.
+                        peekByte, peekLineTagNibble, probeQuiet) are
+                        reserved for off-clock observers (auditor, race
+                        checker, tracer, safety oracle) and the vm
+                        layer that owns the cost model; simulation
+                        paths must use the charging APIs.
+  shared-mutation       mutations of cross-thread revocation state
+                        (the MMU generation bit, the PTE map and its
+                        pointer-cache epoch, the unmap->reap hand-off
+                        queue, the shadow-summary words) in
+                        src/revoker and src/vm must sit in a function
+                        that shows its synchronisation discipline: a
+                        SimMutex assertHeld/heldBy, a stop-the-world
+                        window, or a race-checker domain registration
+                        (an on* hook call). Silent mutations are how
+                        the simulated-race detector gets blindsided.
 
 Exemptions are explicit and greppable: a line (or its predecessor)
 carrying `lint: <rule>-ok` is skipped for that rule, so every waiver
@@ -205,7 +215,8 @@ def rule_pte_publish(path, lines):
 
 
 UNCHARGED_CALL = re.compile(
-    r"(?:\.|->)\s*(peekTag|peekCap|peekLineTagNibble|probeQuiet)\s*\(")
+    r"(?:\.|->)\s*(peekTag|peekCap|peekByte|peekLineTagNibble|"
+    r"probeQuiet)\s*\(")
 UNCHARGED_ALLOWED_DIRS = [
     os.path.join("src", "vm"),
     os.path.join("src", "check"),
@@ -231,8 +242,108 @@ def rule_uncharged_access(path, lines):
                 "the cycles are charged" % m.group(1))
 
 
+def shared_mutation_re(member):
+    """Mutation of @p member: assignment / compound assignment /
+    increment (optionally through an index chain, so summary words
+    like blocks_[b][w] ^= ... count) or a container-mutating call."""
+    m = re.escape(member)
+    mutators = (r"push_back|pop_back|emplace_back|emplace|insert|"
+                r"erase|clear|resize|assign|swap")
+    return re.compile(
+        r"\b(?:this\s*->\s*)?" + m + r"(?:\[[^]]*\])*\s*"
+        r"(?:(?:[+\-*/%|&^]|<<|>>)?=(?!=)|\+\+|--)"
+        r"|(?:\+\+|--)\s*(?:this\s*->\s*)?" + m + r"\b"
+        r"|\b(?:this\s*->\s*)?" + m + r"\s*\.\s*(?:" + mutators +
+        r")\s*\(")
+
+
+# Cross-thread revocation state with a declared race-checker domain
+# (DESIGN.md section 11): member name, layer it lives in, and what it
+# is. Mutating any of these in a function with no synchronisation
+# evidence means the simulated-race detector cannot see the access.
+SHARED_STATE = [
+    (shared_mutation_re("gen_"), "vm",
+     "the MMU's load-barrier generation bit (domain: gen-flip)"),
+    (shared_mutation_re("pages_"), "vm",
+     "the page-table map (domains: pte-publish/pte-teardown)"),
+    (shared_mutation_re("pt_epoch_"), "vm",
+     "the PTE-pointer-cache epoch (domain: pte-teardown)"),
+    (shared_mutation_re("newly_quarantined_"), "vm",
+     "the unmap->reap hand-off queue (domain: quarantine)"),
+    (shared_mutation_re("blocks_"), "revoker",
+     "the shadow-summary level-0 words (domain: shadow)"),
+    (shared_mutation_re("l1_"), "revoker",
+     "the shadow-summary level-1 bitmap (domain: shadow)"),
+    (shared_mutation_re("block_counts_"), "revoker",
+     "the shadow-summary block counts (domain: shadow)"),
+    (shared_mutation_re("count_"), "revoker",
+     "the shadow-summary population count (domain: shadow)"),
+]
+
+# ShadowSummary owns its words outright: every caller reaches them
+# through Bitmap's paint/clear choke points (which register
+# onShadowWrite/onShadowRmw*) or the auditor's off-clock repair path,
+# so the owning translation unit is exempt rather than waived
+# line-by-line.
+SHARED_STATE_CHOKE_FILES = ("shadow_summary.cc",)
+
+# Synchronisation evidence inside the enclosing function: explicit
+# lock discipline, a stop-the-world window, or a race-checker domain
+# registration (any on<Domain>() hook call).
+SHARED_COVERAGE = re.compile(
+    r"\bassertHeld\s*\(|\bheldBy\s*\(|\bstwOwnedBy\s*\(|"
+    r"\bstopTheWorld\s*\(|(?:\.|->)\s*on[A-Z]\w*\s*\(")
+
+# An out-of-line definition ("AddressSpace::unmap(...)" at column
+# zero, repo style) starts a new function scope; mutations before the
+# first such line are checked against the whole file.
+FUNC_START = re.compile(r"^[A-Za-z_~][\w:<>~]*::~?\w+\s*\(")
+
+
+def rule_shared_mutation(path, lines):
+    if not path.endswith((".cc", ".cpp")):
+        return
+    is_fixture = path.startswith(FIXTURE_DIR + os.sep)
+    in_rev = is_fixture or in_dir(path, os.path.join("src", "revoker"))
+    in_vm = is_fixture or in_dir(path, os.path.join("src", "vm"))
+    if not (in_rev or in_vm):
+        return
+    if os.path.basename(path) in SHARED_STATE_CHOKE_FILES:
+        return
+    func_starts = [i for i, l in enumerate(lines)
+                   if FUNC_START.match(l)]
+    for i, line in enumerate(lines):
+        for pat, layer, what in SHARED_STATE:
+            if layer == "vm" and not in_vm:
+                continue
+            if layer == "revoker" and not in_rev:
+                continue
+            if pat.search(line) is None:
+                continue
+            if exempt(lines, i, "shared-mutation"):
+                continue
+            begin, end = 0, len(lines)
+            for j, fs in enumerate(func_starts):
+                if fs > i:
+                    break
+                begin = fs
+                end = (func_starts[j + 1]
+                       if j + 1 < len(func_starts) else len(lines))
+            if any(SHARED_COVERAGE.search(l)
+                   for l in lines[begin:end]):
+                continue
+            yield Violation(
+                "shared-mutation", path, i + 1,
+                "mutation of %s in a function with no "
+                "synchronisation evidence (assertHeld/heldBy, "
+                "stopTheWorld/stwOwnedBy, or an on* race-checker "
+                "hook): register the domain or annotate why the "
+                "access is single-writer" % what)
+            break
+
+
 RULES = ("host-nondeterminism", "unordered-iteration", "raw-threading",
-         "pte-publish", "uncharged-access")
+         "pte-publish", "uncharged-access", "shared-mutation")
 
 
 # ---------------------------------------------------------------------
@@ -269,6 +380,7 @@ def lint_files(paths):
         violations += list(rule_raw_threading(p, lines))
         violations += list(rule_pte_publish(p, lines))
         violations += list(rule_uncharged_access(p, lines))
+        violations += list(rule_shared_mutation(p, lines))
     return violations
 
 

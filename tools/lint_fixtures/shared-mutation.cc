@@ -1,0 +1,23 @@
+// Lint fixture: must fail the shared-mutation rule.
+// Not compiled — input for `crev_lint.py --self-test` only.
+
+namespace crev {
+
+struct BadMmu
+{
+    unsigned gen_ = 0;
+
+    void
+    flipWithoutRegistration()
+    {
+        // Flipping the load-barrier generation with no onGenFlip
+        // registration and no lock or stop-the-world evidence in the
+        // function: the simulated-race detector never learns the
+        // flip happened, so a racing capability load on another core
+        // is unreportable. Exactly the silent shared-state mutation
+        // the rule exists to catch.
+        gen_ ^= 1u;
+    }
+};
+
+} // namespace crev

@@ -15,11 +15,20 @@ struct Annotated
     // lint: threading-ok (fixture: host-side aggregation example)
     std::mutex host_results_lock_;
 
+    unsigned gen_;
+
     bool
     peeks(Mmu &mmu, unsigned long long va)
     {
         // lint: uncharged-ok (fixture: caller charges the line read)
         return mmu.peekTag(va);
+    }
+
+    void
+    flips()
+    {
+        // lint: shared-mutation-ok (fixture: init, single-threaded)
+        gen_ ^= 1u;
     }
 };
 
