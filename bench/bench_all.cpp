@@ -17,8 +17,14 @@
  * cycles per page differ between fast and reference sweeps).
  *
  * Usage: bench_all [--quick] [--out FILE] [--label NAME]
+ *                  [--threads N] [--intra-cell-threads M]
  *   --quick: small cell set for CI smoke runs.
  *   --label: name recorded for this run's entry (default "local").
+ *   --threads: host threads for the parallel e2e leg (default: the
+ *     CREV_BENCH_THREADS/affinity-derived benchThreads()).
+ *   --intra-cell-threads: lockstep-engine lanes (CREV_PAR_CORES) for
+ *     the fast e2e legs and the intra-cell engine comparison
+ *     (default 1).
  */
 
 #include <algorithm>
@@ -33,6 +39,7 @@
 #include "bench_util.h"
 #include "workload/grpc_qps.h"
 #include "workload/pgbench.h"
+#include "workload/spec.h"
 
 using namespace crev;
 using benchutil::CellResult;
@@ -106,13 +113,19 @@ addCells(ParallelRunner &runner, bool quick)
 
 double
 timedRun(bool quick, unsigned threads, bool host_fast_paths,
-         const std::string &cost_file,
+         unsigned par_cores, const std::string &cost_file,
          std::vector<CellResult> *results_out)
 {
-    // The cells build their MachineConfigs internally; the env knob is
-    // the global default they pick up. Set before any worker exists —
-    // parallelMap with 1 worker runs inline on this thread.
+    // The cells build their MachineConfigs internally; the env knobs
+    // are the global defaults they pick up. Set before any worker
+    // exists — parallelMap with 1 worker runs inline on this thread.
+    // par_cores selects the engine (DESIGN.md §14): 0 pins the serial
+    // token engine (the seed-equivalent reference), >= 1 the lockstep
+    // engine with that many lanes.
     setenv("CREV_HOST_FAST_PATHS", host_fast_paths ? "1" : "0", 1);
+    char par[16];
+    std::snprintf(par, sizeof(par), "%u", par_cores);
+    setenv("CREV_PAR_CORES", par, 1);
     ParallelRunner runner;
     runner.setCostFile(cost_file);
     addCells(runner, quick);
@@ -160,6 +173,19 @@ readPreviousRuns(const std::string &path)
     return runs.substr(first, last - first + 1);
 }
 
+/** The simulated-result fields compared across host configurations
+ *  (and across engines): a summary fingerprint of the run. */
+bool
+sameMetrics(const core::RunMetrics &a, const core::RunMetrics &b)
+{
+    return a.wall_cycles == b.wall_cycles &&
+           a.cpu_cycles == b.cpu_cycles &&
+           a.bus_transactions_total == b.bus_transactions_total &&
+           a.peak_rss_pages == b.peak_rss_pages &&
+           a.epochs.size() == b.epochs.size() &&
+           a.sweep.caps_revoked == b.sweep.caps_revoked;
+}
+
 /** Simulated results must be identical across host configurations. */
 bool
 sameSimResults(const std::vector<CellResult> &a,
@@ -168,15 +194,8 @@ sameSimResults(const std::vector<CellResult> &a,
     if (a.size() != b.size())
         return false;
     for (std::size_t i = 0; i < a.size(); ++i) {
-        const auto &ma = a[i].metrics;
-        const auto &mb = b[i].metrics;
         if (a[i].name != b[i].name ||
-            ma.wall_cycles != mb.wall_cycles ||
-            ma.cpu_cycles != mb.cpu_cycles ||
-            ma.bus_transactions_total != mb.bus_transactions_total ||
-            ma.peak_rss_pages != mb.peak_rss_pages ||
-            ma.epochs.size() != mb.epochs.size() ||
-            ma.sweep.caps_revoked != mb.sweep.caps_revoked) {
+            !sameMetrics(a[i].metrics, b[i].metrics)) {
             std::fprintf(stderr,
                          "FAIL: cell %s simulated results differ "
                          "across host configurations\n",
@@ -187,6 +206,84 @@ sameSimResults(const std::vector<CellResult> &a,
     return true;
 }
 
+struct IntraCellResult
+{
+    std::string cell;
+    unsigned lanes = 1;
+    double serial_seconds = 0;
+    double lockstep_seconds = 0;
+    bool match = true;
+};
+
+/**
+ * Serial token engine vs lockstep engine on the heaviest single cell
+ * (DESIGN.md §14): interleaved engine pairs with the minimum host
+ * time kept per engine — the same noise treatment as the microbench —
+ * and RunMetrics required identical both between engines and across
+ * trials of the same engine.
+ */
+IntraCellResult
+measureIntraCell(bool quick, unsigned lanes)
+{
+    IntraCellResult r;
+    r.lanes = lanes;
+    // Full mode takes the heaviest cell of the set (omnetpp/reloaded
+    // is handoff- and revocation-dense); quick mode a light one.
+    const char *profile = quick ? "hmmer_retro" : "omnetpp";
+    r.cell = std::string("spec/") + profile + "/reloaded";
+    const workload::SpecProfile &prof = workload::specProfile(profile);
+    auto run_once = [&prof](unsigned par, double *secs) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%u", par);
+        setenv("CREV_PAR_CORES", buf, 1);
+        const auto start = std::chrono::steady_clock::now();
+        core::RunMetrics m =
+            workload::runSpecOn(core::Strategy::kReloaded, prof);
+        *secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        return m;
+    };
+    // Three pairs even in quick mode: the quick cell's window is only
+    // tens of milliseconds, so the min needs more draws to dodge host
+    // noise (the CI gate requires speedup >= 1.0).
+    const std::size_t pairs = 3;
+    core::RunMetrics serial_m, lockstep_m;
+    for (std::size_t k = 0; k < pairs; ++k) {
+        std::fprintf(stderr,
+                     "  intra-cell pair %zu/%zu (%s, %u lanes)...\n",
+                     k + 1, pairs, r.cell.c_str(), lanes);
+        double ss = 0, ls = 0;
+        core::RunMetrics sm = run_once(0, &ss);
+        core::RunMetrics lm = run_once(lanes, &ls);
+        if (!sameMetrics(sm, lm)) {
+            std::fprintf(stderr,
+                         "FAIL: %s simulated results differ between "
+                         "serial and lockstep engines\n",
+                         r.cell.c_str());
+            r.match = false;
+        }
+        if (k == 0) {
+            r.serial_seconds = ss;
+            r.lockstep_seconds = ls;
+            serial_m = std::move(sm);
+            lockstep_m = std::move(lm);
+        } else {
+            r.serial_seconds = std::min(r.serial_seconds, ss);
+            r.lockstep_seconds = std::min(r.lockstep_seconds, ls);
+            if (!sameMetrics(sm, serial_m) ||
+                !sameMetrics(lm, lockstep_m)) {
+                std::fprintf(stderr,
+                             "FAIL: %s simulated results vary across "
+                             "intra-cell trials\n",
+                             r.cell.c_str());
+                r.match = false;
+            }
+        }
+    }
+    return r;
+}
+
 } // namespace
 
 int
@@ -195,6 +292,18 @@ main(int argc, char **argv)
     bool quick = false;
     std::string out_path = "BENCH_TRAJECTORY.json";
     std::string label = "local";
+    unsigned threads_flag = 0; // 0 = benchThreads()
+    unsigned intra_lanes = 1;
+    const auto parseCount = [](const char *s) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(s, &end, 10);
+        if (end == s || *end != '\0' || v == 0 || v > 1024) {
+            std::fprintf(stderr, "bench_all: bad thread count '%s'\n",
+                         s);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(v);
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
@@ -202,6 +311,11 @@ main(int argc, char **argv)
             out_path = argv[++i];
         else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc)
             label = argv[++i];
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads_flag = parseCount(argv[++i]);
+        else if (std::strcmp(argv[i], "--intra-cell-threads") == 0 &&
+                 i + 1 < argc)
+            intra_lanes = parseCount(argv[++i]);
     }
 
     benchutil::banner("Host-performance trajectory (bench_all)",
@@ -280,11 +394,14 @@ main(int argc, char **argv)
 
     // --- end-to-end cell set, three host configurations ---
     // reference-serial is the seed-equivalent host behaviour (no fast
-    // paths, one thread); fast-serial isolates the fast-path gain;
-    // fast-parallel adds the thread pool. Simulated results must be
-    // identical in all three. Two interleaved legs, minimum kept per
-    // configuration — the same noise treatment as the microbench.
-    const unsigned threads = benchutil::benchThreads();
+    // paths, one thread, serial token engine); fast-serial isolates
+    // the fast-path + lockstep-engine gain; fast-parallel adds the
+    // thread pool. Simulated results must be identical in all three.
+    // Two interleaved legs, minimum kept per configuration — the same
+    // noise treatment as the microbench.
+    const unsigned threads = threads_flag != 0
+                                 ? threads_flag
+                                 : benchutil::benchThreads();
     const std::size_t legs = 2;
     double ref_serial_secs = 0, serial_secs = 0, parallel_secs = 0;
     std::vector<CellResult> ref_cells, cells;
@@ -293,16 +410,18 @@ main(int argc, char **argv)
                      "  e2e leg %zu/%zu: serial, fast paths off...\n",
                      leg + 1, legs);
         std::vector<CellResult> rc;
-        const double r = timedRun(quick, 1, false, out_path, &rc);
+        const double r = timedRun(quick, 1, false, 0, out_path, &rc);
         std::fprintf(stderr,
                      "  e2e leg %zu/%zu: serial, fast paths on...\n",
                      leg + 1, legs);
-        const double s = timedRun(quick, 1, true, out_path, nullptr);
+        const double s =
+            timedRun(quick, 1, true, intra_lanes, out_path, nullptr);
         std::fprintf(stderr,
                      "  e2e leg %zu/%zu: %u host threads...\n",
                      leg + 1, legs, threads);
         std::vector<CellResult> pc;
-        const double p = timedRun(quick, 0, true, out_path, &pc);
+        const double p =
+            timedRun(quick, threads, true, intra_lanes, out_path, &pc);
         determinism_ok = determinism_ok && sameSimResults(rc, pc);
         if (leg == 0) {
             ref_serial_secs = r;
@@ -328,6 +447,19 @@ main(int argc, char **argv)
                 "vs reference)\n",
                 threads, parallel_secs,
                 ref_serial_secs / parallel_secs);
+
+    // --- intra-cell engine comparison (DESIGN.md §14) ---
+    std::fprintf(stderr, "  intra-cell engine comparison...\n");
+    const IntraCellResult intra = measureIntraCell(quick, intra_lanes);
+    determinism_ok = determinism_ok && intra.match;
+    std::printf("\nintra-cell engine comparison (%s):\n",
+                intra.cell.c_str());
+    std::printf("  serial token engine:       %.2fs\n",
+                intra.serial_seconds);
+    std::printf("  lockstep engine (%u lane%s): %.2fs (%.2fx)\n",
+                intra.lanes, intra.lanes == 1 ? "" : "s",
+                intra.lockstep_seconds,
+                intra.serial_seconds / intra.lockstep_seconds);
 
     // --- BENCH_TRAJECTORY.json (accumulating) ---
     const std::string prev_runs = readPreviousRuns(out_path);
@@ -381,6 +513,18 @@ main(int argc, char **argv)
                  serial_secs / parallel_secs,
                  ref_serial_secs / parallel_secs,
                  determinism_ok ? "true" : "false");
+    std::fprintf(f,
+                 "      \"intra_cell\": {\"cell\": \"%s\", "
+                 "\"lanes\": %u, "
+                 "\"serial_seconds\": %.3f, "
+                 "\"lockstep_seconds\": %.3f, "
+                 "\"intra_cell_speedup\": %.3f, "
+                 "\"sim_results_match\": %s},\n",
+                 benchutil::jsonEscape(intra.cell).c_str(),
+                 intra.lanes, intra.serial_seconds,
+                 intra.lockstep_seconds,
+                 intra.serial_seconds / intra.lockstep_seconds,
+                 intra.match ? "true" : "false");
     std::fprintf(f, "      \"cells\": [\n");
     for (std::size_t i = 0; i < cells.size(); ++i)
         std::fprintf(f,

@@ -50,12 +50,88 @@ SnmallocLite::carveChunk(sim::SimThread &t, std::size_t bytes,
 const SnmallocLite::ChunkMeta &
 SnmallocLite::chunkFor(Addr va) const
 {
+    if (fast_index_) {
+        CREV_ASSERT(va >= vm::kHeapBase && va < vm::kHeapCeiling);
+        const ChunkMeta *m =
+            chunk_by_page_[(va - vm::kHeapBase) / kPageSize];
+        CREV_ASSERT(m != nullptr);
+        CREV_ASSERT(va >= m->base && va < m->base + m->length);
+        return *m;
+    }
     auto it = chunks_.upper_bound(va);
     CREV_ASSERT(it != chunks_.begin());
     --it;
     const ChunkMeta &m = it->second;
     CREV_ASSERT(va >= m.base && va < m.base + m.length);
     return m;
+}
+
+void
+SnmallocLite::noteChunk(const ChunkMeta &m)
+{
+    if (!fast_index_)
+        return;
+    for (Addr va = m.base; va < m.base + m.length; va += kPageSize)
+        chunk_by_page_[(va - vm::kHeapBase) / kPageSize] = &m;
+}
+
+std::size_t
+SnmallocLite::liveBitIndex(Addr base) const
+{
+    CREV_ASSERT(base >= vm::kHeapBase && base < vm::kHeapCeiling);
+    CREV_ASSERT(base % kGranuleSize == 0);
+    return static_cast<std::size_t>((base - vm::kHeapBase) >>
+                                    kGranuleBits);
+}
+
+bool
+SnmallocLite::liveBitTest(Addr base) const
+{
+    const std::size_t i = liveBitIndex(base);
+    return (live_bits_[i >> 6] >> (i & 63)) & 1u;
+}
+
+void
+SnmallocLite::liveBitSet(Addr base)
+{
+    const std::size_t i = liveBitIndex(base);
+    live_bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+bool
+SnmallocLite::liveBitClear(Addr base)
+{
+    const std::size_t i = liveBitIndex(base);
+    std::uint64_t &w = live_bits_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if ((w & bit) == 0)
+        return false;
+    w &= ~bit;
+    return true;
+}
+
+void
+SnmallocLite::setFastIndex(bool on)
+{
+    fast_index_ = on;
+    if (!on) {
+        chunk_by_page_.clear();
+        live_bits_.clear();
+        return;
+    }
+    constexpr std::size_t kHeapPages = static_cast<std::size_t>(
+        (vm::kHeapCeiling - vm::kHeapBase) / kPageSize);
+    constexpr std::size_t kHeapGranules = static_cast<std::size_t>(
+        (vm::kHeapCeiling - vm::kHeapBase) / kGranuleSize);
+    chunk_by_page_.assign(kHeapPages, nullptr);
+    live_bits_.assign(kHeapGranules / 64, 0);
+    for (const auto &[base, m] : chunks_)
+        noteChunk(m);
+    // Bit-set migration commutes: the resulting bitmap is independent
+    // of visit order. lint: unordered-ok
+    for (Addr base : live_)
+        liveBitSet(base);
+    live_.clear();
 }
 
 cap::Capability
@@ -78,8 +154,9 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
             it->second.pop_back();
         } else {
             result = kernel_.sysMmap(t, bytes);
-            chunks_[result.base] =
-                ChunkMeta{result.base, bytes, -1, result};
+            ChunkMeta &m = chunks_[result.base];
+            m = ChunkMeta{result.base, bytes, -1, result};
+            noteChunk(m);
         }
     } else {
         const std::size_t csize = kSizeClasses[sc];
@@ -98,8 +175,9 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
                 const cap::Capability ccap = arena_cap_.setBounds(
                     chunk, chunk + kChunkSize);
                 CREV_ASSERT(ccap.tag);
-                chunks_[chunk] =
-                    ChunkMeta{chunk, kChunkSize, sc, ccap};
+                ChunkMeta &m = chunks_[chunk];
+                m = ChunkMeta{chunk, kChunkSize, sc, ccap};
+                noteChunk(m);
                 cs.bump = chunk;
                 cs.slab_end = chunk + kChunkSize;
             }
@@ -111,7 +189,10 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
     }
 
     CREV_ASSERT(result.tag);
-    live_.insert(result.base);
+    if (fast_index_)
+        liveBitSet(result.base);
+    else
+        live_.insert(result.base);
     live_bytes_ += result.length();
     ++stats_.allocs;
     stats_.bytes_allocated_total += result.length();
@@ -159,7 +240,9 @@ SnmallocLite::objectSize(Addr base) const
 void
 SnmallocLite::retire(Addr base)
 {
-    if (live_.erase(base) == 0)
+    const bool was_live =
+        fast_index_ ? liveBitClear(base) : live_.erase(base) != 0;
+    if (!was_live)
         throw std::logic_error("free of a pointer that is not live "
                                "(double free or invalid free)");
     const std::size_t size = objectSize(base);

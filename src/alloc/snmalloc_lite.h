@@ -89,7 +89,24 @@ class SnmallocLite
     std::size_t objectSize(Addr base) const;
 
     /** Whether @p base is a currently-live allocation. */
-    bool isLive(Addr base) const { return live_.count(base) != 0; }
+    bool
+    isLive(Addr base) const
+    {
+        if (fast_index_)
+            return liveBitTest(base);
+        return live_.count(base) != 0;
+    }
+
+    /**
+     * Lockstep-engine lane-safe lookup structures (DESIGN.md §14.4):
+     * a per-page chunk index replacing chunkFor()'s ordered-map probe
+     * (chunks are page-granular, non-overlapping, and never erased)
+     * and a granule bitmap replacing the live_ hash set (object bases
+     * are 16-byte aligned inside the heap window). Membership is
+     * identical either way; the serial reference engine keeps the
+     * original containers.
+     */
+    void setFastIndex(bool on);
 
     /** Bytes in live allocations (rounded sizes). */
     std::size_t liveBytes() const { return live_bytes_; }
@@ -132,6 +149,16 @@ class SnmallocLite
 
     const ChunkMeta &chunkFor(Addr va) const;
 
+    /** Mirror a chunks_ insertion into the per-page index. */
+    void noteChunk(const ChunkMeta &m);
+
+    // --- live-set granule bitmap (fast_index_) ---
+    std::size_t liveBitIndex(Addr base) const;
+    bool liveBitTest(Addr base) const;
+    void liveBitSet(Addr base);
+    /** Clear the bit; returns whether it was set. */
+    bool liveBitClear(Addr base);
+
     kern::Kernel &kernel_;
     vm::Mmu &mmu_;
     std::array<ClassState, kSizeClasses.size()> classes_{};
@@ -139,6 +166,11 @@ class SnmallocLite
     std::map<std::size_t, std::vector<cap::Capability>>
         large_free_; //!< cached free large chunks, by length
     std::unordered_set<Addr> live_;    //!< live object bases
+    bool fast_index_ = false;
+    /** Heap page -> owning chunk (fast_index_); never invalidated. */
+    std::vector<const ChunkMeta *> chunk_by_page_;
+    /** One bit per heap granule: live object base (fast_index_). */
+    std::vector<std::uint64_t> live_bits_;
     cap::Capability arena_cap_;        //!< current arena root
     Addr arena_bump_ = 0;
     Addr arena_end_ = 0;

@@ -1,111 +1,13 @@
 #include "cap/compression.h"
 
-#include "base/logging.h"
-
 namespace crev::cap {
-
-namespace {
-
-// Field layout within the metadata word.
-constexpr unsigned kPermsShift = 52;
-constexpr unsigned kExpShift = 46;
-constexpr unsigned kBaseShift = 32;
-constexpr unsigned kLenShift = 17;
-
-constexpr std::uint64_t kMantissaMask = (1ull << kMantissaBits) - 1;
-constexpr std::uint64_t kLenMask = (1ull << (kMantissaBits + 1)) - 1;
-
-// Maximum region size, in 2^E units, encodable at a given exponent.
-// 2^14 units of representable space minus 2^12 units of slack below the
-// base and 2^12 units above the top (so cursors may stray slightly out
-// of bounds, e.g. one-past-the-end, without untagging).
-constexpr Addr kMaxUnits =
-    (Addr{1} << kMantissaBits) - 2 * (Addr{1} << kReprSlackBits);
-
-} // namespace
-
-unsigned
-exponentFor(Addr length)
-{
-    unsigned e = 0;
-    while ((roundUp(length, Addr{1} << e) >> e) > kMaxUnits)
-        ++e;
-    return e;
-}
-
-Addr
-representableAlignment(Addr length)
-{
-    return Addr{1} << exponentFor(length);
-}
-
-Addr
-representableLength(Addr length)
-{
-    return roundUp(length, representableAlignment(length));
-}
-
-CapBits
-encode(const Capability &c)
-{
-    // Select the exponent accounting for alignment-induced growth:
-    // rounding the base down and the top up can add up to two units.
-    unsigned e = exponentFor(c.length());
-    Addr b = 0, t = 0;
-    for (;; ++e) {
-        b = roundDown(c.base, Addr{1} << e);
-        t = roundUp(c.top, Addr{1} << e);
-        if (((t - b) >> e) <= kMaxUnits)
-            break;
-        CREV_ASSERT(e < 50);
-    }
-
-    CapBits bits;
-    bits.lo = c.address;
-    bits.hi = (static_cast<std::uint64_t>(c.perms) & 0xFFF)
-                  << kPermsShift |
-              (static_cast<std::uint64_t>(e) & 0x3F) << kExpShift |
-              ((b >> e) & kMantissaMask) << kBaseShift |
-              (((t - b) >> e) & kLenMask) << kLenShift;
-    return bits;
-}
-
-Capability
-decode(const CapBits &bits, bool tag)
-{
-    Capability c;
-    c.address = bits.lo;
-    c.perms = static_cast<std::uint32_t>(bits.hi >> kPermsShift) & 0xFFF;
-    const unsigned e = static_cast<unsigned>(bits.hi >> kExpShift) & 0x3F;
-    const std::uint64_t bmant = (bits.hi >> kBaseShift) & kMantissaMask;
-    const std::uint64_t lmant = (bits.hi >> kLenShift) & kLenMask;
-
-    // Recover the base's high bits from the address via the
-    // representable-region correction (CHERI Concentrate style): the
-    // region begins 2^12 units below the base's mantissa.
-    const std::uint64_t amid = (c.address >> e) & kMantissaMask;
-    // Untagged garbage can carry any 6-bit exponent; once e + 14
-    // covers the word there are no address bits above the mantissa.
-    const unsigned top_shift = e + kMantissaBits;
-    const std::uint64_t atop =
-        top_shift < 64 ? c.address >> top_shift : 0;
-    const std::uint64_t r =
-        (bmant - (std::uint64_t{1} << kReprSlackBits)) & kMantissaMask;
-    const std::int64_t cb = (bmant < r ? 1 : 0) - (amid < r ? 1 : 0);
-
-    const std::uint64_t base_hi =
-        atop + static_cast<std::uint64_t>(cb);
-    c.base = ((base_hi << kMantissaBits) | bmant) << e;
-    c.top = c.base + (lmant << e);
-    c.tag = tag;
-    return c;
-}
 
 ReprRange
 representableRange(const Capability &c)
 {
     const CapBits bits = encode(c);
-    const unsigned e = static_cast<unsigned>(bits.hi >> kExpShift) & 0x3F;
+    const unsigned e =
+        static_cast<unsigned>(bits.hi >> detail::kExpShift) & 0x3F;
     // Recompute the encoded (possibly rounded) base.
     const Addr enc_base = roundDown(c.base, Addr{1} << e);
     const Addr slack = Addr{1} << (kReprSlackBits + e);

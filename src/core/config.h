@@ -76,6 +76,17 @@ bool defaultSweepAccel();
  */
 bool defaultOracle();
 
+/**
+ * Default for MachineConfig::par_cores: the CREV_PAR_CORES
+ * environment variable when set, otherwise the host's hardware
+ * concurrency clamped to [1, 8] — i.e. the lockstep engine is on by
+ * default. 0 selects the serial token engine (the reference
+ * implementation); RunMetrics are bit-identical between the engines
+ * (tests/determinism_test.cpp), so this is a pure host-side lever
+ * like host_fast_paths.
+ */
+unsigned defaultParCores();
+
 /** All strategies in evaluation order. */
 constexpr Strategy kAllStrategies[] = {
     Strategy::kBaseline,   Strategy::kPaintOnly,
@@ -112,6 +123,14 @@ struct MachineConfig
      *  pre-scan pipeline. Pure host optimisation, like
      *  host_fast_paths: results are byte-identical either way. */
     bool sweep_accel = defaultSweepAccel();
+
+    /** Lockstep virtual-time engine (DESIGN.md §14): host lanes for
+     *  intra-cell simulation. 0 = serial token engine (the reference);
+     *  >= 1 = lockstep engine with that many host lanes and its
+     *  lane-safe flat lookup structures. Multi-core simulated machines
+     *  default to the lockstep engine; RunMetrics are bit-identical
+     *  between the engines. */
+    unsigned par_cores = defaultParCores();
 
     /** Virtual-time event tracing (DESIGN.md §10). Zero simulated
      *  cost: RunMetrics are bit-identical with tracing on or off. */

@@ -1,8 +1,11 @@
 #include "core/machine.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+// lint: threading-ok (hardware_concurrency probe for the lane default)
+#include <thread>
 
 #include "base/logging.h"
 #include "core/mutator.h"
@@ -69,6 +72,23 @@ defaultOracle()
     return env != nullptr && std::strcmp(env, "0") != 0;
 }
 
+unsigned
+defaultParCores()
+{
+    if (const char *env = std::getenv("CREV_PAR_CORES")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v <= 64)
+            return static_cast<unsigned>(v);
+        warn("ignoring malformed CREV_PAR_CORES=%s", env);
+    }
+    // lint: threading-ok (host-capacity probe, not a thread)
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    return std::min(hw, 8u);
+}
+
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     if (const std::string err = cfg.faults.validate(); !err.empty())
@@ -78,7 +98,11 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
             cfg.trace_buffer_events);
     ms_ = std::make_unique<mem::MemorySystem>(cfg.cores, cfg.l1,
                                               cfg.llc, cfg.latency);
-    sched_ = std::make_unique<sim::Scheduler>(cfg.cores, cfg.costs);
+    // Single-core simulated machines keep the serial token engine:
+    // there is no cross-core interaction to resolve, so the lockstep
+    // machinery would be pure overhead.
+    sched_ = std::make_unique<sim::Scheduler>(
+        cfg.cores, cfg.costs, cfg.cores > 1 ? cfg.par_cores : 0);
     sched_->setTracer(tracer_.get());
     if (cfg.check)
         checker_ = std::make_unique<check::RaceChecker>();
@@ -86,10 +110,19 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     sched_->setChecker(checker_.get());
     as_ = std::make_unique<vm::AddressSpace>(pm_);
     as_->setChecker(checker_.get());
+    // Lane-safe flat lookup structures ride with the lockstep engine
+    // (DESIGN.md §14.4); the serial reference engine keeps the
+    // original map-based code paths untouched.
+    const bool lockstep = sched_->lockstep();
+    pm_.setDenseIndex(lockstep);
+    as_->setFastIndex(lockstep);
+    ms_->setFastIndex(lockstep);
     mmu_ = std::make_unique<vm::Mmu>(pm_, *ms_, *as_, sched_->costs());
     mmu_->setHostFastPaths(cfg.host_fast_paths);
+    mmu_->setFastTlb(lockstep);
     mmu_->setTracer(tracer_.get());
     kernel_ = std::make_unique<kern::Kernel>(*mmu_, sched_->costs());
+    kernel_->setFastReap(lockstep);
     kernel_->epoch().setChecker(checker_.get());
 
     if (cfg.faults.enabled) {
@@ -132,6 +165,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 
     if (cfg.strategy == Strategy::kBaseline) {
         snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
+        snm_->setFastIndex(lockstep);
         shim_ = std::make_unique<alloc::QuarantineShim>(
             *snm_, *kernel_, nullptr, nullptr, cfg.policy);
         shim_->setTracer(tracer_.get());
@@ -235,6 +269,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         });
 
     snm_ = std::make_unique<alloc::SnmallocLite>(*kernel_, *mmu_);
+    snm_->setFastIndex(lockstep);
     shim_ = std::make_unique<alloc::QuarantineShim>(
         *snm_, *kernel_, revoker_.get(), bitmap_.get(), cfg.policy);
     shim_->setTracer(tracer_.get());

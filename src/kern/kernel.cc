@@ -1,5 +1,7 @@
 #include "kern/kernel.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 #include "check/race_checker.h"
 #include "vm/address_space.h"
@@ -55,15 +57,24 @@ Kernel::sysMunmap(sim::SimThread &t, Addr base, Addr length)
         if (paint_)
             paint_(t, r->base, r->length);
         r->quarantine_epoch = epoch_.value();
-        quarantined_mappings_.push_back(
-            {r, epoch_.dequarantineTarget(r->quarantine_epoch)});
+        const std::uint64_t target =
+            epoch_.dequarantineTarget(r->quarantine_epoch);
+        quarantined_mappings_.push_back({r, target});
+        min_release_target_ = std::min(min_release_target_, target);
     }
 }
 
 std::size_t
 Kernel::reapQuarantinedMappings(sim::SimThread &t)
 {
+    // Nothing can be releasable below the minimum queued target; the
+    // walk would charge nothing and release nothing, so it can be
+    // skipped wholesale (lockstep engine only — the reference keeps
+    // the unconditional walk).
+    if (fast_reap_ && epoch_.value() < min_release_target_)
+        return 0;
     std::size_t released = 0;
+    std::uint64_t min_target = ~std::uint64_t{0};
     auto it = quarantined_mappings_.begin();
     while (it != quarantined_mappings_.end()) {
         if (epoch_.value() >= it->release_target) {
@@ -73,9 +84,11 @@ Kernel::reapQuarantinedMappings(sim::SimThread &t)
             it = quarantined_mappings_.erase(it);
             ++released;
         } else {
+            min_target = std::min(min_target, it->release_target);
             ++it;
         }
     }
+    min_release_target_ = min_target;
     return released;
 }
 

@@ -20,62 +20,19 @@ Cache::setIndex(Addr line_addr) const
 }
 
 void
-Cache::trackFill(Addr line_addr)
+Cache::setFastIndex(bool on)
 {
-    const auto pfn = static_cast<std::size_t>(frameOfLine(line_addr));
-    if (pfn >= frame_lines_.size())
-        frame_lines_.resize(pfn + 1, 0);
-    ++frame_lines_[pfn];
-}
-
-void
-Cache::trackDrop(Addr line_addr)
-{
-    const auto pfn = static_cast<std::size_t>(frameOfLine(line_addr));
-    CREV_ASSERT(pfn < frame_lines_.size() && frame_lines_[pfn] > 0);
-    --frame_lines_[pfn];
+    fast_ = on;
+    if (on)
+        mru_.assign(num_sets_, 0);
+    else
+        mru_.clear();
 }
 
 CacheResult
 Cache::access(Addr addr, bool write)
 {
-    const Addr line_addr = addr >> kLineBits;
-    const std::size_t set = setIndex(line_addr);
-    Line *ways = &lines_[set * assoc_];
-    ++tick_;
-
-    CacheResult res;
-    Line *victim = &ways[0];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Line &line = ways[w];
-        if (line.valid && line.tag == line_addr) {
-            line.lru = tick_;
-            line.dirty |= write;
-            ++hits_;
-            res.hit = true;
-            return res;
-        }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lru < victim->lru) {
-            victim = &line;
-        }
-    }
-
-    ++misses_;
-    if (victim->valid) {
-        trackDrop(victim->tag);
-        if (victim->dirty) {
-            res.evicted_dirty = true;
-            res.victim_line = victim->tag << kLineBits;
-        }
-    }
-    victim->tag = line_addr;
-    victim->valid = true;
-    victim->dirty = write;
-    victim->lru = tick_;
-    trackFill(line_addr);
-    return res;
+    return accessInline(addr, write);
 }
 
 void

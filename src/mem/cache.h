@@ -11,6 +11,11 @@
  * (updated on fill/eviction/invalidation, i.e. only on misses), so
  * frame-reuse invalidation can prove in O(1) that a cache holds no
  * line of a frame instead of walking all of the frame's sets.
+ *
+ * Under the lockstep engine a per-set MRU-way hint is probed before
+ * the set scan (DESIGN.md §14.4). Hit/miss outcomes, LRU victim
+ * choices, and writeback sequences are identical with the hint on or
+ * off — the switch is invisible to simulated state.
  */
 
 #ifndef CREV_MEM_CACHE_H_
@@ -19,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/logging.h"
 #include "base/types.h"
 
 namespace crev::mem {
@@ -67,8 +73,112 @@ class Cache
     /** Whether the line containing @p addr is resident. */
     bool contains(Addr addr) const;
 
+    /**
+     * Hint-only probe backing MemorySystem's gated single-line fast
+     * path (DESIGN.md §14.4). On an MRU-way hit it performs exactly
+     * the transitions access() would (tick/lru/dirty/hits) and
+     * returns true; otherwise it changes nothing and returns false so
+     * the caller can fall back to the full access() path. Must only
+     * be called with the hint enabled.
+     */
+    bool
+    tryHintAccess(Addr addr, bool write)
+    {
+        const Addr line_addr = addr >> kLineBits;
+        const std::size_t set =
+            static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
+        Line &h = lines_[set * assoc_ + mru_[set]];
+        if (h.valid && h.tag == line_addr) {
+            h.lru = ++tick_;
+            h.dirty |= write;
+            ++hits_;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * The access state machine, inline so MemorySystem's gated miss
+     * path (DESIGN.md §14.4) can fuse the L1 and LLC transitions into
+     * one frame with no cross-TU calls. access() is a thin wrapper
+     * around this — serial and lockstep engines execute the one
+     * definition, so the transition sequences cannot diverge.
+     */
+    CacheResult
+    accessInline(Addr addr, bool write, bool try_hint = true)
+    {
+        const Addr line_addr = addr >> kLineBits;
+        const std::size_t set =
+            static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
+        Line *ways = &lines_[set * assoc_];
+        ++tick_;
+
+        CacheResult res;
+        // @p try_hint lets callers that already probed the hint (or
+        // know it rarely pays, e.g. the LLC legs of a miss) skip the
+        // redundant probe; the scan still refreshes mru_ on every hit
+        // and fill, so later probes stay accurate either way.
+        if (fast_ && try_hint) {
+            // MRU-way hint: a hint hit performs exactly the
+            // transitions the set scan below would have (same
+            // lru/dirty/hit updates); a mismatch falls through to the
+            // unmodified scan.
+            Line &h = ways[mru_[set]];
+            if (h.valid && h.tag == line_addr) {
+                h.lru = tick_;
+                h.dirty |= write;
+                ++hits_;
+                res.hit = true;
+                return res;
+            }
+        }
+        Line *victim = &ways[0];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &line = ways[w];
+            if (line.valid && line.tag == line_addr) {
+                line.lru = tick_;
+                line.dirty |= write;
+                ++hits_;
+                res.hit = true;
+                if (fast_)
+                    mru_[set] = static_cast<std::uint8_t>(w);
+                return res;
+            }
+            if (!line.valid) {
+                victim = &line;
+            } else if (victim->valid && line.lru < victim->lru) {
+                victim = &line;
+            }
+        }
+
+        ++misses_;
+        if (fast_)
+            mru_[set] = static_cast<std::uint8_t>(victim - ways);
+        if (victim->valid) {
+            trackDrop(victim->tag);
+            if (victim->dirty) {
+                res.evicted_dirty = true;
+                res.victim_line = victim->tag << kLineBits;
+            }
+        }
+        victim->tag = line_addr;
+        victim->valid = true;
+        victim->dirty = write;
+        victim->lru = tick_;
+        trackFill(line_addr);
+        return res;
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+
+    /**
+     * Enable the per-set MRU-way hint, probed before the set scan. A
+     * hint hit performs exactly the transitions the scan would have
+     * (same lru/dirty/hit updates); mismatches fall through to the
+     * unmodified scan. Pure host-side change.
+     */
+    void setFastIndex(bool on);
 
   private:
     struct Line
@@ -88,8 +198,22 @@ class Cache
         return line_addr >> (kPageBits - kLineBits);
     }
 
-    void trackFill(Addr line_addr);
-    void trackDrop(Addr line_addr);
+    void
+    trackFill(Addr line_addr)
+    {
+        const auto pfn = static_cast<std::size_t>(frameOfLine(line_addr));
+        if (pfn >= frame_lines_.size())
+            frame_lines_.resize(pfn + 1, 0);
+        ++frame_lines_[pfn];
+    }
+
+    void
+    trackDrop(Addr line_addr)
+    {
+        const auto pfn = static_cast<std::size_t>(frameOfLine(line_addr));
+        CREV_ASSERT(pfn < frame_lines_.size() && frame_lines_[pfn] > 0);
+        --frame_lines_[pfn];
+    }
 
     unsigned assoc_;
     std::size_t num_sets_;
@@ -97,6 +221,9 @@ class Cache
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+
+    bool fast_ = false;
+    std::vector<std::uint8_t> mru_; //!< per-set last-touched way
 
     /** pfn -> resident line count, indexed directly (PhysMem hands
      *  out dense pfns, so this stays small); grown on first fill. */

@@ -48,14 +48,62 @@ MemorySystem::accessLine(unsigned core, Addr line_paddr, bool write)
 }
 
 Cycles
-MemorySystem::access(unsigned core, Addr paddr, std::size_t len,
-                     bool write)
+MemorySystem::accessLineFast(unsigned core, Addr line_paddr, bool write,
+                             bool l1_hint)
+{
+    // Gated twin of accessLine (DESIGN.md §14.4): same counter and
+    // cache transitions in the same order, but through accessInline so
+    // the L1 and LLC state machines fuse into this frame with no
+    // cross-TU calls. Both paths execute the one accessInline
+    // definition, so the sequences cannot diverge.
+    MemCounters &ctr = counters_[core];
+    ++ctr.accesses;
+
+    const CacheResult l1r =
+        l1_[core].accessInline(line_paddr, write, l1_hint);
+    if (l1r.hit)
+        return lat_.l1_hit;
+    ++ctr.l1_misses;
+
+    if (l1r.evicted_dirty) {
+        // LLC legs of a miss: the streaming sweeps that dominate the
+        // heavy cells rarely repeat an LLC set back-to-back, so the
+        // hint probe is skipped (mru_ is still refreshed by the scan).
+        const CacheResult wb =
+            llc_.accessInline(l1r.victim_line, true, false);
+        if (!wb.hit) {
+            ++ctr.bus_reads;
+            if (wb.evicted_dirty)
+                ++ctr.bus_writes;
+        } else if (wb.evicted_dirty) {
+            ++ctr.bus_writes;
+        }
+    }
+
+    const CacheResult llcr = llc_.accessInline(line_paddr, false, false);
+    if (llcr.hit)
+        return lat_.l1_hit + lat_.llc_hit;
+
+    ++ctr.bus_reads;
+    if (llcr.evicted_dirty)
+        ++ctr.bus_writes;
+    return lat_.l1_hit + lat_.llc_hit + lat_.dram;
+}
+
+Cycles
+MemorySystem::accessSlow(unsigned core, Addr paddr, std::size_t len,
+                         bool write)
 {
     CREV_ASSERT(core < l1_.size());
     CREV_ASSERT(len > 0);
     Cycles total = 0;
     const Addr first = roundDown(paddr, kLineSize);
     const Addr last = roundDown(paddr + len - 1, kLineSize);
+    if (fast_) {
+        for (Addr line = first; line <= last; line += kLineSize)
+            total += accessLineFast(core, line, write);
+        return total;
+    }
     for (Addr line = first; line <= last; line += kLineSize)
         total += accessLine(core, line, write);
     return total;
@@ -70,6 +118,15 @@ MemorySystem::invalidateFrame(Addr pfn)
     for (auto &l1 : l1_)
         l1.invalidateFrame(pfn);
     llc_.invalidateFrame(pfn);
+}
+
+void
+MemorySystem::setFastIndex(bool on)
+{
+    fast_ = on;
+    for (auto &l1 : l1_)
+        l1.setFastIndex(on);
+    llc_.setFastIndex(on);
 }
 
 const MemCounters &

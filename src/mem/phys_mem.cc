@@ -16,7 +16,9 @@ PhysMem::allocFrame()
         *frames_[pfn] = Frame{}; // zero on reuse
     } else {
         pfn = next_pfn_++;
-        frames_[pfn] = std::make_unique<Frame>();
+        auto f = std::make_unique<Frame>();
+        by_pfn_.push_back(f.get());
+        frames_[pfn] = std::move(f);
     }
     ++in_use_;
     peak_ = std::max(peak_, in_use_);
@@ -35,6 +37,12 @@ PhysMem::freeFrame(Addr pfn)
 Frame *
 PhysMem::lookupFrame(Addr pfn) const
 {
+    if (dense_index_) {
+        CREV_ASSERT(pfn < by_pfn_.size());
+        Frame *f = by_pfn_[pfn];
+        CREV_ASSERT(f != nullptr);
+        return f;
+    }
     if (pfn == cached_pfn_)
         return cached_frame_;
     auto it = frames_.find(pfn);
@@ -62,12 +70,6 @@ PhysMem::frameUncached(Addr pfn) const
     auto it = frames_.find(pfn);
     CREV_ASSERT(it != frames_.end());
     return *it->second;
-}
-
-std::size_t
-PhysMem::granuleIndex(Addr paddr)
-{
-    return static_cast<std::size_t>(pageOffset(paddr) >> kGranuleBits);
 }
 
 void

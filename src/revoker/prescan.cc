@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "base/logging.h"
+#include "sim/lockstep.h"
 
 namespace crev::revoker {
 
@@ -44,7 +45,8 @@ scanPage(const mem::Frame &f, const ShadowSummary &painted, Addr va,
 void
 PrescanPipeline::build(vm::AddressSpace &as,
                        const ShadowSummary &painted,
-                       const std::vector<Addr> &pages)
+                       const std::vector<Addr> &pages,
+                       sim::LaneGroup *lanes)
 {
     pages_.clear();
 
@@ -81,7 +83,12 @@ PrescanPipeline::build(vm::AddressSpace &as,
             scanPage(pm.frameUncached(work[i].second), painted,
                      work[i].first, pages_[i]);
     };
-    if (nworkers <= 1) {
+    if (lanes != nullptr) {
+        // Lockstep engine: reuse the persistent lane pool instead of
+        // spawning threads per epoch. Stripe partitioning is the same
+        // as below, so the output is identical.
+        lanes->runStripes(lanes->lanes(), run);
+    } else if (nworkers <= 1) {
         run(0, 1);
     } else {
         // lint: threading-ok (host pre-scan fan-out; joined below)

@@ -34,6 +34,10 @@
 #include "revoker/shadow_summary.h"
 #include "vm/address_space.h"
 
+namespace crev::sim {
+class LaneGroup;
+}
+
 namespace crev::revoker {
 
 /** Host-side pipeline counters (never part of simulated results). */
@@ -71,10 +75,14 @@ class PrescanPipeline
      * Snapshot and pre-decode @p pages (base VAs; non-resident entries
      * are skipped). Must be called from the simulated thread holding
      * the execution token; all worker threads are joined before
-     * return. Replaces any previous pipeline contents.
+     * return. Replaces any previous pipeline contents. When @p lanes
+     * is non-null the stripes run on the lockstep engine's persistent
+     * lane pool instead of freshly spawned threads (same stripe
+     * partitioning, so identical output either way).
      */
     void build(vm::AddressSpace &as, const ShadowSummary &painted,
-               const std::vector<Addr> &pages);
+               const std::vector<Addr> &pages,
+               sim::LaneGroup *lanes = nullptr);
 
     /** The scan for @p page_va, or nullptr (binary search). */
     const PageScan *find(Addr page_va) const;

@@ -121,7 +121,20 @@ Revoker::prescanPages(const std::vector<Addr> &pages)
 {
     if (!sweepAccel() || pages.empty())
         return;
-    prescan_.build(mmu_.addressSpace(), bitmap_.painted(), pages);
+    sim::LaneGroup *lanes = nullptr;
+    if (sched_.lockstep()) {
+        if (sched_.laneCount() < 2) {
+            // Single-lane lockstep: there is no spare host lane to
+            // overlap the speculative snapshot with, so it would only
+            // serialize in front of the sweep. Skip it — the sweep
+            // decodes live, and RunMetrics are identical with the
+            // pipeline on or off (its design invariant).
+            return;
+        }
+        lanes = sched_.lanes();
+    }
+    prescan_.build(mmu_.addressSpace(), bitmap_.painted(), pages,
+                   lanes);
     sweep_.setPrescan(&prescan_);
 }
 

@@ -1,0 +1,82 @@
+#include "sim/lockstep.h"
+
+#include "base/logging.h"
+
+namespace crev::sim {
+
+LaneGroup::LaneGroup(unsigned lanes) : lanes_(lanes == 0 ? 1 : lanes)
+{
+    workers_.reserve(lanes_ - 1);
+    for (unsigned i = 1; i < lanes_; ++i)
+        // lint: threading-ok (lane pool worker; joined in destructor)
+        workers_.emplace_back([this] { laneMain(); });
+}
+
+LaneGroup::~LaneGroup()
+{
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        shutdown_ = true;
+        work_cv_.notify_all();
+    }
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+LaneGroup::laneMain()
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        work_cv_.wait(lk, [&] {
+            return shutdown_ || (job_ != nullptr && generation_ != seen);
+        });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        while (next_stripe_ < job_stripes_) {
+            const std::size_t s = next_stripe_++;
+            lk.unlock();
+            (*job_)(s, job_stripes_);
+            lk.lock();
+            ++stripes_done_;
+        }
+        if (stripes_done_ == job_stripes_)
+            done_cv_.notify_all();
+    }
+}
+
+void
+LaneGroup::runStripes(
+    std::size_t stripes,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (stripes == 0)
+        return;
+    if (stripes == 1 || lanes_ <= 1) {
+        for (std::size_t s = 0; s < stripes; ++s)
+            fn(s, stripes);
+        return;
+    }
+    std::unique_lock<std::mutex> lk(mtx_);
+    CREV_ASSERT(job_ == nullptr);
+    job_ = &fn;
+    job_stripes_ = stripes;
+    next_stripe_ = 0;
+    stripes_done_ = 0;
+    ++generation_;
+    work_cv_.notify_all();
+    // The caller is lane 0: it pulls stripes like any worker.
+    while (next_stripe_ < job_stripes_) {
+        const std::size_t s = next_stripe_++;
+        lk.unlock();
+        fn(s, job_stripes_);
+        lk.lock();
+        ++stripes_done_;
+    }
+    done_cv_.wait(lk, [&] { return stripes_done_ == job_stripes_; });
+    job_ = nullptr;
+}
+
+} // namespace crev::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The lockstep virtual-time engine's host-side lane pool.
+ *
+ * A LaneGroup is a persistent pool of host worker threads owned by the
+ * scheduler when it runs in lockstep mode (MachineConfig::par_cores).
+ * Lanes execute *deterministic assist work* — striped, write-disjoint
+ * host computations such as the sweep pre-scan pipeline — concurrently
+ * with the committing virtual-time slice. Lanes never touch simulated
+ * state that the committing slice may mutate: every submission is a
+ * read-only fan-out whose output positions are fixed by the stripe
+ * index, so the result is independent of lane count and interleaving
+ * (DESIGN.md §14.4).
+ */
+
+#ifndef CREV_SIM_LOCKSTEP_H_
+#define CREV_SIM_LOCKSTEP_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+// lint: threading-ok (host lane pool; joined in destructor)
+#include <thread>
+#include <vector>
+
+namespace crev::sim {
+
+/** Persistent host worker lanes for deterministic striped assist. */
+class LaneGroup
+{
+  public:
+    /** Spawn @p lanes - 1 worker threads (the caller is lane 0). */
+    explicit LaneGroup(unsigned lanes);
+    ~LaneGroup();
+
+    LaneGroup(const LaneGroup &) = delete;
+    LaneGroup &operator=(const LaneGroup &) = delete;
+
+    unsigned lanes() const { return lanes_; }
+
+    /**
+     * Run @p fn(stripe, stripes) for every stripe in [0, stripes).
+     * The calling thread participates; all stripes complete before
+     * return. @p fn must write only stripe-owned output slots.
+     */
+    void runStripes(std::size_t stripes,
+                    const std::function<void(std::size_t, std::size_t)>
+                        &fn);
+
+  private:
+    void laneMain();
+
+    const unsigned lanes_;
+    std::mutex mtx_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t, std::size_t)> *job_ =
+        nullptr;
+    std::size_t job_stripes_ = 0;
+    std::size_t next_stripe_ = 0;
+    std::size_t stripes_done_ = 0;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+    // lint: threading-ok (host lane pool; joined in destructor)
+    std::vector<std::thread> workers_;
+};
+
+} // namespace crev::sim
+
+#endif // CREV_SIM_LOCKSTEP_H_

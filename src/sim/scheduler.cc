@@ -1,16 +1,154 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "base/logging.h"
 #include "check/race_checker.h"
+#include "sim/lockstep.h"
 #include "trace/trace.h"
 
 namespace crev::sim {
 
 namespace {
+
 constexpr Cycles kInfinity = std::numeric_limits<Cycles>::max();
+
+#if CREV_SCHED_FIBERS
+/** Fiber stack size. Bodies are ordinary workload code; the generous
+ *  size costs only address space (pages commit on first touch). */
+constexpr std::size_t kFiberStackBytes = std::size_t{4} << 20;
+#endif
+
+/** Whether fiber execution is compiled in and not disabled via the
+ *  CREV_FIBERS=0 escape hatch. */
+bool
+fibersEnabled()
+{
+    if (!CREV_SCHED_FIBERS)
+        return false;
+    const char *env = std::getenv("CREV_FIBERS");
+    return env == nullptr || env[0] != '0';
+}
+
 } // namespace
+
+namespace detail {
+
+#if CREV_SCHED_FIBERS
+void
+fiberTrampoline(unsigned hi, unsigned lo)
+{
+    // makecontext passes only ints; the SimThread pointer travels as
+    // two 32-bit halves.
+    auto *t = reinterpret_cast<SimThread *>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    t->fiberMain();
+}
+#else
+void
+fiberTrampoline(unsigned, unsigned)
+{
+    panic("fiber trampoline entered without fiber support");
+}
+#endif
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------
+
+/**
+ * The serial reference engine: one execution token, every cross-core
+ * effect applied at the instant it is posted, in call order.
+ */
+class TokenEngine final : public Scheduler::Engine
+{
+  public:
+    const char *name() const override { return "token"; }
+
+    void
+    deliverWakes(Scheduler &s, Scheduler::PendingWake *w,
+                 std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            s.applyWake(*w[i].t, w[i].at);
+    }
+
+    void
+    onResolutionPoint(Scheduler &) override
+    {
+    }
+
+    void
+    onGrant(Scheduler &, SimThread &) override
+    {
+    }
+};
+
+/**
+ * The lockstep virtual-time engine (DESIGN.md §14): wakes are posted
+ * to per-core mailboxes and resolved in fixed (core-id, thread-id)
+ * order; the quantum frontier tracks the committing slice. Because
+ * the simulated machine's shared state is zero-latency, resolution
+ * happens at the posting slice's own commit point (the earliest
+ * boundary the conservative contract permits) — see the equivalence
+ * argument in DESIGN.md §14.2.
+ */
+class LockstepEngine final : public Scheduler::Engine
+{
+  public:
+    const char *name() const override { return "lockstep"; }
+
+    void
+    deliverWakes(Scheduler &s, Scheduler::PendingWake *w,
+                 std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            s.mailboxes_[w[i].t->core()].push_back(w[i]);
+        s.pending_wakes_ += n;
+        resolve(s);
+    }
+
+    void
+    onResolutionPoint(Scheduler &s) override
+    {
+        resolve(s);
+    }
+
+    void
+    onGrant(Scheduler &s, SimThread &t) override
+    {
+        // Quantum-aligned floor of the committing slice's grant time:
+        // the frontier past which this slice cannot defer cross-core
+        // resolution.
+        s.frontier_ = (t.now() / s.cm_.quantum) * s.cm_.quantum;
+    }
+
+  private:
+    void
+    resolve(Scheduler &s)
+    {
+        if (s.pending_wakes_ == 0)
+            return;
+        for (auto &box : s.mailboxes_) {
+            if (box.empty())
+                continue;
+            std::stable_sort(box.begin(), box.end(),
+                             [](const Scheduler::PendingWake &a,
+                                const Scheduler::PendingWake &b) {
+                                 return a.t->id() < b.t->id();
+                             });
+            for (const auto &w : box)
+                s.applyWake(*w.t, w.at);
+            box.clear();
+        }
+        s.pending_wakes_ = 0;
+    }
+};
 
 // ---------------------------------------------------------------------
 // SimThread
@@ -106,15 +244,54 @@ SimThread::threadMain()
     }
 }
 
+void
+SimThread::fiberMain()
+{
+    // Entered on the first grant; status_ is already kRunning and the
+    // scheduler mutex is not held (the granting context released it
+    // before switching stacks).
+    try {
+        body_(*this);
+    } catch (const std::exception &e) {
+        // A simulated fault escaped the workload body: the simulated
+        // thread dies (as a signal would kill it); the machine runs on.
+        warn("thread %s terminated by: %s", name_.c_str(), e.what());
+    }
+#if CREV_SCHED_FIBERS
+    {
+        std::unique_lock<std::mutex> lk(sched_.mtx_);
+        status_ = ThreadStatus::kDone;
+        if (sched_.tracer_ != nullptr)
+            sched_.tracer_->record(id_, core_, clock_,
+                                   trace::EventType::kThreadPark);
+        sched_.core_free_at_[core_] = clock_;
+        sched_.current_ = nullptr;
+    }
+    // Return control to the run() driver, which picks the successor.
+    swapcontext(&fiber_ctx_, &sched_.sched_ctx_);
+#endif
+    panic("finished fiber resumed");
+}
+
 // ---------------------------------------------------------------------
 // Scheduler
 // ---------------------------------------------------------------------
 
-Scheduler::Scheduler(unsigned num_cores, const CostModel &cm)
-    : num_cores_(num_cores), cm_(cm), core_free_at_(num_cores, 0),
-      core_last_thread_(num_cores, nullptr)
+Scheduler::Scheduler(unsigned num_cores, const CostModel &cm,
+                     unsigned lanes)
+    : num_cores_(num_cores), cm_(cm), lanes_(lanes),
+      fibers_(lanes > 0 && fibersEnabled()), core_free_at_(num_cores, 0),
+      core_last_thread_(num_cores, nullptr), mailboxes_(num_cores)
 {
     CREV_ASSERT(num_cores > 0 && num_cores <= 32);
+    CREV_ASSERT(cm_.quantum > 0);
+    if (lanes_ > 0) {
+        engine_ = std::make_unique<LockstepEngine>();
+        if (lanes_ > 1)
+            lane_group_ = std::make_unique<LaneGroup>(lanes_);
+    } else {
+        engine_ = std::make_unique<TokenEngine>();
+    }
 }
 
 Scheduler::~Scheduler()
@@ -147,6 +324,21 @@ Scheduler::spawn(std::string name, std::uint32_t core_mask,
         checker_->onThreadSpawn(
             current_ != nullptr ? static_cast<int>(current_->id_) : -1,
             id);
+#if CREV_SCHED_FIBERS
+    if (fibers_) {
+        t->fiber_stack_ = std::make_unique<char[]>(kFiberStackBytes);
+        CREV_ASSERT(getcontext(&t->fiber_ctx_) == 0);
+        t->fiber_ctx_.uc_stack.ss_sp = t->fiber_stack_.get();
+        t->fiber_ctx_.uc_stack.ss_size = kFiberStackBytes;
+        t->fiber_ctx_.uc_link = nullptr;
+        const auto p = reinterpret_cast<std::uintptr_t>(t);
+        makecontext(&t->fiber_ctx_,
+                    reinterpret_cast<void (*)()>(detail::fiberTrampoline),
+                    2, static_cast<unsigned>(p >> 32),
+                    static_cast<unsigned>(p & 0xFFFFFFFFu));
+        return t;
+    }
+#endif
     t->host_ = std::thread([t] { t->threadMain(); });
     return t;
 }
@@ -169,6 +361,8 @@ std::vector<unsigned>
 Scheduler::stalledThreads(Cycles now, Cycles horizon)
 {
     std::unique_lock<std::mutex> lk(mtx_);
+    if (checker_ != nullptr)
+        checker_->onSchedStateRead("stalledThreads", true);
     std::vector<unsigned> out;
     for (const auto &tp : threads_) {
         if (tp->status_ == ThreadStatus::kDone)
@@ -185,12 +379,20 @@ bool
 Scheduler::finished(SimThread const &t)
 {
     std::unique_lock<std::mutex> lk(mtx_);
+    if (checker_ != nullptr)
+        checker_->onSchedStateRead("finished", true);
     return t.status_ == ThreadStatus::kDone;
 }
 
 Cycles
 Scheduler::maxClock() const
 {
+    // Thread clocks are written by their owning host threads; an
+    // off-token reader (metrics collection, the watchdog) must hold
+    // mtx_ so the hand-off orders the reads (sched-unlocked-read).
+    std::unique_lock<std::mutex> lk(mtx_);
+    if (checker_ != nullptr)
+        checker_->onSchedStateRead("maxClock", true);
     Cycles m = 0;
     for (const auto &t : threads_)
         m = std::max(m, t->clock_);
@@ -316,8 +518,12 @@ Scheduler::grant(SimThread *t)
         tracer_->record(t->id_, c, t->clock_,
                         trace::EventType::kThreadRun);
     updateYieldHorizon(*t);
+    engine_->onGrant(*this, *t);
     current_ = t;
-    t->cv_.notify_one();
+    // Fiber mode: the granting context switches stacks itself; there
+    // is no parked host thread to notify.
+    if (!fibers_)
+        t->cv_.notify_one();
 }
 
 void
@@ -334,6 +540,10 @@ Scheduler::handoff(SimThread &self, ThreadStatus new_status)
                             : trace::EventType::kThreadPark);
     core_free_at_[self.core_] = self.clock_;
 
+    // A scheduling event is a resolution point: any cross-core effects
+    // still in flight are applied before the policy reads state.
+    engine_->onResolutionPoint(*this);
+
     // Direct switch: pick the successor here instead of bouncing
     // through the scheduler loop (halves host context switches).
     SimThread *next = chooseNext();
@@ -342,6 +552,26 @@ Scheduler::handoff(SimThread &self, ThreadStatus new_status)
         grant(next);
         return;
     }
+#if CREV_SCHED_FIBERS
+    if (fibers_) {
+        // User-space stack switch: directly into the successor fiber,
+        // or back to the run() driver when nothing is runnable
+        // (shutdown, deadlock detection). When this fiber is granted
+        // again, control resumes right after the swap with
+        // status_ == kRunning already set by the grantor.
+        ucontext_t *to;
+        if (next != nullptr) {
+            grant(next);
+            to = &next->fiber_ctx_;
+        } else {
+            current_ = nullptr;
+            to = &sched_ctx_;
+        }
+        lk.unlock();
+        swapcontext(&self.fiber_ctx_, to);
+        return;
+    }
+#endif
     if (next != nullptr) {
         grant(next);
     } else {
@@ -361,11 +591,9 @@ Scheduler::block(SimThread &self)
 }
 
 void
-Scheduler::wake(SimThread &t, Cycles at)
+Scheduler::applyWake(SimThread &t, Cycles at)
 {
-    std::unique_lock<std::mutex> lk(mtx_);
-    if (t.status_ != ThreadStatus::kBlocked)
-        return;
+    // Requires mtx_ held; t is kBlocked.
     if (checker_ != nullptr && current_ != nullptr)
         checker_->onWake(current_->id_, t.id_);
     t.status_ = ThreadStatus::kReady;
@@ -374,6 +602,35 @@ Scheduler::wake(SimThread &t, Cycles at)
     if (current_ != nullptr)
         current_->yield_horizon_ =
             std::min(current_->yield_horizon_, t.clock_ + cm_.yield_slack);
+}
+
+void
+Scheduler::deliverWakesLocked(PendingWake *w, std::size_t n)
+{
+    engine_->deliverWakes(*this, w, n);
+}
+
+void
+Scheduler::wake(SimThread &t, Cycles at)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    if (t.status_ != ThreadStatus::kBlocked)
+        return;
+    PendingWake w{&t, at};
+    deliverWakesLocked(&w, 1);
+}
+
+void
+Scheduler::wakeMany(SimThread *const *ts, std::size_t n, Cycles at)
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    std::vector<PendingWake> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (ts[i]->status_ == ThreadStatus::kBlocked)
+            batch.push_back(PendingWake{ts[i], at});
+    if (!batch.empty())
+        deliverWakesLocked(batch.data(), batch.size());
 }
 
 Cycles
@@ -385,6 +642,7 @@ Scheduler::stopTheWorld(SimThread &self)
 
     std::unique_lock<std::mutex> lk(mtx_);
     CREV_ASSERT(!stw_active_);
+    engine_->onResolutionPoint(*this);
     stw_active_ = true;
     stw_owner_ = &self;
 
@@ -422,6 +680,7 @@ Scheduler::resumeWorld(SimThread &self)
     for (auto &tp : threads_)
         if (tp.get() != &self && tp->status_ == ThreadStatus::kReady)
             tp->clock_ = std::max(tp->clock_, end);
+    engine_->onResolutionPoint(*this);
     updateYieldHorizon(self);
 }
 
@@ -458,11 +717,23 @@ Scheduler::run()
             }
         }
 
+        engine_->onResolutionPoint(*this);
         SimThread *next = chooseNext();
         if (next == nullptr) {
             panic("scheduler deadlock: threads alive but none runnable");
         }
         grant(next);
+#if CREV_SCHED_FIBERS
+        if (fibers_) {
+            // Fibers hand off among themselves without returning here;
+            // control comes back (with current_ == nullptr) only when
+            // a fiber finishes or none is runnable.
+            lk.unlock();
+            swapcontext(&sched_ctx_, &next->fiber_ctx_);
+            lk.lock();
+            continue;
+        }
+#endif
         sched_cv_.wait(lk, [this] { return current_ == nullptr; });
     }
 

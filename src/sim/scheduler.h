@@ -11,6 +11,25 @@
  * entire runs are deterministic and race-free, yet workload bodies are
  * written as ordinary sequential C++.
  *
+ * Two engines drive that policy (DESIGN.md §14):
+ *
+ *  - The serial *token engine* is the reference implementation: every
+ *    cross-core interaction is applied at the instant it is posted, on
+ *    the thread that holds the execution token.
+ *  - The *lockstep engine* (MachineConfig::par_cores) is the
+ *    conservative virtual-time generation: virtual time advances in
+ *    preemption-quantum frontiers, cross-core wakes travel through
+ *    per-core mailboxes drained in fixed (core-id, thread-id) order at
+ *    resolution points, and a persistent LaneGroup of host workers
+ *    runs deterministic striped assist (the sweep pre-scan) alongside
+ *    the committing slice. Because the simulated machine's shared
+ *    state (allocator, page tables, caches) is visible with zero
+ *    latency, the sound conservative lookahead is zero: the committing
+ *    slice is granted in exact policy order, and the engine's host
+ *    speedup comes from its lane-safe flat lookup structures and the
+ *    lane pool, not from speculating on virtual time. RunMetrics are
+ *    bit-identical between the engines (tests/determinism_test.cpp).
+ *
  * The scheduler also provides the stop-the-world service used by the
  * revokers: parked threads' clocks are advanced to the STW end time,
  * while threads sleeping past the window are unaffected — reproducing
@@ -34,6 +53,33 @@
 #include "cap/capability.h"
 #include "sim/cost_model.h"
 
+/**
+ * Fiber execution mode for the lockstep engine (DESIGN.md §14.5):
+ * because exactly one simulated thread runs at a time, the engine can
+ * run bodies as ucontext fibers on the driving host thread, turning
+ * every token handoff from a kernel futex round-trip into a user-space
+ * stack switch. Disabled under the sanitizers (they must observe real
+ * host-thread switches to instrument stacks correctly) and off-Linux.
+ */
+#if defined(__linux__) && !defined(__SANITIZE_THREAD__) && \
+    !defined(__SANITIZE_ADDRESS__)
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CREV_SCHED_FIBERS 0
+#else
+#define CREV_SCHED_FIBERS 1
+#endif
+#else
+#define CREV_SCHED_FIBERS 1
+#endif
+#else
+#define CREV_SCHED_FIBERS 0
+#endif
+
+#if CREV_SCHED_FIBERS
+#include <ucontext.h>
+#endif
+
 namespace crev::trace {
 class Tracer;
 }
@@ -45,6 +91,12 @@ class RaceChecker;
 namespace crev::sim {
 
 class Scheduler;
+class LaneGroup;
+
+namespace detail {
+/** makecontext entry thunk for fiber mode (internal). */
+void fiberTrampoline(unsigned hi, unsigned lo);
+} // namespace detail
 
 /** Lifecycle states of a simulated thread. */
 enum class ThreadStatus {
@@ -137,6 +189,7 @@ class SimThread
 
   private:
     friend class Scheduler;
+    friend void detail::fiberTrampoline(unsigned hi, unsigned lo);
 
     SimThread(Scheduler &sched, unsigned id, std::string name,
               std::uint32_t core_mask, bool daemon,
@@ -144,6 +197,8 @@ class SimThread
 
     void yieldSlow();
     void threadMain();
+    /** Fiber-mode body wrapper (entered on the first grant). */
+    void fiberMain();
 
     Scheduler &sched_;
     const unsigned id_;
@@ -170,16 +225,28 @@ class SimThread
     std::vector<cap::Capability> regs_;
     std::condition_variable cv_;
     std::thread host_;
+#if CREV_SCHED_FIBERS
+    ucontext_t fiber_ctx_{};
+    std::unique_ptr<char[]> fiber_stack_;
+#endif
 };
 
 /**
  * The scheduler: owns all simulated threads and the single execution
- * token.
+ * token, driven by one of the two engines described in the file
+ * comment.
  */
 class Scheduler
 {
   public:
-    Scheduler(unsigned num_cores, const CostModel &cm);
+    /**
+     * @p lanes selects the engine: 0 = serial token engine (the
+     * reference); >= 1 = lockstep engine with that many host lanes
+     * (lane 0 is the committing slice's own host thread; lanes beyond
+     * the first become LaneGroup workers).
+     */
+    Scheduler(unsigned num_cores, const CostModel &cm,
+              unsigned lanes = 0);
     ~Scheduler();
 
     Scheduler(const Scheduler &) = delete;
@@ -207,6 +274,16 @@ class Scheduler
      */
     void wake(SimThread &t, Cycles at);
 
+    /**
+     * Wake a batch of threads at once. Under the lockstep engine the
+     * batch is posted to the per-core mailboxes and resolved in fixed
+     * (core-id, thread-id) order; the serial engine applies it in call
+     * order. The two orders produce identical state because each wake
+     * clamps only its own target's clock and the waker's yield-horizon
+     * shrink is a commutative min (DESIGN.md §14.2).
+     */
+    void wakeMany(SimThread *const *ts, std::size_t n, Cycles at);
+
     /** True once all non-daemon threads have finished. */
     bool shuttingDown() const { return shutting_down_; }
 
@@ -233,11 +310,44 @@ class Scheduler
         return threads_;
     }
 
-    /** Largest virtual clock across all threads (wall-clock metric). */
+    /**
+     * Largest virtual clock across all threads (wall-clock metric).
+     * Takes the scheduler mutex: thread clocks belong to the owning
+     * host threads, so off-token readers must synchronise (the
+     * sched-unlocked-read checker rule covers regressions here).
+     */
     Cycles maxClock() const;
 
     const CostModel &costs() const { return cm_; }
     unsigned numCores() const { return num_cores_; }
+
+    /** Whether the lockstep engine is driving this scheduler. */
+    bool lockstep() const { return lanes_ > 0; }
+    /**
+     * Whether simulated threads run as fibers on the driving host
+     * thread (lockstep engine only; see the CREV_SCHED_FIBERS comment
+     * above). Purely a host execution mechanism: grant order, clocks,
+     * and RunMetrics are identical with fibers on or off.
+     */
+    bool fibers() const { return fibers_; }
+    /** Host lanes of the lockstep engine (0 = serial token engine). */
+    unsigned laneCount() const { return lanes_; }
+    /** The lane pool, or null when serial / single-lane. */
+    LaneGroup *lanes() { return lane_group_.get(); }
+
+    /**
+     * The current quantum frontier: the quantum-aligned floor of the
+     * committing slice's grant time. Cross-core effects posted by a
+     * slice resolve no later than the next frontier (in practice at
+     * the next resolution point; see DESIGN.md §14.2). Exposed for
+     * tests; 0 under the serial engine.
+     */
+    Cycles
+    quantumFrontier() const
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        return frontier_;
+    }
 
     /** Set a thread's preemption-quantum scale (§7.7 tuning knob). */
     void setQuantumScale(SimThread &t, double scale);
@@ -279,6 +389,35 @@ class Scheduler
 
   private:
     friend class SimThread;
+    friend class TokenEngine;
+    friend class LockstepEngine;
+
+    /** A wake in flight to a resolution point. */
+    struct PendingWake
+    {
+        SimThread *t;
+        Cycles at;
+    };
+
+    /**
+     * How the scheduling policy is driven: wake delivery, boundary
+     * resolution, and frontier bookkeeping. Both engines execute the
+     * same policy (chooseNext/updateYieldHorizon/grant below); the
+     * engine only decides *where* cross-core effects are applied.
+     */
+    class Engine
+    {
+      public:
+        virtual ~Engine() = default;
+        virtual const char *name() const = 0;
+        /** Deliver a wake batch (mtx_ held, targets still blocked). */
+        virtual void deliverWakes(Scheduler &s, PendingWake *w,
+                                  std::size_t n) = 0;
+        /** Called with mtx_ held before every policy decision. */
+        virtual void onResolutionPoint(Scheduler &s) = 0;
+        /** Called with mtx_ held after a slice is granted. */
+        virtual void onGrant(Scheduler &s, SimThread &t) = 0;
+    };
 
     /** Pick the next thread to grant; nullptr if none runnable. */
     SimThread *chooseNext();
@@ -288,15 +427,25 @@ class Scheduler
     void handoff(SimThread &self, ThreadStatus new_status);
     /** Recompute a running thread's yield horizon hint. */
     void updateYieldHorizon(SimThread &running);
+    /** Apply one wake's clock clamp + horizon shrink (mtx_ held). */
+    void applyWake(SimThread &t, Cycles at);
+    /** Route a wake batch through the engine (mtx_ held). */
+    void deliverWakesLocked(PendingWake *w, std::size_t n);
 
     const unsigned num_cores_;
     const CostModel cm_;
+    const unsigned lanes_;
+    const bool fibers_;
+#if CREV_SCHED_FIBERS
+    /** The run() driver's context, resumed when no fiber is runnable. */
+    ucontext_t sched_ctx_{};
+#endif
 
     trace::Tracer *tracer_ = nullptr;
     check::RaceChecker *checker_ = nullptr;
     StallHook stall_hook_;
 
-    std::mutex mtx_;
+    mutable std::mutex mtx_;
     std::condition_variable sched_cv_;
     std::vector<std::unique_ptr<SimThread>> threads_;
     SimThread *current_ = nullptr;
@@ -316,6 +465,15 @@ class Scheduler
     // Per-core timeline: when the core's last slice ended and who ran.
     std::vector<Cycles> core_free_at_;
     std::vector<SimThread *> core_last_thread_;
+
+    // Lockstep engine state: the quantum frontier and the per-core
+    // wake mailboxes (drained in (core-id, thread-id) order).
+    Cycles frontier_ = 0;
+    std::vector<std::vector<PendingWake>> mailboxes_;
+    std::size_t pending_wakes_ = 0;
+
+    std::unique_ptr<Engine> engine_;
+    std::unique_ptr<LaneGroup> lane_group_;
 };
 
 } // namespace crev::sim

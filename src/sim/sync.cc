@@ -63,10 +63,15 @@ SimEvent::wait(SimThread &self)
 void
 SimEvent::notifyAll(SimThread &self)
 {
+    // One batch through the scheduler: the serial engine applies it in
+    // wait order, the lockstep engine through the per-core mailboxes in
+    // (core-id, thread-id) order. The orders are interchangeable — see
+    // Scheduler::wakeMany.
     std::vector<SimThread *> to_wake;
     to_wake.swap(waiters_);
-    for (SimThread *t : to_wake)
-        self.scheduler().wake(*t, self.now());
+    if (!to_wake.empty())
+        self.scheduler().wakeMany(to_wake.data(), to_wake.size(),
+                                  self.now());
 }
 
 } // namespace crev::sim

@@ -6,7 +6,53 @@
 
 namespace crev::vm {
 
+namespace {
+
+// Flat-window extents (DESIGN.md §14.4). Every PTE the simulator ever
+// creates lives in the heap window (reserve() hands out only
+// [kHeapBase, kHeapCeiling)) or the shadow window (implicit shadow
+// object, materialised by makeResident); guard pages exist only inside
+// heap reservations.
+constexpr std::size_t kHeapWindowPages =
+    static_cast<std::size_t>((kHeapCeiling - kHeapBase) / kPageSize);
+constexpr Addr kShadowWindowEnd = shadowByteFor(kHeapCeiling) + kPageSize;
+constexpr std::size_t kShadowWindowPages =
+    static_cast<std::size_t>((kShadowWindowEnd - kShadowBase) /
+                             kPageSize);
+
+} // namespace
+
 AddressSpace::AddressSpace(mem::PhysMem &pm) : pm_(pm) {}
+
+Pte **
+AddressSpace::fastSlot(Addr page)
+{
+    if (page >= kHeapBase && page < kHeapCeiling)
+        return &heap_pte_[(page - kHeapBase) / kPageSize];
+    if (page >= kShadowBase && page < kShadowWindowEnd)
+        return &shadow_pte_[(page - kShadowBase) / kPageSize];
+    return nullptr;
+}
+
+void
+AddressSpace::setFastIndex(bool on)
+{
+    fast_index_ = on;
+    if (!on) {
+        heap_pte_.clear();
+        shadow_pte_.clear();
+        heap_guard_.clear();
+        return;
+    }
+    heap_pte_.assign(kHeapWindowPages, nullptr);
+    shadow_pte_.assign(kShadowWindowPages, nullptr);
+    heap_guard_.assign(kHeapWindowPages, 0);
+    for (auto &[va, p] : pages_)
+        if (Pte **s = fastSlot(va))
+            *s = &p;
+    for (Addr va : guarded_)
+        heap_guard_[(va - kHeapBase) / kPageSize] = 1;
+}
 
 Addr
 AddressSpace::reserve(Addr length, bool cap_store)
@@ -26,14 +72,21 @@ AddressSpace::reserve(Addr length, bool cap_store)
     r.length = padded;
     r.requested = req;
     r.mapped_bytes = req;
-    reservations_[base] = r;
+    if (fast_index_) {
+        // Reservation bases are strictly increasing (next_va_ is
+        // monotone, never recycled), so the end hint makes this O(1)
+        // instead of a root-to-leaf rb-tree descent. Same map contents.
+        reservations_.emplace_hint(reservations_.end(), base, r);
+    } else {
+        reservations_[base] = r;
+    }
     mapped_bytes_ += req;
 
     // Representability padding starts life as guard pages
     // (paper footnote 26); they are part of the reservation but any
     // touch faults.
     for (Addr va = base; va < base + padded; va += kPageSize) {
-        Pte &p = pages_[va];
+        Pte &p = pte(va);
         p = Pte{};
         p.cap_store = cap_store;
         p.write = true;
@@ -59,7 +112,10 @@ AddressSpace::canReserve(Addr length) const
 void
 AddressSpace::guardPage(Addr va)
 {
-    guarded_.insert(pageBase(va));
+    const Addr page = pageBase(va);
+    guarded_.insert(page);
+    if (fast_index_)
+        heap_guard_[(page - kHeapBase) / kPageSize] = 1;
 }
 
 void
@@ -128,6 +184,10 @@ AddressSpace::release(sim::SimThread &t, Reservation *r)
             checker_->onPteTeardown(t.id(), t.now(), va, locked);
     }
     for (Addr va = r->base; va < r->base + r->length; va += kPageSize) {
+        if (fast_index_) {
+            if (Pte **s = fastSlot(va))
+                *s = nullptr;
+        }
         pages_.erase(va);
         resident_pages_.erase(va);
         cap_ever_pages_.erase(va);
@@ -155,13 +215,26 @@ AddressSpace::reservationFor(Addr va)
 Pte &
 AddressSpace::pte(Addr va)
 {
-    return pages_[pageBase(va)];
+    const Addr page = pageBase(va);
+    if (fast_index_) {
+        if (Pte **s = fastSlot(page)) {
+            if (*s == nullptr)
+                *s = &pages_[page];
+            return **s;
+        }
+    }
+    return pages_[page];
 }
 
 Pte *
 AddressSpace::findPte(Addr va)
 {
-    auto it = pages_.find(pageBase(va));
+    const Addr page = pageBase(va);
+    if (fast_index_) {
+        if (Pte **s = fastSlot(page))
+            return *s;
+    }
+    auto it = pages_.find(page);
     return it == pages_.end() ? nullptr : &it->second;
 }
 
@@ -176,17 +249,35 @@ FaultKind
 AddressSpace::classify(Addr va, bool is_store, bool is_cap_store) const
 {
     const Addr page = pageBase(va);
-    if (guarded_.count(page))
-        return FaultKind::kGuard;
-
-    auto pit = pages_.find(page);
-    const Pte *p = pit == pages_.end() ? nullptr : &pit->second;
-
-    if (p == nullptr) {
-        // Shadow region: implicit kernel-provided anonymous object.
-        if (inShadow(va))
+    const Pte *p;
+    if (fast_index_ && page >= kHeapBase && page < kHeapCeiling) {
+        const std::size_t i =
+            static_cast<std::size_t>((page - kHeapBase) / kPageSize);
+        if (heap_guard_[i])
+            return FaultKind::kGuard;
+        p = heap_pte_[i];
+        if (p == nullptr) // heap VA: never in the shadow region
+            return FaultKind::kNotMapped;
+    } else if (fast_index_ && page >= kShadowBase &&
+               page < kShadowWindowEnd) {
+        // Shadow pages are never guarded (guards live inside heap
+        // reservations only).
+        p = shadow_pte_[(page - kShadowBase) / kPageSize];
+        if (p == nullptr) // implicit kernel-provided anonymous object
             return FaultKind::kDemandZero;
-        return FaultKind::kNotMapped;
+    } else {
+        if (guarded_.count(page))
+            return FaultKind::kGuard;
+
+        auto pit = pages_.find(page);
+        p = pit == pages_.end() ? nullptr : &pit->second;
+
+        if (p == nullptr) {
+            // Shadow region: implicit kernel-provided anonymous object.
+            if (inShadow(va))
+                return FaultKind::kDemandZero;
+            return FaultKind::kNotMapped;
+        }
     }
     if (!p->valid)
         return FaultKind::kDemandZero;
@@ -202,7 +293,7 @@ AddressSpace::makeResident(Addr va)
 {
     const Addr page = pageBase(va);
     CREV_ASSERT(guarded_.count(page) == 0);
-    Pte &p = pages_[page];
+    Pte &p = pte(page);
     if (!p.valid) {
         if (inShadow(va)) {
             // The shadow bitmap never carries capabilities.

@@ -214,9 +214,23 @@ class AddressSpace
      */
     std::uint64_t pageTableEpoch() const { return pt_epoch_; }
 
+    /**
+     * Lockstep-engine lane-safe flat page-table windows (DESIGN.md
+     * §14.4): direct-indexed Pte-pointer mirrors of pages_ for the
+     * heap and shadow regions, plus a guard-page byte mirror for the
+     * heap, so classify()/findPte()/pte() resolve without ordered-map
+     * lookups. Slots hold pointers to std::map nodes (stable until
+     * release() erases them, which also nulls the slot). Pure
+     * host-side switch: no simulated observable changes.
+     */
+    void setFastIndex(bool on);
+
   private:
     /** Turn the page containing @p va into a guard page. */
     void guardPage(Addr va);
+
+    /** Flat-window slot for page base @p page; null if outside. */
+    Pte **fastSlot(Addr page);
 
     mem::PhysMem &pm_;
     std::map<Addr, Pte> pages_; //!< keyed by page base VA
@@ -227,6 +241,10 @@ class AddressSpace
     std::set<Addr> cap_dirty_pages_; //!< superset: cap_dirty pages
     std::vector<Reservation *> newly_quarantined_;
     std::vector<Addr> freed_frames_;
+    bool fast_index_ = false;
+    std::vector<Pte *> heap_pte_;   //!< heap-window mirror of pages_
+    std::vector<Pte *> shadow_pte_; //!< shadow-window mirror
+    std::vector<std::uint8_t> heap_guard_; //!< guarded_ mirror (heap)
     sim::SimMutex pmap_lock_;
     check::RaceChecker *checker_ = nullptr;
     std::uint64_t pt_epoch_ = 0;

@@ -1,5 +1,7 @@
 #include "vm/mmu.h"
 
+#include <cstring>
+
 #include "base/logging.h"
 #include "cap/compression.h"
 #include "check/race_checker.h"
@@ -205,7 +207,10 @@ Mmu::loadData(sim::SimThread &t, Addr va, void *out, std::size_t len)
     forSegments(va, len, [&](Addr seg_va, std::size_t seg_len) {
         const Addr paddr = translate(t, seg_va, false, false);
         chargeAccess(t, t.core(), paddr, seg_len, false);
-        pm_.read(paddr, dst, seg_len);
+        if (fast_mem_)
+            pm_.readDense(paddr, dst, seg_len);
+        else
+            pm_.read(paddr, dst, seg_len);
         dst += seg_len;
     });
 }
@@ -218,7 +223,10 @@ Mmu::storeData(sim::SimThread &t, Addr va, const void *in,
     forSegments(va, len, [&](Addr seg_va, std::size_t seg_len) {
         const Addr paddr = translate(t, seg_va, true, false);
         chargeAccess(t, t.core(), paddr, seg_len, true);
-        pm_.write(paddr, src, seg_len);
+        if (fast_mem_)
+            pm_.writeDense(paddr, src, seg_len);
+        else
+            pm_.write(paddr, src, seg_len);
         src += seg_len;
     });
 }
@@ -246,7 +254,16 @@ Mmu::loadCap(sim::SimThread &t, Addr va)
     for (;;) {
         Pte snapshot;
         const Addr paddr = translate(t, va, false, false, &snapshot);
-        const bool tagged = pm_.tagAt(paddr);
+        // Lockstep fast path: resolve the frame once and reuse the
+        // reference across the charge below. paddr -> frame is
+        // immutable (frames are never erased), so the two reads see
+        // exactly what the two per-call resolves would; the tag is
+        // still read before the charge and the bits after it.
+        const mem::Frame *fr =
+            fast_mem_ ? &pm_.frameDense(pageOf(paddr)) : nullptr;
+        const std::size_t gi = mem::PhysMem::granuleIndex(paddr);
+        const bool tagged =
+            fast_mem_ ? fr->testTag(gi) : pm_.tagAt(paddr);
 
         // The load barrier: a tagged load from a stale-generation page
         // (or an always-trap page, §7.6) traps before the value
@@ -263,7 +280,16 @@ Mmu::loadCap(sim::SimThread &t, Addr va)
 
         chargeAccess(t, core, paddr, kGranuleSize, false);
         cap::CapBits bits;
-        const bool tag = pm_.loadCap(paddr, bits);
+        bool tag;
+        if (fast_mem_) {
+            std::memcpy(&bits.lo,
+                        fr->bytes.data() + pageOffset(paddr), 8);
+            std::memcpy(&bits.hi,
+                        fr->bytes.data() + pageOffset(paddr) + 8, 8);
+            tag = fr->testTag(gi);
+        } else {
+            tag = pm_.loadCap(paddr, bits);
+        }
         cap::Capability c = cap::decode(bits, tag);
         // CHERIoT-style inline filter (§6.3): strip revoked
         // capabilities on their way into the register file.
@@ -284,7 +310,10 @@ Mmu::storeCap(sim::SimThread &t, Addr va, const cap::Capability &c)
     CREV_ASSERT(va % kGranuleSize == 0);
     const Addr paddr = translate(t, va, true, c.tag);
     chargeAccess(t, t.core(), paddr, kGranuleSize, true);
-    pm_.storeCap(paddr, cap::encode(c), c.tag);
+    if (fast_mem_)
+        pm_.storeCapDense(paddr, cap::encode(c), c.tag);
+    else
+        pm_.storeCap(paddr, cap::encode(c), c.tag);
     if (c.tag) {
         Pte *p = as_.findPte(va);
         CREV_ASSERT(p != nullptr);
@@ -305,6 +334,14 @@ Mmu::setHostFastPaths(bool on)
 {
     host_fast_paths_ = on;
     cached_pte_ = nullptr;
+}
+
+void
+Mmu::setFastTlb(bool on)
+{
+    fast_mem_ = on;
+    for (Tlb &tlb : tlbs_)
+        tlb.setFastIndex(on);
 }
 
 Pte *
@@ -332,7 +369,8 @@ Mmu::kernelLoadCap(sim::SimThread &t, Addr va)
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
     chargeAccess(t, t.core(), paddr, kGranuleSize, false);
     cap::CapBits bits;
-    const bool tag = pm_.loadCap(paddr, bits);
+    const bool tag = fast_mem_ ? pm_.loadCapDense(paddr, bits)
+                               : pm_.loadCap(paddr, bits);
     return cap::decode(bits, tag);
 }
 
@@ -343,7 +381,10 @@ Mmu::kernelClearTag(sim::SimThread &t, Addr va)
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
     chargeAccess(t, t.core(), paddr, 1, true);
-    pm_.clearTag(paddr);
+    if (fast_mem_)
+        pm_.clearTagDense(paddr);
+    else
+        pm_.clearTag(paddr);
 }
 
 cap::Capability
@@ -353,7 +394,8 @@ Mmu::peekCap(Addr va)
     CREV_ASSERT(p != nullptr && p->valid);
     const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
     cap::CapBits bits;
-    const bool tag = pm_.loadCap(paddr, bits);
+    const bool tag = fast_mem_ ? pm_.loadCapDense(paddr, bits)
+                               : pm_.loadCap(paddr, bits);
     return cap::decode(bits, tag);
 }
 
@@ -363,7 +405,8 @@ Mmu::peekTag(Addr va)
     Pte *p = findPteCached(va);
     if (p == nullptr || !p->valid)
         return false;
-    return pm_.tagAt((p->pfn << kPageBits) | pageOffset(va));
+    const Addr paddr = (p->pfn << kPageBits) | pageOffset(va);
+    return fast_mem_ ? pm_.tagAtDense(paddr) : pm_.tagAt(paddr);
 }
 
 unsigned
@@ -408,7 +451,10 @@ Mmu::peekByte(Addr va, std::uint8_t *out)
     Pte *p = findPteCached(va);
     if (p == nullptr || !p->valid)
         return false;
-    pm_.read((p->pfn << kPageBits) | pageOffset(va), out, 1);
+    if (fast_mem_)
+        pm_.readDense((p->pfn << kPageBits) | pageOffset(va), out, 1);
+    else
+        pm_.read((p->pfn << kPageBits) | pageOffset(va), out, 1);
     return true;
 }
 
@@ -425,7 +471,10 @@ Mmu::tryKernelShadowLoad(sim::SimThread &t, Addr va, std::uint8_t *out)
     // charged access, no fill, no fault classification.
     const Addr paddr = (cached->pfn << kPageBits) | pageOffset(va);
     chargeAccess(t, core, paddr, 1, false);
-    pm_.read(paddr, out, 1);
+    if (fast_mem_)
+        pm_.readDense(paddr, out, 1);
+    else
+        pm_.read(paddr, out, 1);
     return true;
 }
 

@@ -156,6 +156,15 @@ class Mmu
     bool hostFastPaths() const { return host_fast_paths_; }
 
     /**
+     * Route every core's TLB through the open-addressed backing and
+     * the MMU's memory dispatch through PhysMem's inline dense
+     * variants (the lockstep engine's lane-safe structures, DESIGN.md
+     * §14.4). TLB entry sets, hit/miss sequences, and every memory
+     * observable are identical either way.
+     */
+    void setFastTlb(bool on);
+
+    /**
      * Drop the one-entry PTE cache. The cache is keyed by the address
      * space's page-table epoch, which only release() bumps — in-place
      * PTE mutations (CLG flips at epoch open, load-fault self-heals,
@@ -271,6 +280,8 @@ class Mmu
     check::SafetyOracle *oracle_ = nullptr;
 
     bool host_fast_paths_ = true;
+    /** Lockstep-engine gate for PhysMem's inline dense variants. */
+    bool fast_mem_ = false;
     Addr cached_vpn_ = 0;
     Pte *cached_pte_ = nullptr;
     std::uint64_t cached_pt_epoch_ = 0;

@@ -1,29 +1,114 @@
 #include "vm/tlb.h"
 
+#include "base/logging.h"
+
 namespace crev::vm {
 
-const Pte *
-Tlb::lookup(Addr vpn) const
+std::size_t
+Tlb::fastFindIndex(Addr vpn) const
 {
-    auto it = entries_.find(vpn);
-    if (it == entries_.end()) {
-        ++misses_;
-        return nullptr;
-    }
-    ++hits_;
-    return &it->second;
+    for (std::size_t i = homeOf(vpn); slot_vpn_[i] != 0;
+         i = (i + 1) & slotMask())
+        if (slot_vpn_[i] == vpn)
+            return i;
+    return ~std::size_t{0};
 }
 
-const Pte *
-Tlb::peek(Addr vpn) const
+void
+Tlb::fastInsert(Addr vpn, const Pte &pte)
 {
-    auto it = entries_.find(vpn);
-    return it == entries_.end() ? nullptr : &it->second;
+    CREV_ASSERT(vpn != 0);
+    std::size_t i = homeOf(vpn);
+    while (slot_vpn_[i] != 0) {
+        if (slot_vpn_[i] == vpn) {
+            slot_pte_[i] = pte;
+            return;
+        }
+        i = (i + 1) & slotMask();
+    }
+    slot_vpn_[i] = vpn;
+    slot_pte_[i] = pte;
+    ++fast_size_;
+}
+
+bool
+Tlb::fastErase(Addr vpn)
+{
+    std::size_t i = fastFindIndex(vpn);
+    if (i == ~std::size_t{0})
+        return false;
+    // Backward-shift deletion: no tombstones, probes stay short.
+    std::size_t j = i;
+    for (;;) {
+        j = (j + 1) & slotMask();
+        if (slot_vpn_[j] == 0)
+            break;
+        const std::size_t h = homeOf(slot_vpn_[j]);
+        if (((j - h) & slotMask()) >= ((j - i) & slotMask())) {
+            slot_vpn_[i] = slot_vpn_[j];
+            slot_pte_[i] = slot_pte_[j];
+            i = j;
+        }
+    }
+    slot_vpn_[i] = 0;
+    --fast_size_;
+    return true;
+}
+
+void
+Tlb::setFastIndex(bool on)
+{
+    if (on == fast_)
+        return;
+    fast_ = on;
+    if (on) {
+        // 4x capacity, power of two: load factor stays <= 0.25.
+        std::size_t n = 4;
+        while (n < capacity_ * 4)
+            n <<= 1;
+        slot_vpn_.assign(n, 0);
+        slot_pte_.assign(n, Pte{});
+        fast_size_ = 0;
+        // Migration order only affects slot layout, never membership
+        // or any simulated observable. lint: unordered-ok
+        for (const auto &[vpn, pte] : entries_)
+            fastInsert(vpn, pte);
+        entries_.clear();
+    } else {
+        for (std::size_t i = 0; i < slot_vpn_.size(); ++i)
+            if (slot_vpn_[i] != 0)
+                entries_[slot_vpn_[i]] = slot_pte_[i];
+        slot_vpn_.clear();
+        slot_pte_.clear();
+        fast_size_ = 0;
+    }
 }
 
 void
 Tlb::insert(Addr vpn, const Pte &pte)
 {
+    if (fast_) {
+        const std::size_t i = fastFindIndex(vpn);
+        if (i != ~std::size_t{0}) {
+            slot_pte_[i] = pte;
+            return;
+        }
+        if (fast_size_ >= capacity_) {
+            // FIFO eviction keeps runs deterministic; the queue may
+            // hold vpns already dropped by invalidatePage, so pop
+            // until an erase actually lands (same lazy scheme as the
+            // map backing).
+            while (!fifo_.empty()) {
+                const Addr victim = fifo_.front();
+                fifo_.pop_front();
+                if (fastErase(victim))
+                    break;
+            }
+        }
+        fifo_.push_back(vpn);
+        fastInsert(vpn, pte);
+        return;
+    }
     if (entries_.count(vpn) == 0) {
         if (entries_.size() >= capacity_) {
             // FIFO eviction keeps runs deterministic.
@@ -42,13 +127,22 @@ Tlb::insert(Addr vpn, const Pte &pte)
 void
 Tlb::invalidatePage(Addr vpn)
 {
+    if (fast_) {
+        fastErase(vpn);
+        return;
+    }
     entries_.erase(vpn);
 }
 
 void
 Tlb::invalidateAll()
 {
-    entries_.clear();
+    if (fast_) {
+        slot_vpn_.assign(slot_vpn_.size(), 0);
+        fast_size_ = 0;
+    } else {
+        entries_.clear();
+    }
     fifo_.clear();
 }
 

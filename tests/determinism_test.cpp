@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -131,6 +132,21 @@ runSpecWith(Strategy s, bool host_fast_paths)
     return m.metrics();
 }
 
+RunMetrics
+runSpecEngine(Strategy s, unsigned par_cores, bool trace = false,
+              bool check = false)
+{
+    MachineConfig cfg;
+    cfg.strategy = s;
+    cfg.policy = workload::specPolicy();
+    cfg.par_cores = par_cores;
+    cfg.trace = trace;
+    cfg.check = check;
+    Machine m(cfg);
+    workload::runSpec(m, workload::specProfile("hmmer_retro"));
+    return m.metrics();
+}
+
 TEST(Determinism, FastPathsPreserveSpecMetricsAllStrategies)
 {
     for (Strategy s : core::kAllStrategies) {
@@ -220,6 +236,56 @@ TEST(Determinism, OraclePreservesSpecMetricsAllStrategies)
     }
 }
 
+/** The lockstep engine (DESIGN.md §14) is a pure host-side execution
+ *  lever like host_fast_paths: every simulated observable must be
+ *  bit-identical between the serial token engine (par_cores = 0, the
+ *  reference) and the lockstep engine at any lane count. Lanes = 1
+ *  exercises the single-lane pre-scan skip; lanes = 4 the LaneGroup
+ *  striped assist. */
+TEST(Determinism, LockstepEnginePreservesSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        const std::string serial = fingerprint(runSpecEngine(s, 0));
+        for (unsigned lanes : {1u, 4u})
+            EXPECT_EQ(fingerprint(runSpecEngine(s, lanes)), serial)
+                << "strategy " << core::strategyName(s) << " lanes "
+                << lanes;
+    }
+}
+
+/** Observers (tracer + race checker) attached under the lockstep
+ *  engine must still match the bare serial engine: both are off-clock
+ *  in both engines, so the four-way configuration change cannot move
+ *  a single scheduling point. */
+TEST(Determinism, LockstepEngineWithObserversMatchesBareSerial)
+{
+    for (Strategy s : {Strategy::kCornucopia, Strategy::kReloaded}) {
+        const std::string bare_serial =
+            fingerprint(runSpecEngine(s, 0, false, false));
+        const std::string observed_lockstep =
+            fingerprint(runSpecEngine(s, 2, true, true));
+        EXPECT_EQ(observed_lockstep, bare_serial)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+/** Fiber execution mode (DESIGN.md §14.5) is purely a host mechanism
+ *  for running simulated threads: CREV_FIBERS=0 forces the lockstep
+ *  engine onto real host threads, and the fingerprint must not move.
+ *  (On builds without fiber support both runs take the host-thread
+ *  path and the test is a tautology — still worth keeping as an env
+ *  plumbing check.) */
+TEST(Determinism, FiberModePreservesSpecMetrics)
+{
+    const std::string with_fibers =
+        fingerprint(runSpecEngine(Strategy::kReloaded, 1));
+    setenv("CREV_FIBERS", "0", 1);
+    const std::string host_threads =
+        fingerprint(runSpecEngine(Strategy::kReloaded, 1));
+    unsetenv("CREV_FIBERS");
+    EXPECT_EQ(host_threads, with_fibers);
+}
+
 /** Heap churn with capability links, register parking, and hoards —
  *  the same mix the chaos campaign uses, shrunk to gate size. */
 void
@@ -267,7 +333,8 @@ churn(Machine &m, Mutator &ctx, int iters)
 
 RunMetrics
 runChaosWith(Strategy s, bool host_fast_paths,
-             bool sweep_accel = true, bool oracle = false)
+             bool sweep_accel = true, bool oracle = false,
+             int par_cores = -1)
 {
     MachineConfig cfg;
     cfg.strategy = s;
@@ -275,6 +342,8 @@ runChaosWith(Strategy s, bool host_fast_paths,
     cfg.host_fast_paths = host_fast_paths;
     cfg.sweep_accel = sweep_accel;
     cfg.oracle = oracle;
+    if (par_cores >= 0)
+        cfg.par_cores = static_cast<unsigned>(par_cores);
     cfg.policy.min_bytes = 32 * 1024; // revoke frequently
     cfg.background_sweepers = 2;
     cfg.seed = 42;
@@ -334,6 +403,21 @@ TEST(Determinism, SweepAccelPreservesChaosMetricsAllStrategies)
         const std::string plain =
             fingerprint(runChaosWith(s, true, false));
         EXPECT_EQ(accel, plain)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+TEST(Determinism, LockstepEnginePreservesChaosMetricsAllStrategies)
+{
+    // The hardest equivalence case: every fault domain armed, audit
+    // on, background sweepers, watchdog recovery — and still not one
+    // scheduling point may move between the engines.
+    for (Strategy s : core::kAllStrategies) {
+        const std::string serial =
+            fingerprint(runChaosWith(s, true, true, false, 0));
+        const std::string lockstep =
+            fingerprint(runChaosWith(s, true, true, false, 2));
+        EXPECT_EQ(lockstep, serial)
             << "strategy " << core::strategyName(s);
     }
 }

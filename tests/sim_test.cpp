@@ -335,5 +335,162 @@ TEST(Scheduler, RegisterFileIsPerThread)
     s.run();
 }
 
+// --- Lockstep-engine edge cases (DESIGN.md §14) ---
+//
+// Each scenario below runs once under the serial token engine
+// (lanes = 0, the reference) and once under the lockstep engine
+// (lanes = 1) and must produce an identical event trace. The
+// scenarios are chosen to land exactly on the places the two engines
+// could diverge if frontier resolution were off by one: events on a
+// quantum boundary, windows straddling one, and shutdown mid-quantum.
+
+using EventTrace = std::vector<std::pair<std::string, Cycles>>;
+
+TEST(Lockstep, WakeExactlyOnQuantumBoundaryMatchesSerial)
+{
+    // The waker's clock lands exactly on the quantum frontier when it
+    // posts the wake: the mailbox resolution must neither delay the
+    // wake into the next quantum nor deliver it early.
+    auto run_with = [](unsigned lanes) {
+        Scheduler s(2, testCosts(), lanes);
+        EXPECT_EQ(s.lockstep(), lanes > 0);
+        EventTrace ev;
+        bool ready = false;
+        SimThread *waiter =
+            s.spawn("waiter", 1u << 0, [&](SimThread &t) {
+                while (!ready)
+                    s.block(t);
+                ev.push_back({"woken", t.now()});
+            });
+        s.spawn("waker", 1u << 1, [&](SimThread &t) {
+            t.accrue(testCosts().quantum); // lands on the frontier
+            ready = true;
+            s.wake(*waiter, t.now());
+            ev.push_back({"posted", t.now()});
+        });
+        s.run();
+        return ev;
+    };
+    const EventTrace serial = run_with(0);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(run_with(1), serial);
+}
+
+TEST(Lockstep, StwStraddlingQuantumBoundaryMatchesSerial)
+{
+    // The STW window opens inside one quantum and closes inside the
+    // next; parked mutators must resume at the same virtual time under
+    // both engines even though the window crosses a frontier.
+    auto run_with = [](unsigned lanes) {
+        Scheduler s(2, testCosts(), lanes);
+        EventTrace ev;
+        bool stw_done = false;
+        s.spawn("mutator", 1u << 0, [&](SimThread &t) {
+            while (!stw_done)
+                t.accrue(50);
+            ev.push_back({"mutator-after", t.now()});
+        });
+        s.spawn("revoker", 1u << 1, [&](SimThread &t) {
+            t.accrue(6'000); // mid-quantum
+            const Cycles begin = s.stopTheWorld(t);
+            t.accrue(8'000); // window crosses the 10'000 frontier
+            s.resumeWorld(t);
+            stw_done = true;
+            ev.push_back({"stw", begin});
+            ev.push_back({"stw-end", t.now()});
+        });
+        s.run();
+        return ev;
+    };
+    const EventTrace serial = run_with(0);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(run_with(1), serial);
+}
+
+TEST(Lockstep, DaemonShutdownMidQuantumMatchesSerial)
+{
+    // The last non-daemon thread finishes mid-quantum; the blocked
+    // daemon must observe shutdown and exit at the same virtual time
+    // under both engines (no waiting out the rest of the quantum).
+    auto run_with = [](unsigned lanes) {
+        Scheduler s(1, testCosts(), lanes);
+        EventTrace ev;
+        s.spawn(
+            "daemon", 1,
+            [&](SimThread &t) {
+                while (!s.shuttingDown())
+                    s.block(t);
+                ev.push_back({"daemon-exit", t.now()});
+            },
+            /*daemon=*/true);
+        s.spawn("user", 1, [&](SimThread &t) {
+            t.accrue(3'500); // done well inside the first quantum
+            ev.push_back({"user-done", t.now()});
+        });
+        s.run();
+        return ev;
+    };
+    const EventTrace serial = run_with(0);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(run_with(1), serial);
+}
+
+TEST(Lockstep, NoYieldSpanningQuantumBoundaryMatchesSerial)
+{
+    // A NoYield section that runs across the frontier defers the
+    // preemption to its close; the deferred switch must land at the
+    // same virtual time under both engines, and the timesliced peer
+    // must observe the same slice boundaries.
+    auto run_with = [](unsigned lanes) {
+        Scheduler s(1, testCosts(), lanes);
+        EventTrace ev;
+        s.spawn("a", 1, [&](SimThread &t) {
+            t.accrue(8'000);
+            {
+                SimThread::NoYield guard(t);
+                t.accrue(4'000); // crosses the 10'000 frontier
+            }
+            ev.push_back({"a-critical-done", t.now()});
+            t.accrue(100); // first yield opportunity after the guard
+            ev.push_back({"a-done", t.now()});
+        });
+        s.spawn("b", 1, [&](SimThread &t) {
+            for (int i = 0; i < 4; ++i) {
+                t.accrue(3'000);
+                ev.push_back({"b", t.now()});
+            }
+        });
+        s.run();
+        return ev;
+    };
+    const EventTrace serial = run_with(0);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(run_with(1), serial);
+}
+
+TEST(Lockstep, FrontierIsQuantumAlignedDuringRun)
+{
+    // quantumFrontier() is 0 under the serial engine and the
+    // quantum-aligned floor of the committing slice's grant time under
+    // the lockstep engine.
+    Scheduler serial(1, testCosts(), 0);
+    serial.spawn("t", 1, [&](SimThread &t) {
+        t.accrue(25'000);
+        EXPECT_EQ(serial.quantumFrontier(), 0u);
+    });
+    serial.run();
+
+    Scheduler ls(1, testCosts(), 1);
+    ls.spawn("t", 1, [&](SimThread &t) {
+        for (int i = 0; i < 5; ++i) {
+            t.accrue(7'000);
+            const Cycles f = ls.quantumFrontier();
+            EXPECT_EQ(f % testCosts().quantum, 0u);
+            EXPECT_LE(f, t.now());
+        }
+    });
+    ls.run();
+}
+
 } // namespace
 } // namespace crev::sim

@@ -10,6 +10,10 @@ bench_all trajectory files (DESIGN.md §9):
   - every run's "end_to_end.sim_results_match" must be true;
   - every run's sweep_microbench rows must have "sim_cycles_match"
     true;
+  - runs carrying an "intra_cell" record (DESIGN.md §14) must have
+    "sim_results_match" true (serial token engine and lockstep engine
+    produced identical RunMetrics) and "intra_cell_speedup" >= 1.0
+    (the lockstep engine is never slower than the reference);
   - runs must carry a non-empty "label" and at least one microbench
     row (catches truncated/hand-edited files).
 
@@ -54,6 +58,22 @@ def check_trajectory_runs(runs):
                 f'run "{label}": simulated results diverged across '
                 "host configurations"
             )
+        # Older runs predate the intra-cell engine comparison; gate it
+        # only where recorded.
+        intra = run.get("intra_cell")
+        if intra is not None:
+            if intra.get("sim_results_match") is not True:
+                fail(
+                    f'run "{label}" cell "{intra.get("cell")}": '
+                    "serial and lockstep engines diverged"
+                )
+            speedup = intra.get("intra_cell_speedup")
+            if not isinstance(speedup, (int, float)) or speedup < 1.0:
+                fail(
+                    f'run "{label}" cell "{intra.get("cell")}": '
+                    f"lockstep engine slower than serial "
+                    f"(speedup {speedup})"
+                )
     return "determinism contract held in all"
 
 
