@@ -29,14 +29,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_runner.h"
 #include "bench_util.h"
+#include "core/machine.h"
+#include "core/mutator.h"
 #include "workload/grpc_qps.h"
 #include "workload/pgbench.h"
 #include "workload/spec.h"
@@ -284,6 +288,142 @@ measureIntraCell(bool quick, unsigned lanes)
     return r;
 }
 
+struct AllocShardResult
+{
+    unsigned alloc_cores = 4;
+    double single_serial_seconds = 0;
+    double single_lockstep_seconds = 0;
+    double sharded_serial_seconds = 0;
+    double sharded_lockstep_seconds = 0;
+    std::uint64_t remote_free_sends = 0;
+    bool match = true;
+};
+
+/** The cross-core-free regime: a producer allocating on core 0, a
+ *  consumer freeing on core 1, so with alloc_cores > 1 every consumer
+ *  free rides the remote-dealloc message queues (DESIGN.md §15). */
+core::RunMetrics
+runXcoreCell(unsigned alloc_cores, unsigned par_cores, int iters)
+{
+    core::MachineConfig cfg;
+    cfg.strategy = core::Strategy::kReloaded;
+    cfg.policy.min_bytes = 64 * 1024;
+    cfg.alloc_cores = alloc_cores;
+    cfg.par_cores = par_cores;
+    cfg.seed = 5;
+    core::Machine m(cfg);
+    auto queue = std::make_shared<std::vector<cap::Capability>>();
+    m.spawnMutator("prod", 1u << 0, [=](core::Mutator &ctx) {
+        for (int i = 0; i < iters; ++i) {
+            cap::Capability c = ctx.malloc(16 << (i % 6));
+            ctx.store64(c, 0, static_cast<std::uint64_t>(i));
+            queue->push_back(c);
+            ctx.compute(150);
+        }
+    });
+    m.spawnMutator("cons", 1u << 1, [=, &m](core::Mutator &ctx) {
+        std::size_t taken = 0;
+        while (taken < static_cast<std::size_t>(iters)) {
+            if (taken < queue->size()) {
+                const cap::Capability c = (*queue)[taken++];
+                ctx.load64(c, 0);
+                ctx.free(c);
+                ctx.compute(120);
+            } else {
+                ctx.compute(400);
+            }
+        }
+        m.heap().drain(ctx.thread());
+    });
+    m.run();
+    return m.metrics();
+}
+
+/**
+ * Sharded-allocator A/B: the cross-core-free cell at alloc_cores = 1
+ * (single-heap reference) and alloc_cores = 4, each under both
+ * engines. Engine pairs are interleaved with the minimum host time
+ * kept, like the intra-cell comparison; RunMetrics must be identical
+ * between engines at each shard count (across shard counts they
+ * legitimately differ — that is the simulated topology changing).
+ */
+AllocShardResult
+measureAllocShard(bool quick, unsigned lanes)
+{
+    AllocShardResult r;
+    const int iters = quick ? 400 : 2000;
+    const std::size_t pairs = 3;
+    for (const bool sharded : {false, true}) {
+        const unsigned ac = sharded ? r.alloc_cores : 1;
+        core::RunMetrics serial_m, lockstep_m;
+        double best_s = 0, best_l = 0;
+        for (std::size_t k = 0; k < pairs; ++k) {
+            std::fprintf(stderr,
+                         "  alloc-shard pair %zu/%zu (alloc_cores "
+                         "%u)...\n",
+                         k + 1, pairs, ac);
+            auto once = [&](unsigned par, double *secs) {
+                const auto start = std::chrono::steady_clock::now();
+                core::RunMetrics m = runXcoreCell(ac, par, iters);
+                *secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+                return m;
+            };
+            double ss = 0, ls = 0;
+            core::RunMetrics sm = once(0, &ss);
+            core::RunMetrics lm = once(lanes, &ls);
+            if (!sameMetrics(sm, lm) ||
+                sm.quarantine.remote_free_sends !=
+                    lm.quarantine.remote_free_sends) {
+                std::fprintf(stderr,
+                             "FAIL: alloc_cores %u simulated results "
+                             "differ between engines\n",
+                             ac);
+                r.match = false;
+            }
+            if (k == 0) {
+                best_s = ss;
+                best_l = ls;
+                serial_m = std::move(sm);
+                lockstep_m = std::move(lm);
+            } else {
+                best_s = std::min(best_s, ss);
+                best_l = std::min(best_l, ls);
+                if (!sameMetrics(sm, serial_m) ||
+                    !sameMetrics(lm, lockstep_m)) {
+                    std::fprintf(stderr,
+                                 "FAIL: alloc_cores %u simulated "
+                                 "results vary across trials\n",
+                                 ac);
+                    r.match = false;
+                }
+            }
+        }
+        if (sharded) {
+            r.sharded_serial_seconds = best_s;
+            r.sharded_lockstep_seconds = best_l;
+            r.remote_free_sends = serial_m.quarantine.remote_free_sends;
+            if (r.remote_free_sends == 0) {
+                std::fprintf(stderr,
+                             "FAIL: sharded cell drove no remote "
+                             "frees\n");
+                r.match = false;
+            }
+        } else {
+            r.single_serial_seconds = best_s;
+            r.single_lockstep_seconds = best_l;
+            if (serial_m.quarantine.remote_free_sends != 0) {
+                std::fprintf(stderr,
+                             "FAIL: single-heap cell sent remote "
+                             "frees\n");
+                r.match = false;
+            }
+        }
+    }
+    return r;
+}
+
 } // namespace
 
 int
@@ -461,6 +601,23 @@ main(int argc, char **argv)
                 intra.lockstep_seconds,
                 intra.serial_seconds / intra.lockstep_seconds);
 
+    // --- sharded-allocator A/B (DESIGN.md §15) ---
+    std::fprintf(stderr, "  sharded-allocator comparison...\n");
+    const AllocShardResult ashard = measureAllocShard(quick, intra_lanes);
+    determinism_ok = determinism_ok && ashard.match;
+    std::printf("\nsharded allocator (cross-core producer/consumer, "
+                "alloc_cores 1 vs %u):\n",
+                ashard.alloc_cores);
+    std::printf("  single heap:  serial %.2fs, lockstep %.2fs\n",
+                ashard.single_serial_seconds,
+                ashard.single_lockstep_seconds);
+    std::printf("  %u shards:     serial %.2fs, lockstep %.2fs "
+                "(%llu remote frees)\n",
+                ashard.alloc_cores, ashard.sharded_serial_seconds,
+                ashard.sharded_lockstep_seconds,
+                static_cast<unsigned long long>(
+                    ashard.remote_free_sends));
+
     // --- BENCH_TRAJECTORY.json (accumulating) ---
     const std::string prev_runs = readPreviousRuns(out_path);
     std::FILE *f = std::fopen(out_path.c_str(), "w");
@@ -525,6 +682,23 @@ main(int argc, char **argv)
                  intra.lockstep_seconds,
                  intra.serial_seconds / intra.lockstep_seconds,
                  intra.match ? "true" : "false");
+    std::fprintf(f,
+                 "      \"alloc_shard\": "
+                 "{\"regime\": \"xcore_producer_consumer\", "
+                 "\"alloc_cores\": %u, "
+                 "\"single_serial_seconds\": %.3f, "
+                 "\"single_lockstep_seconds\": %.3f, "
+                 "\"sharded_serial_seconds\": %.3f, "
+                 "\"sharded_lockstep_seconds\": %.3f, "
+                 "\"remote_free_sends\": %llu, "
+                 "\"sim_results_match\": %s},\n",
+                 ashard.alloc_cores, ashard.single_serial_seconds,
+                 ashard.single_lockstep_seconds,
+                 ashard.sharded_serial_seconds,
+                 ashard.sharded_lockstep_seconds,
+                 static_cast<unsigned long long>(
+                     ashard.remote_free_sends),
+                 ashard.match ? "true" : "false");
     std::fprintf(f, "      \"cells\": [\n");
     for (std::size_t i = 0; i < cells.size(); ++i)
         std::fprintf(f,

@@ -10,11 +10,29 @@ namespace crev::alloc {
 namespace {
 constexpr std::size_t kChunkSize = 64 * 1024;
 constexpr std::size_t kArenaSize = 1024 * 1024;
+
+/** Granule-indexed size-class table: entry g holds the class for all
+ *  sizes in (16*(g-1), 16*g]. Built at compile time from kSizeClasses
+ *  so the two can never drift (equivalence pinned exhaustively in
+ *  tests/alloc_test.cpp). */
+constexpr auto kClassLut = [] {
+    std::array<std::int8_t, kMaxSmall / 16 + 1> lut{};
+    std::size_t c = 0;
+    for (std::size_t g = 0; g < lut.size(); ++g) {
+        while (g * 16 > kSizeClasses[c])
+            ++c;
+        lut[g] = static_cast<std::int8_t>(c);
+    }
+    return lut;
+}();
 } // namespace
 
-SnmallocLite::SnmallocLite(kern::Kernel &kernel, vm::Mmu &mmu)
+SnmallocLite::SnmallocLite(kern::Kernel &kernel, vm::Mmu &mmu,
+                           unsigned shards)
     : kernel_(kernel), mmu_(mmu)
 {
+    CREV_ASSERT(shards >= 1);
+    shards_.resize(shards);
 }
 
 int
@@ -22,28 +40,25 @@ SnmallocLite::sizeClassFor(std::size_t size)
 {
     if (size > kMaxSmall)
         return -1;
-    for (std::size_t i = 0; i < kSizeClasses.size(); ++i)
-        if (size <= kSizeClasses[i])
-            return static_cast<int>(i);
-    return -1;
+    return kClassLut[(size + 15) >> 4];
 }
 
 Addr
-SnmallocLite::carveChunk(sim::SimThread &t, std::size_t bytes,
-                         std::size_t align)
+SnmallocLite::carveChunk(sim::SimThread &t, Shard &sh,
+                         std::size_t bytes, std::size_t align)
 {
     CREV_ASSERT(bytes % kPageSize == 0);
-    Addr base = roundUp(arena_bump_, align);
-    if (base + bytes > arena_end_) {
+    Addr base = roundUp(sh.arena_bump, align);
+    if (base + bytes > sh.arena_end) {
         const std::size_t arena_bytes = std::max<std::size_t>(
             kArenaSize, roundUp(bytes, kPageSize));
-        arena_cap_ = kernel_.sysMmap(t, arena_bytes);
-        arena_bump_ = arena_cap_.base;
-        arena_end_ = arena_cap_.top;
-        base = roundUp(arena_bump_, align);
-        CREV_ASSERT(base + bytes <= arena_end_);
+        sh.arena_cap = kernel_.sysMmap(t, arena_bytes);
+        sh.arena_bump = sh.arena_cap.base;
+        sh.arena_end = sh.arena_cap.top;
+        base = roundUp(sh.arena_bump, align);
+        CREV_ASSERT(base + bytes <= sh.arena_end);
     }
-    arena_bump_ = base + bytes;
+    sh.arena_bump = base + bytes;
     return base;
 }
 
@@ -135,9 +150,12 @@ SnmallocLite::setFastIndex(bool on)
 }
 
 cap::Capability
-SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
+SnmallocLite::alloc(sim::SimThread &t, std::size_t size,
+                    unsigned shard)
 {
     CREV_ASSERT(size > 0);
+    CREV_ASSERT(shard < shards_.size());
+    Shard &sh = shards_[shard];
     t.accrue(mmu_.costs().malloc_overhead);
 
     const int sc = sizeClassFor(size);
@@ -148,19 +166,19 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
         // cached free chunk of the same length when available
         // (snmalloc never munmaps — paper §6.2).
         const std::size_t bytes = roundUp(size, kPageSize);
-        auto it = large_free_.find(bytes);
-        if (it != large_free_.end() && !it->second.empty()) {
+        auto it = sh.large_free.find(bytes);
+        if (it != sh.large_free.end() && !it->second.empty()) {
             result = it->second.back();
             it->second.pop_back();
         } else {
             result = kernel_.sysMmap(t, bytes);
             ChunkMeta &m = chunks_[result.base];
-            m = ChunkMeta{result.base, bytes, -1, result};
+            m = ChunkMeta{result.base, bytes, -1, shard, result};
             noteChunk(m);
         }
     } else {
         const std::size_t csize = kSizeClasses[sc];
-        ClassState &cs = classes_[sc];
+        ClassState &cs = sh.classes[sc];
         Addr base;
         if (cs.free_head != 0) {
             // Pop the in-band free list; this capability load goes
@@ -171,12 +189,13 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
             cs.free_head_cap = next;
         } else {
             if (cs.bump + csize > cs.slab_end) {
-                const Addr chunk = carveChunk(t, kChunkSize, kPageSize);
-                const cap::Capability ccap = arena_cap_.setBounds(
+                const Addr chunk =
+                    carveChunk(t, sh, kChunkSize, kPageSize);
+                const cap::Capability ccap = sh.arena_cap.setBounds(
                     chunk, chunk + kChunkSize);
                 CREV_ASSERT(ccap.tag);
                 ChunkMeta &m = chunks_[chunk];
-                m = ChunkMeta{chunk, kChunkSize, sc, ccap};
+                m = ChunkMeta{chunk, kChunkSize, sc, shard, ccap};
                 noteChunk(m);
                 cs.bump = chunk;
                 cs.slab_end = chunk + kChunkSize;
@@ -196,29 +215,33 @@ SnmallocLite::alloc(sim::SimThread &t, std::size_t size)
     live_bytes_ += result.length();
     ++stats_.allocs;
     stats_.bytes_allocated_total += result.length();
+    ++sh.stats.allocs;
+    sh.stats.bytes_allocated_total += result.length();
     return result;
 }
 
 std::size_t
-SnmallocLite::mmapDemandFor(std::size_t size) const
+SnmallocLite::mmapDemandFor(std::size_t size, unsigned shard) const
 {
+    CREV_ASSERT(shard < shards_.size());
+    const Shard &sh = shards_[shard];
     const int sc = sizeClassFor(size);
     if (sc < 0) {
         const std::size_t bytes = roundUp(size, kPageSize);
-        auto it = large_free_.find(bytes);
-        if (it != large_free_.end() && !it->second.empty())
+        auto it = sh.large_free.find(bytes);
+        if (it != sh.large_free.end() && !it->second.empty())
             return 0;
         return bytes;
     }
-    const ClassState &cs = classes_[sc];
+    const ClassState &cs = sh.classes[sc];
     if (cs.free_head != 0)
         return 0;
     if (cs.bump + kSizeClasses[sc] <= cs.slab_end)
         return 0;
     // A fresh chunk is needed; in the worst case the arena is
     // exhausted too and carveChunk() mmaps a whole new one.
-    const Addr base = roundUp(arena_bump_, kPageSize);
-    if (base + kChunkSize <= arena_end_)
+    const Addr base = roundUp(sh.arena_bump, kPageSize);
+    if (base + kChunkSize <= sh.arena_end)
         return 0;
     return std::max<std::size_t>(kArenaSize,
                                  roundUp(kChunkSize, kPageSize));
@@ -238,8 +261,28 @@ SnmallocLite::objectSize(Addr base) const
 }
 
 void
+SnmallocLite::markInFlight(Addr base)
+{
+    if (!isLive(base) || !in_flight_.insert(base).second)
+        throw std::logic_error(
+            "remote free of a pointer that is not live "
+            "(double free or invalid free)");
+}
+
+void
+SnmallocLite::clearInFlight(Addr base)
+{
+    const std::size_t erased = in_flight_.erase(base);
+    CREV_ASSERT(erased == 1);
+}
+
+void
 SnmallocLite::retire(Addr base)
 {
+    if (!in_flight_.empty() && in_flight_.count(base) != 0)
+        throw std::logic_error(
+            "free of a pointer whose remote free is still in flight "
+            "(double free)");
     const bool was_live =
         fast_index_ ? liveBitClear(base) : live_.erase(base) != 0;
     if (!was_live)
@@ -250,6 +293,9 @@ SnmallocLite::retire(Addr base)
     live_bytes_ -= size;
     ++stats_.frees;
     stats_.bytes_freed_total += size;
+    Shard &owner = shards_[chunkFor(base).owner];
+    ++owner.stats.frees;
+    owner.stats.bytes_freed_total += size;
 }
 
 void
@@ -257,12 +303,13 @@ SnmallocLite::deallocRaw(sim::SimThread &t, Addr base)
 {
     t.accrue(mmu_.costs().free_overhead);
     const ChunkMeta &m = chunkFor(base);
+    Shard &sh = shards_[m.owner];
     if (m.size_class < 0) {
-        large_free_[m.length].push_back(m.chunk_cap);
+        sh.large_free[m.length].push_back(m.chunk_cap);
         return;
     }
     const std::size_t csize = kSizeClasses[m.size_class];
-    ClassState &cs = classes_[m.size_class];
+    ClassState &cs = sh.classes[m.size_class];
     // Push onto the in-band free list: the (possibly null) old head
     // capability is stored into the object's first granule.
     mmu_.storeCap(t, base, cs.free_head_cap);

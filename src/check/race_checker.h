@@ -39,7 +39,12 @@
  *                          open read-modify-write window
  *   quarantine-unlocked-access
  *                          quarantine buffer mutation without the
- *                          heap lock
+ *                          heap (shard) lock
+ *   remote-queue-nonatomic-access
+ *                          a remote-dealloc inbox splice or detach
+ *                          outside a NoYield window (senders push
+ *                          without the owner's shard lock; the
+ *                          modeled MPSC exchange must be atomic)
  *   epoch-order-violation  a quarantine buffer released before its
  *                          +2/+3 epoch target
  *   stw-scan-outside-stw   register-file / kernel-hoard scanning
@@ -138,6 +143,11 @@ class RaceChecker
     void onShadowProbe(unsigned tid, Cycles at, Addr byte_va);
     /** Quarantine buffer access; @p locked = heap lock held. */
     void onQuarantineAccess(unsigned tid, Cycles at, bool locked);
+    /** Remote-dealloc queue splice/detach; @p atomic = inside a
+     *  NoYield window (the modeled lock-free MPSC exchange — the
+     *  inbox is mutated by senders that do NOT hold the owner's
+     *  shard lock, so atomicity of the exchange is the invariant). */
+    void onRemoteQueueAccess(unsigned tid, Cycles at, bool atomic);
     /** Quarantine buffer released whose target was @p target while
      *  the counter read @p counter. */
     void onDequarantineRelease(unsigned tid, Cycles at,

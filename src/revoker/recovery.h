@@ -62,6 +62,7 @@ struct RecoveryProtocolStats
     std::uint64_t successes = 0;
     std::uint64_t retries_exhausted = 0;
     std::uint64_t deadline_expiries = 0;
+    std::uint64_t aborts = 0; //!< closed kAborted (shutdown mid-flight)
     Cycles total_latency = 0; //!< summed open->close virtual time
     Cycles max_latency = 0;
 };
@@ -200,6 +201,9 @@ class RecoveryManager
             break;
           case RecoveryOutcome::kDeadlineExpired:
             ++st.deadline_expiries;
+            break;
+          case RecoveryOutcome::kAborted:
+            ++st.aborts;
             break;
         }
         const Cycles latency = t.now() - tk.opened_at;

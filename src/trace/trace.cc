@@ -114,6 +114,8 @@ recoveryOutcomeName(RecoveryOutcome o)
         return "retries_exhausted";
       case RecoveryOutcome::kDeadlineExpired:
         return "deadline_expired";
+      case RecoveryOutcome::kAborted:
+        return "aborted";
     }
     return "?";
 }

@@ -113,6 +113,7 @@ enum class RecoveryOutcome : std::uint8_t {
     kSucceeded = 0,
     kRetriesExhausted,
     kDeadlineExpired,
+    kAborted, //!< shutdown (or caller teardown) mid-recovery
 };
 
 const char *eventTypeName(EventType t);

@@ -71,11 +71,27 @@ fingerprint(const RunMetrics &m)
        << " quar@=" << m.quarantine.sum_quar_at_trigger
        << " blk=" << m.quarantine.blocked_ops
        << " blkcyc=" << m.quarantine.blocked_cycles
-       << " max=" << m.quarantine.max_quarantine_bytes << "\n";
+       << " max=" << m.quarantine.max_quarantine_bytes
+       << " rsend=" << m.quarantine.remote_free_sends
+       << " rbatch=" << m.quarantine.remote_batches
+       << " rdrain=" << m.quarantine.remote_drained << "\n";
     os << "alloc a=" << m.allocator.allocs
        << " f=" << m.allocator.frees
        << " ba=" << m.allocator.bytes_allocated_total
        << " bf=" << m.allocator.bytes_freed_total << "\n";
+    for (std::size_t i = 0; i < m.alloc_shards.size(); ++i) {
+        const auto &sh = m.alloc_shards[i];
+        os << "ashard" << i << " a=" << sh.allocs
+           << " f=" << sh.frees << " ba=" << sh.bytes_allocated_total
+           << " bf=" << sh.bytes_freed_total << "\n";
+    }
+    for (std::size_t i = 0; i < m.quarantine_shards.size(); ++i) {
+        const auto &sh = m.quarantine_shards[i];
+        os << "qshard" << i << " rs=" << sh.remote_sends
+           << " rb=" << sh.remote_batches
+           << " rd=" << sh.remote_drained
+           << " trig=" << sh.triggers << "\n";
+    }
     os << "mmu df=" << m.mmu.demand_faults
        << " lbf=" << m.mmu.load_barrier_faults
        << " shoot=" << m.mmu.tlb_shootdowns
@@ -108,7 +124,7 @@ fingerprint(const RunMetrics &m)
                            static_cast<trace::RecoveryProtocol>(i))
            << "] t=" << p.tickets << " a=" << p.attempts
            << " s=" << p.successes << " re=" << p.retries_exhausted
-           << " de=" << p.deadline_expiries
+           << " de=" << p.deadline_expiries << " ab=" << p.aborts
            << " lat=" << p.total_latency << "/" << p.max_latency
            << "\n";
     }
@@ -419,6 +435,126 @@ TEST(Determinism, LockstepEnginePreservesChaosMetricsAllStrategies)
             fingerprint(runChaosWith(s, true, true, false, 2));
         EXPECT_EQ(lockstep, serial)
             << "strategy " << core::strategyName(s);
+    }
+}
+
+/** Producer/consumer churn where the bulk of frees happen on a
+ *  different core than the allocation, driving the remote-dealloc
+ *  message queues (DESIGN.md §15). Exactly one simulated thread runs
+ *  at a time, so the shared host-side queue needs no host locking and
+ *  hand-off order is fully scheduler-determined. */
+void
+crossCoreChurn(Machine &m, int iters)
+{
+    auto queue = std::make_shared<std::vector<cap::Capability>>();
+    auto produced = std::make_shared<int>(0);
+    m.spawnMutator("prod", 1u << 0, [=](Mutator &ctx) {
+        for (int i = 0; i < iters; ++i) {
+            const std::size_t size = 16 << ctx.rng().below(6);
+            cap::Capability c = ctx.malloc(size);
+            ctx.store64(c, 0, static_cast<std::uint64_t>(i));
+            queue->push_back(c);
+            ++*produced;
+            ctx.compute(150);
+            if (i % 8 == 0) // every eighth object dies locally
+                ctx.free(ctx.malloc(96));
+        }
+    });
+    m.spawnMutator("cons", 1u << 1, [=, &m](Mutator &ctx) {
+        std::size_t taken = 0;
+        while (taken < static_cast<std::size_t>(iters)) {
+            if (taken < queue->size()) {
+                // Copy out: free() yields, and the producer's
+                // push_back may reallocate the vector meanwhile.
+                const cap::Capability c = queue->at(taken);
+                ctx.load64(c, 0); // touch before free
+                ctx.free(c);
+                ++taken;
+                ctx.compute(120);
+            } else {
+                ctx.compute(400); // producer behind; spin virtually
+            }
+        }
+        m.heap().drain(ctx.thread());
+    });
+}
+
+RunMetrics
+runCrossCore(Strategy s, unsigned alloc_cores, unsigned par_cores,
+             bool chaos)
+{
+    MachineConfig cfg;
+    cfg.strategy = s;
+    cfg.policy = workload::specPolicy();
+    cfg.policy.min_bytes = 32 * 1024;
+    cfg.alloc_cores = alloc_cores;
+    cfg.par_cores = par_cores;
+    cfg.seed = 7;
+    if (chaos) {
+        cfg.audit = true;
+        cfg.background_sweepers = 2;
+        cfg.faults.enabled = true;
+        cfg.faults.seed = 909;
+        cfg.faults.sweeper_stall_prob = 0.05;
+        cfg.faults.sweeper_stall_cycles = 250'000;
+        cfg.faults.fault_drop_prob = 0.10;
+        cfg.faults.max_fault_drops = 4;
+        cfg.faults.stw_delay_prob = 0.25;
+        cfg.faults.stw_delay_cycles = 25'000;
+        cfg.faults.shootdown_drop_prob = 0.2;
+        cfg.faults.summary_corrupt_prob = 0.25;
+        cfg.faults.quarantine_drop_prob = 0.25;
+        cfg.faults.quarantine_duplicate_prob = 0.25;
+    }
+    Machine m(cfg);
+    crossCoreChurn(m, 300);
+    m.run();
+    return m.metrics();
+}
+
+/** The tentpole contract (DESIGN.md §15): per-core allocator
+ *  sharding is a simulated-topology choice, and for each shard count
+ *  the serial token engine and the lockstep engine must agree on
+ *  every simulated observable — with cross-core remote frees in
+ *  flight. alloc_cores = 1 is the single-heap reference model. */
+TEST(Determinism, AllocShardingPreservesSpecMetricsAcrossEngines)
+{
+    for (Strategy s : core::kAllStrategies) {
+        for (unsigned ac : {1u, 2u, 4u}) {
+            const RunMetrics serial_m = runCrossCore(s, ac, 0, false);
+            const std::string serial = fingerprint(serial_m);
+            const std::string lockstep =
+                fingerprint(runCrossCore(s, ac, 2, false));
+            EXPECT_EQ(lockstep, serial)
+                << "strategy " << core::strategyName(s)
+                << " alloc_cores " << ac;
+            // The workload must actually drive the remote-dealloc
+            // path once sharded — and never in the reference model.
+            if (ac == 1)
+                EXPECT_EQ(serial_m.quarantine.remote_free_sends, 0u);
+            else
+                EXPECT_GT(serial_m.quarantine.remote_free_sends, 0u)
+                    << "strategy " << core::strategyName(s)
+                    << " alloc_cores " << ac;
+        }
+    }
+}
+
+/** Same engine equivalence with every fault domain armed and the
+ *  audit on: chaos-injected recovery paths must not perturb the
+ *  remote-dealloc queues' drain order either. */
+TEST(Determinism, AllocShardingPreservesChaosMetricsAcrossEngines)
+{
+    for (Strategy s : core::kAllStrategies) {
+        for (unsigned ac : {1u, 2u, 4u}) {
+            const std::string serial =
+                fingerprint(runCrossCore(s, ac, 0, true));
+            const std::string lockstep =
+                fingerprint(runCrossCore(s, ac, 2, true));
+            EXPECT_EQ(lockstep, serial)
+                << "strategy " << core::strategyName(s)
+                << " alloc_cores " << ac;
+        }
     }
 }
 

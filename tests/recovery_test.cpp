@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <vector>
 
+#include "core/machine.h"
+#include "core/mutator.h"
 #include "revoker/recovery.h"
 #include "sim/scheduler.h"
 
@@ -208,6 +211,69 @@ TEST(RecoveryManager, CloseIsIdempotentAndClosedTicketsDeny)
     EXPECT_EQ(st.tickets, 1u);
     EXPECT_EQ(st.successes, 1u);
     EXPECT_EQ(st.attempts, 1u);
+}
+
+TEST(RecoveryManager, AbortedCloseIsTerminalAndCounted)
+{
+    RecoveryManager rm;
+    onSimThread([&](sim::SimThread &t) {
+        auto tk = rm.open(t, RecoveryProtocol::kQuarantineHandoff);
+        EXPECT_TRUE(rm.attempt(t, tk));
+        rm.close(t, tk, RecoveryOutcome::kAborted);
+        EXPECT_FALSE(tk.open);
+        EXPECT_FALSE(rm.attempt(t, tk)); // terminal: no more attempts
+    });
+    const RecoveryProtocolStats &st =
+        rm.stats(RecoveryProtocol::kQuarantineHandoff);
+    EXPECT_EQ(st.tickets, 1u);
+    EXPECT_EQ(st.aborts, 1u);
+    EXPECT_EQ(st.successes, 0u);
+    EXPECT_EQ(st.retries_exhausted, 0u);
+    EXPECT_EQ(st.deadline_expiries, 0u);
+}
+
+/** Shutdown landing mid-recovery: a daemon stuck re-sending a dropped
+ *  quarantine hand-off (every send eaten by the fault plan) must
+ *  close its ticket with the aborted outcome when the last mutator
+ *  exits — previously the ticket leaked open, so tickets and terminal
+ *  outcomes stopped adding up. */
+TEST(RecoveryManager, ShutdownMidRecoveryClosesTicketAborted)
+{
+    core::MachineConfig cfg;
+    cfg.strategy = core::Strategy::kReloaded;
+    cfg.policy.min_bytes = 8 * 1024;
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 11;
+    cfg.faults.quarantine_drop_prob = 1.0; // every hand-off vanishes
+    cfg.faults.max_quarantine_drops = 1u << 20;
+    core::Machine m(cfg);
+    m.spawnMutator("app", 1u << 0, [](core::Mutator &ctx) {
+        std::vector<cap::Capability> caps;
+        for (int i = 0; i < 12; ++i)
+            caps.push_back(ctx.malloc(1024));
+        for (auto &c : caps)
+            ctx.free(c); // crosses min_bytes: submission is dropped
+        ctx.compute(2'000'000); // daemon enters its retry loop now
+    });
+    m.scheduler().spawn(
+        "drainer", 1u << 1,
+        [&m](sim::SimThread &t) {
+            t.sleep(500'000);
+            // Stuck in waitForCounterRecovering until shutdown: the
+            // target epoch can never arrive.
+            m.heap().drain(t);
+        },
+        /*daemon=*/true);
+    m.run();
+    const auto metrics = m.metrics();
+    EXPECT_GT(metrics.faults_injected.quarantine_drops, 0u);
+    const RecoveryProtocolStats &st = metrics.recovery_protocols
+        [static_cast<unsigned>(RecoveryProtocol::kQuarantineHandoff)];
+    EXPECT_GE(st.tickets, 1u);
+    EXPECT_GE(st.aborts, 1u);
+    // Every opened ticket reached a terminal state: no leaks.
+    EXPECT_EQ(st.tickets, st.successes + st.retries_exhausted +
+                              st.deadline_expiries + st.aborts);
 }
 
 } // namespace

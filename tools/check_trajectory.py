@@ -14,6 +14,15 @@ bench_all trajectory files (DESIGN.md §9):
     "sim_results_match" true (serial token engine and lockstep engine
     produced identical RunMetrics) and "intra_cell_speedup" >= 1.0
     (the lockstep engine is never slower than the reference);
+  - runs carrying an "alloc_shard" record (DESIGN.md §15) must have
+    "sim_results_match" true (serial and lockstep engines agreed at
+    every shard count) and "remote_free_sends" > 0 (the sharded cell
+    really drove the remote-dealloc queues);
+  - among full-mode (non-quick) runs, the newest run's
+    "end_to_end.fast_parallel_seconds" must not exceed 1.25x the best
+    earlier full-mode run (host-noise tolerance; catches gross e2e
+    regressions while the per-run sim_results_match catches
+    correctness drift);
   - runs must carry a non-empty "label" and at least one microbench
     row (catches truncated/hand-edited files).
 
@@ -74,6 +83,40 @@ def check_trajectory_runs(runs):
                     f"lockstep engine slower than serial "
                     f"(speedup {speedup})"
                 )
+        # Older runs predate the sharded-allocator comparison; gate it
+        # only where recorded.
+        ashard = run.get("alloc_shard")
+        if ashard is not None:
+            if ashard.get("sim_results_match") is not True:
+                fail(
+                    f'run "{label}" alloc_shard: serial and lockstep '
+                    "engines diverged on the sharded heap"
+                )
+            sends = ashard.get("remote_free_sends")
+            if not isinstance(sends, int) or sends <= 0:
+                fail(
+                    f'run "{label}" alloc_shard: sharded cell drove '
+                    f"no remote frees (remote_free_sends {sends})"
+                )
+
+    # End-to-end host-time regression: the newest full-mode run vs the
+    # best earlier full-mode run, with 1.25x host-noise headroom.
+    full = [
+        (r.get("label"), r.get("end_to_end", {}).get(
+            "fast_parallel_seconds"))
+        for r in runs
+        if r.get("quick") is not True
+    ]
+    full = [(l, s) for l, s in full if isinstance(s, (int, float))]
+    if len(full) >= 2:
+        best_prior = min(s for _, s in full[:-1])
+        label, latest = full[-1]
+        if latest > 1.25 * best_prior:
+            fail(
+                f'run "{label}": fast-parallel e2e regressed to '
+                f"{latest:.3f}s (best prior full run "
+                f"{best_prior:.3f}s, 1.25x budget)"
+            )
     return "determinism contract held in all"
 
 

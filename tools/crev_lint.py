@@ -278,6 +278,13 @@ SHARED_STATE = [
      "the shadow-summary block counts (domain: shadow)"),
     (shared_mutation_re("count_"), "revoker",
      "the shadow-summary population count (domain: shadow)"),
+    (shared_mutation_re("inbox_head"), "alloc",
+     "the remote-dealloc inbox chain head (domain: remote-queue)"),
+    (shared_mutation_re("inbox_head_cap"), "alloc",
+     "the remote-dealloc inbox head capability (domain: "
+     "remote-queue)"),
+    (shared_mutation_re("inbox_count"), "alloc",
+     "the remote-dealloc inbox length (domain: remote-queue)"),
 ]
 
 # ShadowSummary owns its words outright: every caller reaches them
@@ -306,7 +313,8 @@ def rule_shared_mutation(path, lines):
     is_fixture = path.startswith(FIXTURE_DIR + os.sep)
     in_rev = is_fixture or in_dir(path, os.path.join("src", "revoker"))
     in_vm = is_fixture or in_dir(path, os.path.join("src", "vm"))
-    if not (in_rev or in_vm):
+    in_alloc = is_fixture or in_dir(path, os.path.join("src", "alloc"))
+    if not (in_rev or in_vm or in_alloc):
         return
     if os.path.basename(path) in SHARED_STATE_CHOKE_FILES:
         return
@@ -317,6 +325,8 @@ def rule_shared_mutation(path, lines):
             if layer == "vm" and not in_vm:
                 continue
             if layer == "revoker" and not in_rev:
+                continue
+            if layer == "alloc" and not in_alloc:
                 continue
             if pat.search(line) is None:
                 continue

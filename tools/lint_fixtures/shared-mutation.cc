@@ -20,4 +20,22 @@ struct BadMmu
     }
 };
 
+struct BadRemoteQueue
+{
+    unsigned long inbox_head = 0;
+    unsigned long inbox_count = 0;
+
+    void
+    spliceWithoutWindow(unsigned long chain, unsigned long n)
+    {
+        // Splicing a remote-dealloc batch onto the owner's inbox with
+        // no onRemoteQueueAccess registration and no NoYield/lock
+        // evidence in the function: senders mutate the inbox without
+        // the owner's shard lock, so the modeled MPSC exchange must be
+        // atomic — an unregistered splice is invisible to the checker.
+        inbox_head = chain;
+        inbox_count += n;
+    }
+};
+
 } // namespace crev
