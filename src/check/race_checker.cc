@@ -307,6 +307,20 @@ RaceChecker::onQuarantineAccess(unsigned tid, Cycles at, bool locked)
 }
 
 void
+RaceChecker::onMappingHandoff(unsigned tid, Cycles at,
+                              bool shutting_down)
+{
+    thread(tid);
+    if ((epoch_value_ & 1) != 0 && !shutting_down) {
+        std::ostringstream os;
+        os << "unmap->reap hand-off drained while epoch counter is "
+           << "odd (" << epoch_value_
+           << "): the munmap quiesce barrier was bypassed";
+        report("mapping-handoff-during-epoch", tid, at, 0, os.str());
+    }
+}
+
+void
 RaceChecker::onRemoteQueueAccess(unsigned tid, Cycles at, bool atomic)
 {
     thread(tid);

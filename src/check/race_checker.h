@@ -143,6 +143,11 @@ class RaceChecker
     void onShadowProbe(unsigned tid, Cycles at, Addr byte_va);
     /** Quarantine buffer access; @p locked = heap lock held. */
     void onQuarantineAccess(unsigned tid, Cycles at, bool locked);
+    /** Drain of the unmap->reap hand-off queue. §4.3 quiesces munmap
+     *  (and hence the hand-off) while a revocation epoch is in
+     *  flight, so the drain must observe an even epoch counter;
+     *  @p shutting_down excuses the final drain during teardown. */
+    void onMappingHandoff(unsigned tid, Cycles at, bool shutting_down);
     /** Remote-dealloc queue splice/detach; @p atomic = inside a
      *  NoYield window (the modeled lock-free MPSC exchange — the
      *  inbox is mutated by senders that do NOT hold the owner's

@@ -4,8 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
-// lint: threading-ok (hardware_concurrency probe for the lane default)
-#include <thread>
+#include <thread> // hardware_concurrency probe for the lane default
 
 #include "base/logging.h"
 #include "core/mutator.h"

@@ -50,7 +50,7 @@ Kernel::sysMunmap(sim::SimThread &t, Addr base, Addr length)
         mmu_.shootdownPage(t, va);
     mmu_.purgeFreedFrames();
 
-    for (vm::Reservation *r : as.takeNewlyQuarantined()) {
+    for (vm::Reservation *r : as.takeNewlyQuarantined(t)) {
         // Paint the entire reservation so the sweep revokes every
         // capability referencing it, then schedule its release for
         // after a full revocation epoch (§6.2 part 2).

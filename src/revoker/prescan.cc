@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
-// lint: threading-ok (host pre-scan workers; see safety note below)
-#include <thread>
+#include <thread> // host pre-scan workers; see safety note below
 
 #include "base/logging.h"
 #include "sim/lockstep.h"
@@ -95,7 +94,6 @@ PrescanPipeline::build(vm::AddressSpace &as,
         std::vector<std::thread> workers;
         workers.reserve(nworkers);
         for (std::size_t w = 0; w < nworkers; ++w)
-            // lint: threading-ok (host pre-scan fan-out; joined below)
             workers.emplace_back(run, w, nworkers);
         for (auto &t : workers)
             t.join();

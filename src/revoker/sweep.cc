@@ -30,12 +30,13 @@ SweepEngine::sweepPageReference(sim::SimThread &t, Addr page_va)
         ++stats_.lines_read;
 
         for (Addr g = line; g < line + kLineSize; g += kGranuleSize) {
-            // lint: uncharged-ok (chargeRead above paid for the line)
+            // Uncharged peeks are legal here: the chargeRead above
+            // paid for the line, which crev_analyze's
+            // uncharged-reach pass verifies interprocedurally.
             if (!mmu_.peekTag(g))
                 continue;
             clean = false;
             ++stats_.caps_seen;
-            // lint: uncharged-ok (value on-chip after the line read)
             const cap::Capability c = mmu_.peekCap(g);
             t.accrue(2); // decode / base extraction
             if (bitmap_.probe(t, c.base)) {

@@ -8,7 +8,6 @@ LaneGroup::LaneGroup(unsigned lanes) : lanes_(lanes == 0 ? 1 : lanes)
 {
     workers_.reserve(lanes_ - 1);
     for (unsigned i = 1; i < lanes_; ++i)
-        // lint: threading-ok (lane pool worker; joined in destructor)
         workers_.emplace_back([this] { laneMain(); });
 }
 

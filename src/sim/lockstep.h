@@ -20,8 +20,7 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
-// lint: threading-ok (host lane pool; joined in destructor)
-#include <thread>
+#include <thread> // host lane pool; joined in destructor
 #include <vector>
 
 namespace crev::sim {
@@ -62,7 +61,7 @@ class LaneGroup
     std::size_t stripes_done_ = 0;
     std::uint64_t generation_ = 0;
     bool shutdown_ = false;
-    // lint: threading-ok (host lane pool; joined in destructor)
+    // Host lane pool threads; joined in the destructor.
     std::vector<std::thread> workers_;
 };
 

@@ -162,11 +162,14 @@ AddressSpace::unmap(sim::SimThread &t, Addr base, Addr length)
 }
 
 std::vector<Reservation *>
-AddressSpace::takeNewlyQuarantined()
+AddressSpace::takeNewlyQuarantined(sim::SimThread &t)
 {
     std::vector<Reservation *> out;
-    // Drained only by the kernel reap path, which registers each
-    // release with the race checker. lint: shared-mutation-ok
+    // The hand-off is only legal outside a revocation epoch (the
+    // munmap quiesce barrier); the checker enforces the parity.
+    if (checker_ != nullptr)
+        checker_->onMappingHandoff(t.id(), t.now(),
+                                   t.scheduler().shuttingDown());
     newly_quarantined_.swap(out);
     return out;
 }

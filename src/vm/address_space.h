@@ -106,7 +106,7 @@ class AddressSpace
     void unmap(sim::SimThread &t, Addr base, Addr length);
 
     /** Reservations that became quarantined since the last call. */
-    std::vector<Reservation *> takeNewlyQuarantined();
+    std::vector<Reservation *> takeNewlyQuarantined(sim::SimThread &t);
 
     /** Release a revoked reservation (kernel layer, post-epoch). */
     void release(sim::SimThread &t, Reservation *r);

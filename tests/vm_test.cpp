@@ -96,10 +96,10 @@ TEST(AddressSpace, UnmapCreatesGuardsAndQuarantinesReservation)
         as.unmap(t, base, kPageSize);
         EXPECT_EQ(as.classify(base, false, false), FaultKind::kGuard);
         EXPECT_EQ(h.pm.framesInUse(), 1u);
-        EXPECT_TRUE(as.takeNewlyQuarantined().empty());
+        EXPECT_TRUE(as.takeNewlyQuarantined(t).empty());
 
         as.unmap(t, base + kPageSize, kPageSize);
-        auto quarantined = as.takeNewlyQuarantined();
+        auto quarantined = as.takeNewlyQuarantined(t);
         ASSERT_EQ(quarantined.size(), 1u);
         EXPECT_EQ(quarantined[0]->state,
                   ReservationState::kQuarantined);

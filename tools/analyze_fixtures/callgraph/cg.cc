@@ -1,0 +1,85 @@
+// Call-graph fixture implementation; see cg.h for what each edge
+// pins. Not compiled -- input for the self-test only.
+
+#include "cg.h"
+
+namespace cgfix {
+
+void
+Registry::note(const char *who)
+{
+    (void)who;
+}
+
+Base::Base(Registry &r)
+{
+    r.note("Base");
+}
+
+int
+Base::work(int v)
+{
+    return v;
+}
+
+int
+DerivedA::work(int v)
+{
+    return free_helper(v);
+}
+
+int
+DerivedB::work(int v)
+{
+    return detail(v) * 2;
+}
+
+int
+DerivedB::detail(int v)
+{
+    return v + 3;
+}
+
+int
+overloaded(int v)
+{
+    return v;
+}
+
+int
+overloaded(double v)
+{
+    return static_cast<int>(v);
+}
+
+int
+free_helper(int v)
+{
+    return overloaded(v) + 1;
+}
+
+int
+Driver::run(int v)
+{
+    if (tap)
+        v = tap(v); // std::function field: unresolved site #1
+    return b_.work(v) + overloaded(v);
+}
+
+int
+Driver::runAll(int n)
+{
+    int acc = 0;
+    for (int i = 0; i < std::min(n, 8); ++i) // unresolved site #2
+        acc += run(i);
+    return acc;
+}
+
+Base &
+make_driver(Registry &r)
+{
+    static Base b(r);
+    return b;
+}
+
+} // namespace cgfix

@@ -1,0 +1,72 @@
+// Call-graph fixture (crev_analyze --self-test): a mini-project whose
+// resolved edges are asserted EXACTLY against
+// CALLGRAPH_EXPECTED_EDGES in tools/crev_analyze/driver.py.
+//
+// It exercises every resolution rule: ctor edges (make_driver ->
+// Base::Base), initializer-list base construction, virtual dispatch
+// over-approximation (Driver::run -> every work()), overload
+// collapsing (both overloaded() definitions are one node), free
+// functions, and the two documented unresolved-site cases (a
+// std::function field call and a std:: library call).
+// Not compiled -- input for the self-test only.
+
+#ifndef CGFIX_CG_H_
+#define CGFIX_CG_H_
+
+#include <functional>
+
+namespace cgfix {
+
+struct Registry
+{
+    void note(const char *who);
+};
+
+class Base
+{
+  public:
+    explicit Base(Registry &r);
+    virtual ~Base() = default;
+    virtual int work(int v);
+};
+
+class DerivedA : public Base
+{
+  public:
+    using Base::Base;
+    int work(int v) override;
+};
+
+class DerivedB : public Base
+{
+  public:
+    using Base::Base;
+    int work(int v) override;
+
+  private:
+    int detail(int v);
+};
+
+int overloaded(int v);
+int overloaded(double v);
+int free_helper(int v);
+
+class Driver
+{
+  public:
+    explicit Driver(Base &b) : b_(b) {}
+
+    int run(int v);
+    int runAll(int n);
+
+    std::function<int(int)> tap;
+
+  private:
+    Base &b_;
+};
+
+Base &make_driver(Registry &r);
+
+} // namespace cgfix
+
+#endif // CGFIX_CG_H_

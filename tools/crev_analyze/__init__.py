@@ -1,0 +1,10 @@
+"""crev_analyze: interprocedural call-graph analysis for the
+Cornucopia Reloaded simulator (DESIGN.md section 16).
+
+Where crev_lint checks lines, crev_analyze checks paths: it builds a
+repo-wide call graph from a token-level C++ front end and runs four
+reachability passes over it (no-yield reachability, lock-evidence
+propagation, uncharged-access reachability, epoch-phase ordering).
+"""
+
+VERSION = "1.0"

@@ -1,0 +1,14 @@
+import os
+import sys
+
+if __package__ in (None, ""):
+    # Executed as `python3 tools/crev_analyze`: make the package
+    # importable by name.
+    sys.path.insert(0, os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    from crev_analyze.driver import main
+else:
+    from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

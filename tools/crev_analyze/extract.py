@@ -1,0 +1,392 @@
+"""Function extraction: scope-tracking recovery of function
+definitions from the token stream.
+
+The extractor walks a file's tokens maintaining a namespace/class
+scope stack, consumes function bodies wholesale, and emits a
+Function record per definition with the fully qualified name and the
+token span of the body. It is deliberately a recogniser, not a
+parser: constructs it cannot classify are skipped token-by-token, so
+an unmodelled corner of C++ degrades coverage, never correctness of
+what *was* extracted (DESIGN.md section 16 lists the caveats).
+"""
+
+from collections import namedtuple
+
+#: qname: fully qualified "a::b::C::f". cls: innermost class the
+#: definition belongs to (None for free functions). body_begin /
+#: body_end: token indices of the '{' and matching '}'.
+#: init_calls: [(name_segments, line)] from the ctor initializer list.
+Function = namedtuple(
+    "Function",
+    ["qname", "name", "cls", "file", "line",
+     "body_begin", "body_end", "init_calls"],
+)
+
+KEYWORDS = frozenset(
+    """alignas alignof asm auto bool break case catch char char8_t
+    char16_t char32_t class concept const consteval constexpr
+    constinit const_cast continue co_await co_return co_yield
+    decltype default delete do double dynamic_cast else enum explicit
+    export extern false final float for friend goto if inline int
+    long mutable namespace new noexcept nullptr operator override
+    private protected public register reinterpret_cast requires
+    return short signed sizeof static static_assert static_cast
+    struct switch template this thread_local throw true try typedef
+    typeid typename union unsigned using virtual void volatile
+    wchar_t while""".split()
+)
+
+#: Tokens that may follow the parameter list of a definition.
+_TRAILER_SIMPLE = frozenset(
+    ("const", "noexcept", "override", "final", "mutable",
+     "volatile", "&", "&&")
+)
+
+
+class _Extractor:
+    def __init__(self, tokens, path):
+        self.toks = tokens
+        self.n = len(tokens)
+        self.path = path
+        self.functions = []
+        self.classes = set()
+        # stack of ("ns"|"class"|"brace", name-or-None)
+        self.scopes = []
+
+    # -- token helpers -------------------------------------------------
+
+    def _skip_balanced(self, j, open_t, close_t):
+        """tokens[j] is open_t; return index one past the match."""
+        depth = 0
+        while j < self.n:
+            t = self.toks[j].text
+            if t == open_t:
+                depth += 1
+            elif t == close_t:
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            j += 1
+        return self.n
+
+    def _skip_angles_loose(self, j):
+        """tokens[j] is '<'; skip a template argument list, counting
+        '>>' as two closers. Used only after `template`, where the
+        angles are guaranteed to be brackets."""
+        depth = 0
+        while j < self.n:
+            t = self.toks[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            j += 1
+        return self.n
+
+    def _try_angles_in_name(self, j):
+        """tokens[j] is '<' inside a name chain. Accept it as template
+        arguments only when the contents look type-ish and it closes
+        quickly; otherwise it is a comparison and we bail."""
+        depth = 0
+        k = j
+        for _ in range(64):
+            if k >= self.n:
+                return None
+            t = self.toks[k]
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return k + 1
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return k + 1
+            elif t.kind in ("id", "num") or t.text in (
+                    ",", "::", "*", "&", "...", "(", ")"):
+                pass
+            else:
+                return None
+            k += 1
+        return None
+
+    def _parse_chain(self, j):
+        """Parse a (possibly qualified) declarator name starting at
+        tokens[j]: `A::B<T>::f`, `~D`, `operator==`. Returns
+        (segments, next_index) or None."""
+        toks = self.toks
+        segs = []
+        while True:
+            tilde = ""
+            if j < self.n and toks[j].text == "~":
+                tilde = "~"
+                j += 1
+            if j >= self.n or toks[j].kind != "id":
+                return None
+            t = toks[j]
+            if t.text == "operator" and not tilde:
+                j += 1
+                if j + 1 < self.n and toks[j].text == "(" \
+                        and toks[j + 1].text == ")":
+                    segs.append("operator()")
+                    j += 2
+                elif j + 1 < self.n and toks[j].text == "[" \
+                        and toks[j + 1].text == "]":
+                    segs.append("operator[]")
+                    j += 2
+                else:
+                    op = ""
+                    while j < self.n and toks[j].kind == "punct" \
+                            and toks[j].text != "(":
+                        op += toks[j].text
+                        j += 1
+                    if not op:
+                        return None  # conversion operators: unmodelled
+                    segs.append("operator" + op)
+            else:
+                if t.text in KEYWORDS:
+                    return None
+                name = tilde + t.text
+                j += 1
+                if j < self.n and toks[j].text == "<" and not tilde:
+                    k = self._try_angles_in_name(j)
+                    # Template args only count as part of the name when
+                    # the chain continues (SimQueue<T>::push).
+                    if k is not None and k < self.n \
+                            and toks[k].text == "::":
+                        j = k
+                segs.append(name)
+            if j < self.n and toks[j].text == "::":
+                j += 1
+                continue
+            return segs, j
+
+    # -- scope-level constructs ----------------------------------------
+
+    def _innermost_class(self):
+        for kind, name in reversed(self.scopes):
+            if kind == "class":
+                return name
+        return None
+
+    def _scope_parts(self):
+        parts = []
+        for kind, name in self.scopes:
+            if kind in ("ns", "class") and name:
+                parts.extend(name.split("::"))
+        return parts
+
+    def _classify_trailer(self, k, segs):
+        """tokens[k] is just past the ')' of a candidate parameter
+        list. Decide definition vs declaration vs something else.
+        Returns ("func", body_open_index, init_calls) or
+        ("skip", resume_index)."""
+        toks = self.toks
+        init_calls = []
+        while k < self.n:
+            tt = toks[k].text
+            if tt in _TRAILER_SIMPLE:
+                k += 1
+                continue
+            if tt == "(":  # noexcept(...), attribute-like macros
+                k = self._skip_balanced(k, "(", ")")
+                continue
+            if tt == "->":  # trailing return type
+                k += 1
+                while k < self.n and (
+                        toks[k].kind in ("id", "num")
+                        or toks[k].text in ("::", "<", ">", "*", "&",
+                                            ",", "[", "]")):
+                    k += 1
+                continue
+            if tt in (";", "=", ","):
+                return ("skip", k + 1)
+            if tt == ":":
+                return self._classify_ctor_init(k + 1, segs, init_calls)
+            if tt == "{":
+                return ("func", k, init_calls)
+            return ("skip", k + 1)
+        return ("skip", self.n)
+
+    def _classify_ctor_init(self, k, segs, init_calls):
+        """Parse `: base(...), member_{...} ... {`. Only plausible
+        constructors qualify; anything else is skipped."""
+        toks = self.toks
+        last = segs[-1]
+        encl = segs[-2].split("<")[0] if len(segs) >= 2 else None
+        if last != encl and last != self._innermost_class():
+            return ("skip", k)
+        while k < self.n:
+            r = self._parse_chain(k)
+            if r is None:
+                return ("skip", k)
+            isegs, k2 = r
+            if k2 >= self.n or toks[k2].text not in ("(", "{"):
+                return ("skip", k)
+            open_t = toks[k2].text
+            close_t = ")" if open_t == "(" else "}"
+            init_calls.append((isegs, toks[k2].line))
+            k = self._skip_balanced(k2, open_t, close_t)
+            if k < self.n and toks[k].text == ",":
+                k += 1
+                continue
+            break
+        if k < self.n and toks[k].text == "{":
+            return ("func", k, init_calls)
+        return ("skip", k)
+
+    def _handle_namespace(self, i):
+        toks = self.toks
+        j = i + 1
+        name_parts = []
+        while j < self.n and toks[j].kind == "id" \
+                and toks[j].text not in KEYWORDS:
+            name_parts.append(toks[j].text)
+            j += 1
+            if j < self.n and toks[j].text == "::":
+                j += 1
+                continue
+            break
+        if j < self.n and toks[j].text == "{":
+            self.scopes.append(("ns", "::".join(name_parts)))
+            return j + 1
+        # namespace alias / using-directive: skip the statement.
+        while j < self.n and toks[j].text != ";":
+            j += 1
+        return j + 1
+
+    def _handle_enum(self, i):
+        j = i + 1
+        while j < self.n and self.toks[j].text not in ("{", ";"):
+            j += 1
+        if j < self.n and self.toks[j].text == "{":
+            j = self._skip_balanced(j, "{", "}")
+        return j
+
+    def _handle_class(self, i):
+        """class/struct/union: record the name, push a class scope if
+        a body follows (skipping any base clause)."""
+        toks = self.toks
+        j = i + 1
+        name = None
+        angle = 0
+        while j < self.n:
+            tt = toks[j].text
+            if tt == "<":
+                angle += 1
+            elif tt == ">":
+                angle -= 1
+            elif tt == ">>":
+                angle -= 2
+            elif angle == 0:
+                if tt == "{":
+                    if name:
+                        self.classes.add(name)
+                        self.scopes.append(("class", name))
+                    else:
+                        self.scopes.append(("brace", None))
+                    return j + 1
+                if tt in (";", "=", ")"):
+                    if name:
+                        self.classes.add(name)
+                    return j  # fwd decl / `class` in a template head
+                if toks[j].kind == "id" and tt not in KEYWORDS \
+                        and name is None:
+                    name = tt
+            j += 1
+        return self.n
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self):
+        toks = self.toks
+        i = 0
+        while i < self.n:
+            t = toks[i]
+            if t.kind == "id":
+                if t.text == "template" and i + 1 < self.n \
+                        and toks[i + 1].text == "<":
+                    i = self._skip_angles_loose(i + 1)
+                    continue
+                if t.text == "namespace":
+                    i = self._handle_namespace(i)
+                    continue
+                if t.text == "enum":
+                    i = self._handle_enum(i)
+                    continue
+                if t.text in ("class", "struct", "union"):
+                    i = self._handle_class(i)
+                    continue
+                if t.text in ("using", "typedef", "friend"):
+                    while i < self.n and toks[i].text != ";":
+                        if toks[i].text == "{":
+                            i = self._skip_balanced(i, "{", "}")
+                            continue
+                        i += 1
+                    i += 1
+                    continue
+                if t.text in ("public", "private", "protected"):
+                    i += 1
+                    if i < self.n and toks[i].text == ":":
+                        i += 1
+                    continue
+            if t.text == "{" or (t.text == "~" or t.kind == "id") \
+                    and t.text not in KEYWORDS:
+                if t.text != "{":
+                    i = self._try_function(i)
+                    continue
+                self.scopes.append(("brace", None))
+                i += 1
+                continue
+            if t.text == "}":
+                if self.scopes:
+                    self.scopes.pop()
+                i += 1
+                continue
+            i += 1
+        return self.functions, self.classes
+
+    def _try_function(self, i):
+        toks = self.toks
+        r = self._parse_chain(i)
+        if r is None:
+            return i + 1
+        segs, j = r
+        if j >= self.n or toks[j].text != "(":
+            return i + 1
+        close = self._skip_balanced(j, "(", ")")
+        kind, at, *rest = self._classify_trailer(close, segs)
+        if kind != "func":
+            return max(at, i + 1)
+        init_calls = rest[0]
+        body_open = at
+        body_close = self._skip_balanced(body_open, "{", "}") - 1
+        parts = self._scope_parts() + [s.split("<")[0] for s in segs]
+        name = parts[-1]
+        if len(segs) >= 2:
+            cls = segs[-2].split("<")[0]
+        else:
+            cls = self._innermost_class()
+        self.functions.append(Function(
+            qname="::".join(parts),
+            name=name,
+            cls=cls,
+            file=self.path,
+            line=toks[i].line,
+            body_begin=body_open,
+            body_end=body_close,
+            init_calls=init_calls,
+        ))
+        return body_close + 1
+
+
+def extract_file(tokens, path):
+    """Return ([Function], {class names}) for one file."""
+    return _Extractor(tokens, path).run()

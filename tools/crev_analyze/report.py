@@ -1,0 +1,46 @@
+"""Byte-deterministic JSON report.
+
+The report is an artifact of the gating CI job, so it must be a pure
+function of the source tree: findings are fully sorted, keys are
+sorted, and nothing host-dependent (timestamps, hostnames, absolute
+paths) appears. tools/check_analyze_schema.py validates the shape.
+"""
+
+import json
+
+from . import VERSION
+from .passes import RULES
+
+
+def finding_key(f):
+    return (f.rule, f.file, f.line, f.function, f.message)
+
+
+def build_report(findings, stats, waivers_used):
+    return {
+        "tool": "crev_analyze",
+        "version": VERSION,
+        "rules": list(RULES),
+        "findings": [
+            {
+                "rule": f.rule,
+                "function": f.function,
+                "file": f.file,
+                "line": f.line,
+                "callpath": list(f.callpath),
+                "message": f.message,
+            }
+            for f in sorted(findings, key=finding_key)
+        ],
+        "waivers_used": sorted(waivers_used),
+        "stats": {k: stats[k] for k in sorted(stats)},
+    }
+
+
+def render_report(report):
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(report, path):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(render_report(report))

@@ -28,33 +28,31 @@ confirm every linted translation unit is actually part of the build:
                         pairs them with PTE-pointer-cache invalidation
                         and TLB shootdown (the PR 3 stale-PTE-cache bug
                         class); a file using them must also invalidate.
-  uncharged-access      uncharged accessors (peekTag, peekCap,
-                        peekByte, peekLineTagNibble, probeQuiet) are
-                        reserved for off-clock observers (auditor, race
-                        checker, tracer, safety oracle) and the vm
-                        layer that owns the cost model; simulation
-                        paths must use the charging APIs.
-  shared-mutation       mutations of cross-thread revocation state
-                        (the MMU generation bit, the PTE map and its
-                        pointer-cache epoch, the unmap->reap hand-off
-                        queue, the shadow-summary words) in
-                        src/revoker and src/vm must sit in a function
-                        that shows its synchronisation discipline: a
-                        SimMutex assertHeld/heldBy, a stop-the-world
-                        window, or a race-checker domain registration
-                        (an on* hook call). Silent mutations are how
-                        the simulated-race detector gets blindsided.
+
+Two former rules — uncharged-access and shared-mutation — are retired:
+their line-level heuristics (a path allowlist; evidence-in-the-same-
+function with a choke-file exemption) are superseded by the
+interprocedural uncharged-reach and lock-evidence passes of
+tools/crev_analyze (DESIGN.md section 16), which prove the same
+invariants over call paths instead of lines.
 
 Exemptions are explicit and greppable: a line (or its predecessor)
 carrying `lint: <rule>-ok` is skipped for that rule, so every waiver
-documents itself at the site.
+documents itself at the site. Waivers are themselves checked: a tag
+whose line no longer violates its rule (or that names an unknown or
+retired rule) is reported as stale — a warning by default, an error
+under --strict-waivers — so dead waivers cannot linger as false
+documentation.
 
 Usage:
   crev_lint.py [--compile-commands build/compile_commands.json]
+               [--strict-waivers]
   crev_lint.py --self-test    # each fixture must fail its rule
 
-Exit status: 0 clean, 1 violations (or a self-test fixture that did
-not fail as required), 2 usage/environment error.
+Exit status: 0 clean, 1 violations (or stale waivers under
+--strict-waivers, or a self-test failure), 2 usage/environment error
+(including an explicitly named compile_commands.json that does not
+exist).
 """
 
 import argparse
@@ -79,8 +77,15 @@ class Violation:
         return "%s:%d: [%s] %s" % (rel, self.line, self.rule, self.text)
 
 
+# stale_waivers() flips this off so it can observe the violations a
+# waiver would otherwise hide.
+_exemptions_enabled = True
+
+
 def exempt(lines, idx, rule):
     """True when line idx (0-based) carries or follows a waiver."""
+    if not _exemptions_enabled:
+        return False
     tag = "lint: %s-ok" % rule
     if tag in lines[idx]:
         return True
@@ -214,146 +219,20 @@ def rule_pte_publish(path, lines):
                 "missing): the PR 3 stale-cache bug class" % m.group(1))
 
 
-UNCHARGED_CALL = re.compile(
-    r"(?:\.|->)\s*(peekTag|peekCap|peekByte|peekLineTagNibble|"
-    r"probeQuiet)\s*\(")
-UNCHARGED_ALLOWED_DIRS = [
-    os.path.join("src", "vm"),
-    os.path.join("src", "check"),
-    os.path.join("src", "trace"),
-]
-UNCHARGED_ALLOWED_FILES = ["auditor.cc", "auditor.h"]
-
-
-def rule_uncharged_access(path, lines):
-    if not in_dir(path, "src"):
-        return
-    if any(in_dir(path, d) for d in UNCHARGED_ALLOWED_DIRS):
-        return
-    if os.path.basename(path) in UNCHARGED_ALLOWED_FILES:
-        return
-    for i, line in enumerate(lines):
-        m = UNCHARGED_CALL.search(line)
-        if m is not None and not exempt(lines, i, "uncharged"):
-            yield Violation(
-                "uncharged-access", path, i + 1,
-                "uncharged accessor %s() on a simulation path: either "
-                "use the charging API or annotate the site with where "
-                "the cycles are charged" % m.group(1))
-
-
-def shared_mutation_re(member):
-    """Mutation of @p member: assignment / compound assignment /
-    increment (optionally through an index chain, so summary words
-    like blocks_[b][w] ^= ... count) or a container-mutating call."""
-    m = re.escape(member)
-    mutators = (r"push_back|pop_back|emplace_back|emplace|insert|"
-                r"erase|clear|resize|assign|swap")
-    return re.compile(
-        r"\b(?:this\s*->\s*)?" + m + r"(?:\[[^]]*\])*\s*"
-        r"(?:(?:[+\-*/%|&^]|<<|>>)?=(?!=)|\+\+|--)"
-        r"|(?:\+\+|--)\s*(?:this\s*->\s*)?" + m + r"\b"
-        r"|\b(?:this\s*->\s*)?" + m + r"\s*\.\s*(?:" + mutators +
-        r")\s*\(")
-
-
-# Cross-thread revocation state with a declared race-checker domain
-# (DESIGN.md section 11): member name, layer it lives in, and what it
-# is. Mutating any of these in a function with no synchronisation
-# evidence means the simulated-race detector cannot see the access.
-SHARED_STATE = [
-    (shared_mutation_re("gen_"), "vm",
-     "the MMU's load-barrier generation bit (domain: gen-flip)"),
-    (shared_mutation_re("pages_"), "vm",
-     "the page-table map (domains: pte-publish/pte-teardown)"),
-    (shared_mutation_re("pt_epoch_"), "vm",
-     "the PTE-pointer-cache epoch (domain: pte-teardown)"),
-    (shared_mutation_re("newly_quarantined_"), "vm",
-     "the unmap->reap hand-off queue (domain: quarantine)"),
-    (shared_mutation_re("blocks_"), "revoker",
-     "the shadow-summary level-0 words (domain: shadow)"),
-    (shared_mutation_re("l1_"), "revoker",
-     "the shadow-summary level-1 bitmap (domain: shadow)"),
-    (shared_mutation_re("block_counts_"), "revoker",
-     "the shadow-summary block counts (domain: shadow)"),
-    (shared_mutation_re("count_"), "revoker",
-     "the shadow-summary population count (domain: shadow)"),
-    (shared_mutation_re("inbox_head"), "alloc",
-     "the remote-dealloc inbox chain head (domain: remote-queue)"),
-    (shared_mutation_re("inbox_head_cap"), "alloc",
-     "the remote-dealloc inbox head capability (domain: "
-     "remote-queue)"),
-    (shared_mutation_re("inbox_count"), "alloc",
-     "the remote-dealloc inbox length (domain: remote-queue)"),
-]
-
-# ShadowSummary owns its words outright: every caller reaches them
-# through Bitmap's paint/clear choke points (which register
-# onShadowWrite/onShadowRmw*) or the auditor's off-clock repair path,
-# so the owning translation unit is exempt rather than waived
-# line-by-line.
-SHARED_STATE_CHOKE_FILES = ("shadow_summary.cc",)
-
-# Synchronisation evidence inside the enclosing function: explicit
-# lock discipline, a stop-the-world window, or a race-checker domain
-# registration (any on<Domain>() hook call).
-SHARED_COVERAGE = re.compile(
-    r"\bassertHeld\s*\(|\bheldBy\s*\(|\bstwOwnedBy\s*\(|"
-    r"\bstopTheWorld\s*\(|(?:\.|->)\s*on[A-Z]\w*\s*\(")
-
-# An out-of-line definition ("AddressSpace::unmap(...)" at column
-# zero, repo style) starts a new function scope; mutations before the
-# first such line are checked against the whole file.
-FUNC_START = re.compile(r"^[A-Za-z_~][\w:<>~]*::~?\w+\s*\(")
-
-
-def rule_shared_mutation(path, lines):
-    if not path.endswith((".cc", ".cpp")):
-        return
-    is_fixture = path.startswith(FIXTURE_DIR + os.sep)
-    in_rev = is_fixture or in_dir(path, os.path.join("src", "revoker"))
-    in_vm = is_fixture or in_dir(path, os.path.join("src", "vm"))
-    in_alloc = is_fixture or in_dir(path, os.path.join("src", "alloc"))
-    if not (in_rev or in_vm or in_alloc):
-        return
-    if os.path.basename(path) in SHARED_STATE_CHOKE_FILES:
-        return
-    func_starts = [i for i, l in enumerate(lines)
-                   if FUNC_START.match(l)]
-    for i, line in enumerate(lines):
-        for pat, layer, what in SHARED_STATE:
-            if layer == "vm" and not in_vm:
-                continue
-            if layer == "revoker" and not in_rev:
-                continue
-            if layer == "alloc" and not in_alloc:
-                continue
-            if pat.search(line) is None:
-                continue
-            if exempt(lines, i, "shared-mutation"):
-                continue
-            begin, end = 0, len(lines)
-            for j, fs in enumerate(func_starts):
-                if fs > i:
-                    break
-                begin = fs
-                end = (func_starts[j + 1]
-                       if j + 1 < len(func_starts) else len(lines))
-            if any(SHARED_COVERAGE.search(l)
-                   for l in lines[begin:end]):
-                continue
-            yield Violation(
-                "shared-mutation", path, i + 1,
-                "mutation of %s in a function with no "
-                "synchronisation evidence (assertHeld/heldBy, "
-                "stopTheWorld/stwOwnedBy, or an on* race-checker "
-                "hook): register the domain or annotate why the "
-                "access is single-writer" % what)
-            break
-
-
 RULES = ("host-nondeterminism", "unordered-iteration", "raw-threading",
-         "pte-publish", "uncharged-access", "shared-mutation")
+         "pte-publish")
+
+# Waiver key -> the rule it suppresses. The retired shared-mutation and
+# uncharged keys are deliberately absent: a surviving tag for them is
+# reported as stale so nothing keeps "documenting" a rule that no
+# longer runs (the invariants moved to tools/crev_analyze).
+WAIVER_TAG = re.compile(r"lint:\s*([a-z][a-z0-9-]*)-ok")
+WAIVER_RULES = {
+    "nondet": "host-nondeterminism",
+    "unordered": "unordered-iteration",
+    "threading": "raw-threading",
+    "pte-publish": "pte-publish",
+}
 
 
 # ---------------------------------------------------------------------
@@ -377,11 +256,15 @@ def strip_comments_keep_annotations(text):
     return out
 
 
-def lint_files(paths):
+def read_files(paths):
     lines_by_path = {}
     for p in paths:
         with open(p, "r", encoding="utf-8") as f:
             lines_by_path[p] = strip_comments_keep_annotations(f.read())
+    return lines_by_path
+
+
+def lint_lines(lines_by_path):
     names = unordered_names(lines_by_path)
     violations = []
     for p, lines in sorted(lines_by_path.items()):
@@ -389,9 +272,45 @@ def lint_files(paths):
         violations += list(rule_unordered_iteration(p, lines, names))
         violations += list(rule_raw_threading(p, lines))
         violations += list(rule_pte_publish(p, lines))
-        violations += list(rule_uncharged_access(p, lines))
-        violations += list(rule_shared_mutation(p, lines))
     return violations
+
+
+def lint_files(paths):
+    return lint_lines(read_files(paths))
+
+
+def stale_waivers(lines_by_path):
+    """Waiver tags that no longer earn their keep. With exemptions
+    disabled, a live `lint: <key>-ok` on line i must see its rule
+    violate on line i or i+1 (the two lines exempt() covers); a tag
+    with no such violation, or naming an unknown/retired rule, is
+    stale."""
+    global _exemptions_enabled
+    _exemptions_enabled = False
+    try:
+        raw = lint_lines(lines_by_path)
+    finally:
+        _exemptions_enabled = True
+    hit = {(v.path, v.rule, v.line) for v in raw}
+    stale = []
+    for p, lines in sorted(lines_by_path.items()):
+        for i, line in enumerate(lines):
+            for m in WAIVER_TAG.finditer(line):
+                key = m.group(1)
+                rule = WAIVER_RULES.get(key)
+                if rule is None:
+                    stale.append(Violation(
+                        "stale-waiver", p, i + 1,
+                        "waiver 'lint: %s-ok' names an unknown or "
+                        "retired rule; delete it" % key))
+                elif ((p, rule, i + 1) not in hit and
+                      (p, rule, i + 2) not in hit):
+                    stale.append(Violation(
+                        "stale-waiver", p, i + 1,
+                        "waiver 'lint: %s-ok' no longer suppresses a "
+                        "%s violation on this or the next line; "
+                        "delete it" % (key, rule)))
+    return stale
 
 
 def tree_files():
@@ -420,7 +339,8 @@ def check_compile_commands(db_path, paths):
 
 def run_self_test():
     """Each fixture must trip exactly its own rule; the waiver fixture
-    must be clean."""
+    must be clean; the stale-waiver fixture must report exactly its
+    dead tags; a missing explicit compilation database must exit 2."""
     ok = True
     for rule in RULES:
         fixture = os.path.join(FIXTURE_DIR, rule + ".cc")
@@ -445,16 +365,48 @@ def run_self_test():
             ok = False
         else:
             print("self-test: %-24s clean as required" % "waivers")
+    sw = os.path.join(FIXTURE_DIR, "stale-waiver.cc")
+    if not os.path.exists(sw):
+        print("self-test: missing fixture stale-waiver.cc")
+        ok = False
+    else:
+        # The fixture holds one live waiver (must NOT be flagged), one
+        # dead waiver, and one tag for a retired rule.
+        stales = stale_waivers(read_files([sw]))
+        kinds = sorted("unknown" if "unknown" in v.text else "dead"
+                       for v in stales)
+        if kinds != ["dead", "unknown"]:
+            print("self-test: stale-waiver fixture reported %s, "
+                  "expected exactly one dead and one unknown tag"
+                  % (kinds or "nothing"))
+            for v in stales:
+                print("  %s" % v)
+            ok = False
+        else:
+            print("self-test: %-24s detected as required"
+                  % "stale-waiver")
+    # An explicitly named but absent compilation database is a usage
+    # error, not a skippable note.
+    rc = main(["--compile-commands",
+               os.path.join(FIXTURE_DIR, "no_such_db.json")])
+    if rc != 2:
+        print("self-test: missing explicit compile_commands.json "
+              "returned %d, expected 2" % rc)
+        ok = False
+    else:
+        print("self-test: %-24s exits 2 as required" % "missing-db")
     return ok
 
 
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--compile-commands",
-                    default=os.path.join(REPO_ROOT, "build",
-                                         "compile_commands.json"),
+    ap.add_argument("--compile-commands", default=None,
                     help="compilation database (build coverage check; "
-                         "skipped with a note if absent)")
+                         "default <repo>/build/compile_commands.json, "
+                         "skipped with a note if the default is "
+                         "absent; an explicit path must exist)")
+    ap.add_argument("--strict-waivers", action="store_true",
+                    help="treat stale waivers as errors (exit 1)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify every rule's fixture fails")
     args = ap.parse_args(argv)
@@ -462,29 +414,47 @@ def main(argv):
     if args.self_test:
         return 0 if run_self_test() else 1
 
+    explicit_db = args.compile_commands is not None
+    db_path = args.compile_commands or os.path.join(
+        REPO_ROOT, "build", "compile_commands.json")
+    if explicit_db and not os.path.exists(db_path):
+        print("crev_lint: error: compilation database %s does not "
+              "exist.\nConfigure the build with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo's CMake "
+              "presets already do) and point --compile-commands at "
+              "<build>/compile_commands.json." % db_path,
+              file=sys.stderr)
+        return 2
+
     paths = tree_files()
     if not paths:
         print("crev_lint: nothing to lint under %s" % REPO_ROOT)
         return 2
 
-    if os.path.exists(args.compile_commands):
-        missing = check_compile_commands(args.compile_commands, paths)
+    if os.path.exists(db_path):
+        missing = check_compile_commands(db_path, paths)
         for p in missing:
             print("crev_lint: warning: %s not in compile_commands.json"
                   % os.path.relpath(p, REPO_ROOT))
     else:
         print("crev_lint: note: %s absent; skipping build-coverage "
-              "check" % os.path.relpath(args.compile_commands, REPO_ROOT))
+              "check" % os.path.relpath(db_path, REPO_ROOT))
 
-    violations = lint_files(paths)
+    lines_by_path = read_files(paths)
+    violations = lint_lines(lines_by_path)
+    stale = stale_waivers(lines_by_path)
     for v in violations:
         print(v)
-    if violations:
-        print("crev_lint: %d violation(s) across %d file(s)"
-              % (len(violations), len({v.path for v in violations})))
+    for s in stale:
+        print("%s%s" % ("" if args.strict_waivers else "warning: ", s))
+    if violations or (stale and args.strict_waivers):
+        print("crev_lint: %d violation(s), %d stale waiver(s)"
+              % (len(violations), len(stale)))
         return 1
-    print("crev_lint: %d files clean (%s)" % (len(paths),
-                                              ", ".join(RULES)))
+    print("crev_lint: %d files clean (%s)%s"
+          % (len(paths), ", ".join(RULES),
+             "; %d stale waiver warning(s)" % len(stale)
+             if stale else ""))
     return 0
 
 

@@ -1,34 +1,23 @@
 // Lint fixture: every violation below carries a waiver annotation and
 // must therefore be CLEAN under `crev_lint.py --self-test`.
 // Not compiled — input for the self-test only.
+#include <chrono>
 #include <mutex>
 
 namespace crev {
-
-struct Mmu
-{
-    bool peekTag(unsigned long long va);
-};
 
 struct Annotated
 {
     // lint: threading-ok (fixture: host-side aggregation example)
     std::mutex host_results_lock_;
 
-    unsigned gen_;
-
-    bool
-    peeks(Mmu &mmu, unsigned long long va)
+    long
+    stamps()
     {
-        // lint: uncharged-ok (fixture: caller charges the line read)
-        return mmu.peekTag(va);
-    }
-
-    void
-    flips()
-    {
-        // lint: shared-mutation-ok (fixture: init, single-threaded)
-        gen_ ^= 1u;
+        // lint: nondet-ok (fixture: host-only log banner example)
+        return std::chrono::steady_clock::now()
+            .time_since_epoch()
+            .count();
     }
 };
 
