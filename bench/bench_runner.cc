@@ -11,8 +11,12 @@
 #include <sched.h>
 #endif
 
+#include "base/host_budget.h"
+#include "base/simd.h"
 #include "core/mutator.h"
 #include "revoker/bitmap.h"
+#include "revoker/memo.h"
+#include "revoker/prescan.h"
 #include "revoker/sweep.h"
 #include "trace/metrics_registry.h"
 #include "workload/spec.h"
@@ -61,10 +65,38 @@ loadMeasuredCosts(const std::string &path)
     return costs;
 }
 
+/** Relative strategy weight from the "<...>/<strategy>" name suffix. */
+double
+strategyWeight(const std::string &name)
+{
+    const std::size_t slash = name.rfind('/');
+    const std::string strategy =
+        slash == std::string::npos ? "" : name.substr(slash + 1);
+    if (strategy == "cheriot-filter")
+        return 3.5;
+    if (strategy == "cherivoke" || strategy == "cornucopia")
+        return 2.5;
+    if (strategy == "reloaded")
+        return 2.0;
+    if (strategy == "paint+sync")
+        return 1.5;
+    return 1.0;
+}
+
+/** The "<workload>/..." prefix of a cell name (empty if flat). */
+std::string
+workloadPrefix(const std::string &name)
+{
+    const std::size_t slash = name.rfind('/');
+    return slash == std::string::npos ? "" : name.substr(0, slash);
+}
+
 /**
  * Static cost estimate for cells with no measured history, from the
  * cell-name convention "<workload>/.../<strategy>". Only the ordering
- * matters, so rough relative weights are enough.
+ * matters, so rough relative weights are enough. This is the last
+ * resort: measured siblings of the same workload are preferred (see
+ * ParallelRunner::run).
  */
 double
 staticCostEstimate(const std::string &name)
@@ -74,18 +106,7 @@ staticCostEstimate(const std::string &name)
         cost = 3.0;
     else if (name.compare(0, 5, "grpc/") == 0)
         cost = 2.0;
-    const std::size_t slash = name.rfind('/');
-    const std::string strategy =
-        slash == std::string::npos ? "" : name.substr(slash + 1);
-    if (strategy == "cheriot-filter")
-        cost *= 3.5;
-    else if (strategy == "cherivoke" || strategy == "cornucopia")
-        cost *= 2.5;
-    else if (strategy == "reloaded")
-        cost *= 2.0;
-    else if (strategy == "paint+sync")
-        cost *= 1.5;
-    return cost;
+    return cost * strategyWeight(name);
 }
 
 } // namespace
@@ -129,15 +150,36 @@ ParallelRunner::run(unsigned threads)
 
     // Longest-expected-first start order. Stable sort with the
     // submission index as tiebreak keeps the order deterministic for
-    // any cost map contents.
+    // any cost map contents. Cost preference: the cell's own newest
+    // measured host_seconds, else a sibling-derived estimate (measured
+    // siblings of the same workload, rescaled by relative strategy
+    // weight), else the static weight table.
     const std::map<std::string, double> measured =
         loadMeasuredCosts(cost_file_);
     std::vector<double> cost(cells_.size());
     for (std::size_t i = 0; i < cells_.size(); ++i) {
-        const auto it = measured.find(cells_[i].name);
-        cost[i] = it != measured.end()
-                      ? it->second
-                      : staticCostEstimate(cells_[i].name);
+        const std::string &name = cells_[i].name;
+        const auto it = measured.find(name);
+        if (it != measured.end()) {
+            cost[i] = it->second;
+            continue;
+        }
+        const std::string prefix = workloadPrefix(name);
+        double unit_sum = 0;
+        std::size_t unit_n = 0;
+        for (const auto &[mn, secs] : measured) {
+            if (workloadPrefix(mn) != prefix)
+                continue;
+            const double w = strategyWeight(mn);
+            if (secs > 0 && w > 0) {
+                unit_sum += secs / w;
+                ++unit_n;
+            }
+        }
+        cost[i] = unit_n != 0
+                      ? (unit_sum / static_cast<double>(unit_n)) *
+                            strategyWeight(name)
+                      : staticCostEstimate(name);
     }
     std::vector<std::size_t> order(cells_.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
@@ -145,6 +187,21 @@ ParallelRunner::run(unsigned threads)
                      [&](std::size_t a, std::size_t b) {
                          return cost[a] > cost[b];
                      });
+
+    // Configure the host core-budget arbiter for the duration of the
+    // run: the pool's workers are pre-charged, and each machine's
+    // *defaulted* lockstep lane count is capped so workers × lanes ×
+    // pre-scan stripes never oversubscribe the cpuset. An explicit
+    // CREV_PAR_CORES still wins inside the cells (operator override).
+    auto &budget = base::HostBudget::instance();
+    const unsigned total = benchThreads();
+    unsigned workers = threads != 0 ? threads : total;
+    if (workers > cells_.size())
+        workers = static_cast<unsigned>(cells_.size());
+    if (workers == 0)
+        workers = 1;
+    budget.configure(total, workers,
+                     std::max(1u, total / workers));
 
     auto by_start = parallelMap(
         cells_.size(),
@@ -161,6 +218,12 @@ ParallelRunner::run(unsigned threads)
             return r;
         },
         threads);
+
+    // Snapshot the arbiter's decisions for the caller, then revert to
+    // the unconfigured state so standalone code that runs after the
+    // pool (single-machine figure harnesses) is not clamped.
+    last_decisions_ = budget.decisions();
+    budget.configure(0, 0, 0);
 
     // Scatter back to submission order — scheduling is invisible in
     // the results.
@@ -189,12 +252,14 @@ sweepRegimeName(SweepRegime r)
 
 SweepRegimeResult
 measureSweepRegime(SweepRegime regime, bool host_fast_paths,
-                   std::size_t pages, std::size_t repeats)
+                   std::size_t pages, std::size_t repeats, bool memo,
+                   bool with_prescan)
 {
     core::MachineConfig cfg;
     cfg.strategy = core::Strategy::kBaseline; // no revoker daemon
     cfg.host_fast_paths = host_fast_paths;
     core::Machine m(cfg);
+    revoker::DecodeMemo decode_memo;
 
     SweepRegimeResult result;
     m.spawnMutator("sweep-harness", 1u << 3, [&](core::Mutator &ctx) {
@@ -234,9 +299,43 @@ measureSweepRegime(SweepRegime regime, bool host_fast_paths,
         revoker::RevocationBitmap bitmap(ctx.machine().mmu());
         revoker::SweepEngine engine(ctx.machine().mmu(), bitmap,
                                     host_fast_paths);
+        if (memo && host_fast_paths)
+            engine.setMemo(&decode_memo);
         sim::SimThread &t = ctx.thread();
         if (revoke_dense)
             bitmap.paint(t, v.base, 64);
+
+        // The shipping fast path always pre-scans its work list
+        // before sweeping (Revoker::prescanPages), and that is where
+        // both optimisation tiers live: scanPage runs the
+        // expand/gather kernels, and the memo's page-fresh test lets
+        // the builder skip re-reading unchanged frames across
+        // repeats (= epochs here). Drive the same shape — build,
+        // sweep, clear — per repeat, inside the timed window.
+        const bool prescan_epochs = with_prescan && host_fast_paths;
+        revoker::PrescanPipeline prescan;
+        std::vector<Addr> page_list;
+        if (prescan_epochs) {
+            page_list.reserve(pages);
+            for (std::size_t p = 0; p < pages; ++p)
+                page_list.push_back(first_page + p * kPageSize);
+        }
+        vm::Mmu &mmu = ctx.machine().mmu();
+        auto epochBegin = [&] {
+            if (!prescan_epochs)
+                return;
+            prescan.build(mmu.addressSpace(), bitmap.painted(),
+                          page_list, nullptr,
+                          memo ? &decode_memo : nullptr,
+                          mmu.frameEpoch());
+            engine.setPrescan(&prescan);
+        };
+        auto epochEnd = [&] {
+            if (!prescan_epochs)
+                return;
+            engine.setPrescan(nullptr);
+            prescan.clear();
+        };
 
         // One untimed warmup pass: faults the sweep's host code and
         // data paths in so the first timed regime isn't cold.
@@ -253,8 +352,10 @@ measureSweepRegime(SweepRegime regime, bool host_fast_paths,
                 armPages();
             const Cycles sim_start = ctx.now();
             const auto host_start = std::chrono::steady_clock::now();
+            epochBegin();
             for (std::size_t p = 0; p < pages; ++p)
                 engine.sweepPage(t, first_page + p * kPageSize);
+            epochEnd();
             host_secs += std::chrono::duration<double>(
                              std::chrono::steady_clock::now() -
                              host_start)
@@ -272,6 +373,25 @@ measureSweepRegime(SweepRegime regime, bool host_fast_paths,
     });
     m.run();
     return result;
+}
+
+KernelsAbResult
+measureKernelsAb(SweepRegime regime, std::size_t pages,
+                 std::size_t repeats)
+{
+    KernelsAbResult r;
+    // Off leg first: forced-scalar kernels, no decode memo — the
+    // portable reference path.
+    simd::forceLevel(simd::Level::kScalar);
+    r.off = measureSweepRegime(regime, /*host_fast_paths=*/true, pages,
+                               repeats, /*memo=*/false,
+                               /*with_prescan=*/true);
+    // On leg: the environment-dispatched kernel level plus the memo.
+    simd::refreshFromEnv();
+    r.on = measureSweepRegime(regime, /*host_fast_paths=*/true, pages,
+                              repeats, /*memo=*/true,
+                              /*with_prescan=*/true);
+    return r;
 }
 
 std::string

@@ -1,0 +1,82 @@
+#include "base/host_budget.h"
+
+namespace crev::base {
+
+HostBudget &
+HostBudget::instance()
+{
+    static HostBudget g;
+    return g;
+}
+
+void
+HostBudget::configure(unsigned total_slots, unsigned base_in_use,
+                      unsigned lane_cap)
+{
+    total_slots_.store(total_slots, std::memory_order_relaxed);
+    base_in_use_.store(base_in_use, std::memory_order_relaxed);
+    in_use_.store(base_in_use, std::memory_order_relaxed);
+    lane_cap_.store(lane_cap, std::memory_order_relaxed);
+}
+
+unsigned
+HostBudget::acquireExtra(unsigned want)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    wanted_.fetch_add(want, std::memory_order_relaxed);
+    const unsigned total =
+        total_slots_.load(std::memory_order_relaxed);
+    if (total == 0) {
+        // Unconfigured: standalone binaries (tests, single-machine
+        // figure runs) keep their historical sizing.
+        granted_.fetch_add(want, std::memory_order_relaxed);
+        return want;
+    }
+    unsigned grant = 0;
+    unsigned used = in_use_.load(std::memory_order_relaxed);
+    for (;;) {
+        const unsigned free = used < total ? total - used : 0;
+        grant = want < free ? want : free;
+        if (grant == 0)
+            break;
+        if (in_use_.compare_exchange_weak(used, used + grant,
+                                          std::memory_order_relaxed))
+            break;
+    }
+    granted_.fetch_add(grant, std::memory_order_relaxed);
+    if (grant < want)
+        clamped_.fetch_add(1, std::memory_order_relaxed);
+    return grant;
+}
+
+void
+HostBudget::releaseExtra(unsigned n)
+{
+    if (n != 0 && total_slots_.load(std::memory_order_relaxed) != 0)
+        in_use_.fetch_sub(n, std::memory_order_relaxed);
+}
+
+HostBudget::Decisions
+HostBudget::decisions() const
+{
+    Decisions d;
+    d.requests = requests_.load(std::memory_order_relaxed);
+    d.wanted = wanted_.load(std::memory_order_relaxed);
+    d.granted = granted_.load(std::memory_order_relaxed);
+    d.clamped = clamped_.load(std::memory_order_relaxed);
+    d.total_slots = total_slots_.load(std::memory_order_relaxed);
+    d.base_in_use = base_in_use_.load(std::memory_order_relaxed);
+    d.lane_cap = lane_cap_.load(std::memory_order_relaxed);
+    return d;
+}
+
+void
+HostBudget::resetDecisions()
+{
+    requests_.store(0, std::memory_order_relaxed);
+    wanted_.store(0, std::memory_order_relaxed);
+    granted_.store(0, std::memory_order_relaxed);
+    clamped_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace crev::base

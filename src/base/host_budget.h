@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Process-wide host core-budget arbiter.
+ *
+ * Three independent host-thread consumers grew up in separate layers:
+ * the bench runner's cell workers (one host thread per running
+ * machine), the lockstep engine's LaneGroup lanes (per machine), and
+ * the pre-scan pipeline's striped fan-out (per epoch). Each sized
+ * itself from hardware_concurrency alone, so a parallel bench run
+ * could oversubscribe the cpuset multiplicatively (workers × lanes ×
+ * stripes) and cross-cell scaling decayed run over run.
+ *
+ * HostBudget is the single ledger: the bench runner configures the
+ * total slot count (its own workers pre-charged) and a per-machine
+ * lane cap, machine construction clamps its *defaulted* lane count to
+ * the cap (an explicit CREV_PAR_CORES remains an operator override),
+ * and transient helpers (the pre-scan's spawned stripe workers)
+ * acquire and release slots around their fan-out. Every decision is counted so
+ * benches can export the arbiter's behaviour through
+ * trace::MetricsRegistry.
+ *
+ * The arbiter only shapes *host* parallelism; simulated results are
+ * independent of every grant by the same stripe-determinism argument
+ * as DESIGN.md §14.4 (outputs are functions of stripe index, never of
+ * thread count).
+ */
+
+#ifndef CREV_BASE_HOST_BUDGET_H_
+#define CREV_BASE_HOST_BUDGET_H_
+
+#include <atomic> // slot ledger; see waivers below
+#include <cstdint>
+
+namespace crev::base {
+
+/** Singleton host-core slot ledger (all methods thread-safe). */
+class HostBudget
+{
+  public:
+    static HostBudget &instance();
+
+    /**
+     * Install a budget: @p total_slots host cores available to this
+     * process, of which @p base_in_use are already committed (the
+     * bench runner's cell workers), and at most @p lane_cap lockstep
+     * lanes per machine whose lane count is defaulted rather than
+     * explicitly configured. total_slots == 0 reverts to the
+     * unconfigured state (no clamping, grants unbounded).
+     */
+    void configure(unsigned total_slots, unsigned base_in_use,
+                   unsigned lane_cap);
+
+    /** Configured total slots (0 = unconfigured). */
+    unsigned totalSlots() const
+    {
+        return total_slots_.load(std::memory_order_relaxed);
+    }
+
+    /** Per-machine defaulted-lane cap (0 = uncapped). */
+    unsigned laneCap() const
+    {
+        return lane_cap_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Request @p want transient helper-thread slots (the caller's own
+     * thread is already accounted for). Returns the granted count,
+     * possibly 0; the caller must releaseExtra() the same amount when
+     * the helpers join. Unconfigured budgets grant everything.
+     */
+    unsigned acquireExtra(unsigned want);
+
+    /** Return @p n slots taken with acquireExtra(). */
+    void releaseExtra(unsigned n);
+
+    /** Decision counters for metrics export. */
+    struct Decisions {
+        std::uint64_t requests = 0;  //!< acquireExtra() calls
+        std::uint64_t wanted = 0;    //!< slots asked for
+        std::uint64_t granted = 0;   //!< slots handed out
+        std::uint64_t clamped = 0;   //!< requests not granted in full
+        unsigned total_slots = 0;    //!< configured capacity
+        unsigned base_in_use = 0;    //!< pre-charged worker slots
+        unsigned lane_cap = 0;       //!< per-machine lane cap
+    };
+    Decisions decisions() const;
+
+    /** Zero the decision counters (budget configuration persists). */
+    void resetDecisions();
+
+  private:
+    HostBudget() = default;
+
+    // The ledger is shared by every host thread in the process.
+    // lint: threading-ok (host slot ledger, no simulated state)
+    std::atomic<unsigned> total_slots_{0};
+    // lint: threading-ok (host slot ledger, no simulated state)
+    std::atomic<unsigned> lane_cap_{0};
+    // lint: threading-ok (host slot ledger, no simulated state)
+    std::atomic<unsigned> base_in_use_{0};
+    // lint: threading-ok (host slot ledger, no simulated state)
+    std::atomic<unsigned> in_use_{0};
+    // lint: threading-ok (host decision counters)
+    std::atomic<std::uint64_t> requests_{0};
+    // lint: threading-ok (host decision counters)
+    std::atomic<std::uint64_t> wanted_{0};
+    // lint: threading-ok (host decision counters)
+    std::atomic<std::uint64_t> granted_{0};
+    // lint: threading-ok (host decision counters)
+    std::atomic<std::uint64_t> clamped_{0};
+};
+
+} // namespace crev::base
+
+#endif // CREV_BASE_HOST_BUDGET_H_

@@ -69,6 +69,16 @@ bool defaultCheck();
 bool defaultSweepAccel();
 
 /**
+ * Default for MachineConfig::memo: true unless the CREV_MEMO
+ * environment variable is set to "0". The cross-epoch decode memo
+ * (DESIGN.md §17.2) is a pure host-side cache layered on the pre-scan
+ * pipeline's bits-validation discipline: reused decodes are validated
+ * against the live capability bits at the virtual instant of use, so
+ * RunMetrics are byte-identical with the memo on or off.
+ */
+bool defaultMemo();
+
+/**
  * Default for MachineConfig::oracle: false unless the CREV_ORACLE
  * environment variable is set to something other than "0". The
  * temporal-safety oracle is an off-clock observer like the race
@@ -135,6 +145,14 @@ struct MachineConfig
      *  pre-scan pipeline. Pure host optimisation, like
      *  host_fast_paths: results are byte-identical either way. */
     bool sweep_accel = defaultSweepAccel();
+
+    /** Cross-epoch decode memoisation (DESIGN.md §17.2): pages whose
+     *  store generation is unchanged since their last swept epoch
+     *  reuse the cached decode/classification, validated against the
+     *  live capability bits exactly like the pre-scan pipeline. Pure
+     *  host optimisation: results are byte-identical either way. Only
+     *  effective when host_fast_paths is also on. */
+    bool memo = defaultMemo();
 
     /** Lockstep virtual-time engine (DESIGN.md §14): host lanes for
      *  intra-cell simulation. 0 = serial token engine (the reference);

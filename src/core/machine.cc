@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread> // hardware_concurrency probe for the lane default
 
+#include "base/host_budget.h"
 #include "base/logging.h"
 #include "core/mutator.h"
 #include "revoker/cheriot_filter.h"
@@ -65,6 +66,13 @@ defaultSweepAccel()
 }
 
 bool
+defaultMemo()
+{
+    const char *env = std::getenv("CREV_MEMO");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+bool
 defaultOracle()
 {
     const char *env = std::getenv("CREV_ORACLE");
@@ -77,6 +85,8 @@ defaultParCores()
     if (const char *env = std::getenv("CREV_PAR_CORES")) {
         char *end = nullptr;
         const unsigned long v = std::strtoul(env, &end, 10);
+        // An explicit operator setting always wins — the host budget
+        // arbiter only clamps the probed default below.
         if (end != env && *end == '\0' && v <= 64)
             return static_cast<unsigned>(v);
         warn("ignoring malformed CREV_PAR_CORES=%s", env);
@@ -85,7 +95,15 @@ defaultParCores()
     unsigned hw = std::thread::hardware_concurrency();
     if (hw == 0)
         hw = 1;
-    return std::min(hw, 8u);
+    unsigned lanes = std::min(hw, 8u);
+    // Under a parallel bench run the arbiter hands each cell a lane
+    // budget so workers × lanes never oversubscribe the cpuset
+    // (base/host_budget.h); a standalone process has no budget
+    // configured and keeps the probed default.
+    const unsigned cap = base::HostBudget::instance().laneCap();
+    if (cap != 0)
+        lanes = std::min(lanes, cap);
+    return lanes;
 }
 
 unsigned
@@ -197,6 +215,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     opts.audit = cfg.audit;
     opts.host_fast_paths = cfg.host_fast_paths;
     opts.sweep_accel = cfg.sweep_accel;
+    opts.memo = cfg.memo;
     opts.injector = injector_.get();
     opts.tracer = tracer_.get();
 
@@ -402,6 +421,7 @@ Machine::metrics() const
         m.epochs = revoker_->timings();
         m.sweep = revoker_->sweepStats();
         m.prescan = revoker_->prescanStats();
+        m.memo = revoker_->memoStats();
     }
     m.quarantine = shim_->stats();
     m.allocator = snm_->stats();

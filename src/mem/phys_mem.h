@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "base/simd.h"
 #include "base/types.h"
 #include "cap/compression.h"
 
@@ -61,26 +62,20 @@ class TagWords
         w_[g >> 6] &= ~(std::uint64_t{1} << (g & 63));
     }
 
-    bool
-    any() const
-    {
-        for (std::uint64_t w : w_)
-            if (w != 0)
-                return true;
-        return false;
-    }
+    bool any() const { return simd::anySet(w_.data(), kWords); }
 
     std::size_t
     count() const
     {
-        std::size_t n = 0;
-        for (std::uint64_t w : w_)
-            n += static_cast<std::size_t>(std::popcount(w));
-        return n;
+        return static_cast<std::size_t>(
+            simd::popcountWords(w_.data(), kWords));
     }
 
     /** Raw word @p k (64 granule bits), for ctz-driven scans. */
     std::uint64_t word(std::size_t k) const { return w_[k]; }
+
+    /** All packed words, for the batch kernels (base/simd.h). */
+    const std::uint64_t *words() const { return w_.data(); }
 
     /** The 4 tag bits of intra-page cache line @p line. */
     unsigned

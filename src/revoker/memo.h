@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cross-epoch decode memoisation for the sweep (DESIGN.md §17.2).
+ *
+ * The pre-scan pipeline (PR 5) hides decode cost *within* one epoch:
+ * candidates are snapshot-decoded ahead of the sweep cursor and
+ * reused only when the live raw bits still match. This cache extends
+ * the same discipline *across* epochs: every swept page leaves behind
+ * its observed (granule, CapBits, base) triples, and later sweeps of
+ * the page reuse a triple whenever the live bits equal the recorded
+ * bits.
+ *
+ * Validity argument (two independent layers):
+ *
+ *  1. Correctness never depends on freshness. cap::decode is a pure
+ *     function of the 128 raw bits, so a cached (bits → cap) pair is
+ *     valid against *any* future read of equal bits; the sweep
+ *     compares the live bits at the virtual instant of use, exactly
+ *     as it does for pre-scan snapshots, and decodes live on any
+ *     mismatch. Charges (t.accrue per decode, per-line reads) are
+ *     produced by the real sweep either way, so simulated results are
+ *     bit-identical with the memo on or off.
+ *
+ *  2. Freshness is a host-cost heuristic. An entry is *page-fresh*
+ *     when its (pfn, store-generation, frame-epoch) triple still
+ *     matches: no capability store, publish, or shootdown has touched
+ *     the page and no frame has been recycled since the entry was
+ *     recorded (stamps ride the existing Mmu::storeCap /
+ *     SweepEngine::publishPage / Mmu::purgeFreedFrames choke points).
+ *     Page-fresh entries let the pre-scan builder skip re-reading the
+ *     frame entirely; stale entries are still consulted per granule
+ *     under layer 1, they just stop short-circuiting the page scan.
+ */
+
+#ifndef CREV_REVOKER_MEMO_H_
+#define CREV_REVOKER_MEMO_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.h"
+#include "revoker/prescan.h"
+
+namespace crev::revoker {
+
+/** Host-side memo counters (never part of simulated results). */
+struct MemoStats {
+    std::uint64_t page_hits = 0;    //!< page-fresh scans reused whole
+    std::uint64_t cand_hits = 0;    //!< bits-validated decode reuses
+    std::uint64_t cand_misses = 0;  //!< live decodes despite an entry
+    std::uint64_t stale_pages = 0;  //!< entries found page-stale
+    std::uint64_t refreshes = 0;    //!< entries (re)recorded
+    std::uint64_t restamps = 0;     //!< publish-time freshness stamps
+};
+
+/** Per-page cache of decoded sweep candidates, valid across epochs. */
+class DecodeMemo
+{
+  public:
+    struct Entry {
+        Addr pfn = 0;
+        std::uint64_t store_gen = 0;
+        std::uint64_t frame_epoch = 0;
+        PrescanPipeline::PageScan scan;
+    };
+
+    /** The entry for @p page_va, or null. */
+    Entry *find(Addr page_va)
+    {
+        const auto it = entries_.find(page_va);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+    const Entry *find(Addr page_va) const
+    {
+        const auto it = entries_.find(page_va);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Page-freshness: same frame, no store/publish/shootdown, no
+     *  frame recycling since the entry was stamped. */
+    static bool fresh(const Entry &e, Addr pfn, std::uint64_t gen,
+                      std::uint64_t frame_epoch)
+    {
+        return e.pfn == pfn && e.store_gen == gen &&
+               e.frame_epoch == frame_epoch;
+    }
+
+    /** Record (or replace) the entry for @p scan's page. */
+    void record(Addr pfn, std::uint64_t gen, std::uint64_t frame_epoch,
+                PrescanPipeline::PageScan scan)
+    {
+        Entry &e = entries_[scan.page_va];
+        e.pfn = pfn;
+        e.store_gen = gen;
+        e.frame_epoch = frame_epoch;
+        e.scan = std::move(scan);
+        ++stats_.refreshes;
+    }
+
+    /**
+     * Stamp (or create) the entry for @p page_va and hand back its
+     * scan storage for in-place (re)filling — the zero-copy twin of
+     * record() used by the pre-scan builder: the scanner writes
+     * straight into the entry, keeping the candidate vector's
+     * capacity across epochs, and the pipeline serves a pointer to
+     * it. References stay valid across later prepare()/record()
+     * calls (the map is node-based); only invalidate()/clear() on
+     * this page drop them. The stamps are taken before the fill, but
+     * the builder holds the execution token throughout, so the page
+     * is quiescent between stamp and fill.
+     */
+    Entry &prepare(Addr page_va, Addr pfn, std::uint64_t gen,
+                   std::uint64_t frame_epoch)
+    {
+        Entry &e = entries_[page_va];
+        e.pfn = pfn;
+        e.store_gen = gen;
+        e.frame_epoch = frame_epoch;
+        e.scan.page_va = page_va;
+        e.scan.cands.clear();
+        ++stats_.refreshes;
+        return e;
+    }
+
+    /**
+     * Publish-time restamp: the page was swept at this virtual instant
+     * and its PTE just republished (bumping the store generation), so
+     * the entry recorded by that sweep is fresh *as of the bumped
+     * generation*. No-op without a matching-frame entry.
+     */
+    void restamp(Addr page_va, Addr pfn, std::uint64_t gen,
+                 std::uint64_t frame_epoch)
+    {
+        Entry *e = find(page_va);
+        if (e == nullptr || e->pfn != pfn)
+            return;
+        e->store_gen = gen;
+        e->frame_epoch = frame_epoch;
+        ++stats_.restamps;
+    }
+
+    void invalidate(Addr page_va) { entries_.erase(page_va); }
+    void clear() { entries_.clear(); }
+    std::size_t size() const { return entries_.size(); }
+
+    MemoStats &stats() { return stats_; }
+    const MemoStats &stats() const { return stats_; }
+
+  private:
+    /** Keyed by page VA; looked up, never iterated. */
+    std::unordered_map<Addr, Entry> entries_;
+    MemoStats stats_;
+};
+
+} // namespace crev::revoker
+
+#endif // CREV_REVOKER_MEMO_H_

@@ -1,11 +1,13 @@
 #include "revoker/prescan.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstring>
 #include <thread> // host pre-scan workers; see safety note below
 
+#include "base/host_budget.h"
 #include "base/logging.h"
+#include "base/simd.h"
+#include "revoker/memo.h"
 #include "sim/lockstep.h"
 
 namespace crev::revoker {
@@ -19,23 +21,25 @@ scanPage(const mem::Frame &f, const ShadowSummary &painted, Addr va,
 {
     out.page_va = va;
     out.tags = f.tagWords();
-    for (std::size_t k = 0; k < mem::TagWords::kWords; ++k) {
-        std::uint64_t w = out.tags.word(k);
-        while (w != 0) {
-            const unsigned bit =
-                static_cast<unsigned>(std::countr_zero(w));
-            w &= w - 1;
-            const std::size_t g = k * 64 + bit;
-            PrescanPipeline::Candidate c;
-            c.granule = static_cast<std::uint16_t>(g);
-            const std::uint8_t *p =
-                f.bytes.data() + g * kGranuleSize;
-            std::memcpy(&c.bits.lo, p, 8);
-            std::memcpy(&c.bits.hi, p + 8, 8);
-            c.cap = cap::decode(c.bits, true);
-            c.painted_hint = painted.anyInBlockOf(c.cap.base);
-            out.cands.push_back(c);
-        }
+
+    // Batch kernels (base/simd.h): expand the snapshot's set tag bits
+    // into candidate granule indices in one masked pass, then gather
+    // every candidate's 16 raw capability bytes; only the decode and
+    // the painted classification remain per-candidate.
+    std::uint32_t idx[kGranulesPerPage];
+    const std::size_t n = simd::expandSetBits(
+        out.tags.words(), mem::TagWords::kWords, 0, idx);
+    std::uint64_t raw[2 * kGranulesPerPage];
+    simd::gatherGranules(f.bytes.data(), idx, n, raw);
+
+    out.cands.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        PrescanPipeline::Candidate &c = out.cands[k];
+        c.granule = static_cast<std::uint16_t>(idx[k]);
+        c.bits.lo = raw[2 * k];
+        c.bits.hi = raw[2 * k + 1];
+        c.base = cap::decode(c.bits, true).base;
+        c.painted_hint = painted.anyInBlockOf(c.base);
     }
 }
 
@@ -45,7 +49,8 @@ void
 PrescanPipeline::build(vm::AddressSpace &as,
                        const ShadowSummary &painted,
                        const std::vector<Addr> &pages,
-                       sim::LaneGroup *lanes)
+                       sim::LaneGroup *lanes, DecodeMemo *memo,
+                       std::uint64_t frame_epoch)
 {
     pages_.clear();
 
@@ -64,6 +69,45 @@ PrescanPipeline::build(vm::AddressSpace &as,
     pages_.resize(work.size());
     const mem::PhysMem &pm = as.physMem();
 
+    // Cross-epoch tier: page-fresh memo entries are served by pointer
+    // (no frame reads, no copies); the rest get a memo entry prepared
+    // in place and the workers below scan straight into it, reusing
+    // the candidate vector's capacity from the last epoch. Without a
+    // memo the scans land in own_. The store generations are
+    // quiescent here for the same token-holding reason the frames
+    // are, so the freshness test and the prepare() stamps observe one
+    // consistent instant.
+    std::vector<char> reused(work.size(), 0);
+    std::vector<PageScan *> slots(work.size(), nullptr);
+    if (memo != nullptr) {
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            const DecodeMemo::Entry *e = memo->find(work[i].first);
+            if (e != nullptr &&
+                DecodeMemo::fresh(*e, work[i].second,
+                                  as.storeGen(work[i].first),
+                                  frame_epoch)) {
+                pages_[i] = {work[i].first, &e->scan};
+                reused[i] = 1;
+                ++memo->stats().page_hits;
+            }
+        }
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            if (reused[i] != 0)
+                continue;
+            DecodeMemo::Entry &e = memo->prepare(
+                work[i].first, work[i].second,
+                as.storeGen(work[i].first), frame_epoch);
+            slots[i] = &e.scan;
+            pages_[i] = {work[i].first, &e.scan};
+        }
+    } else {
+        own_.resize(work.size());
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            slots[i] = &own_[i];
+            pages_[i] = {work[i].first, &own_[i]};
+        }
+    }
+
     // Striped partitioning: worker w owns entries w, w+W, ... Each
     // slot is written by exactly one worker and the output position is
     // fixed by the sorted work list, so the result is independent of
@@ -75,33 +119,48 @@ PrescanPipeline::build(vm::AddressSpace &as,
     // the workers read them, and every worker joins before return.
     // lint: threading-ok (read-only fan-out, joined before return)
     const std::size_t hw = std::thread::hardware_concurrency();
-    const std::size_t nworkers =
-        std::min<std::size_t>({work.size() / 16, hw == 0 ? 1 : hw, 4});
+    const std::size_t want = std::min<std::size_t>(
+        {work.size() / 16, hw == 0 ? 1 : hw, 4});
     auto run = [&](std::size_t w, std::size_t stride) {
         for (std::size_t i = w; i < work.size(); i += stride)
-            scanPage(pm.frameUncached(work[i].second), painted,
-                     work[i].first, pages_[i]);
+            if (reused[i] == 0)
+                scanPage(pm.frameUncached(work[i].second), painted,
+                         work[i].first, *slots[i]);
     };
     if (lanes != nullptr) {
         // Lockstep engine: reuse the persistent lane pool instead of
         // spawning threads per epoch. Stripe partitioning is the same
         // as below, so the output is identical.
         lanes->runStripes(lanes->lanes(), run);
-    } else if (nworkers <= 1) {
+    } else if (want <= 1) {
         run(0, 1);
     } else {
-        // lint: threading-ok (host pre-scan fan-out; joined below)
-        std::vector<std::thread> workers;
-        workers.reserve(nworkers);
-        for (std::size_t w = 0; w < nworkers; ++w)
-            workers.emplace_back(run, w, nworkers);
-        for (auto &t : workers)
-            t.join();
+        // Transient helper threads draw on the process-wide host-core
+        // budget (base/host_budget.h) so stripes never oversubscribe
+        // the cpuset under a parallel bench run; the caller's own
+        // thread is stripe 0 and needs no slot.
+        auto &budget = base::HostBudget::instance();
+        const unsigned extra = budget.acquireExtra(
+            static_cast<unsigned>(want) - 1);
+        const std::size_t nworkers = std::size_t{extra} + 1;
+        if (nworkers <= 1) {
+            run(0, 1);
+        } else {
+            // lint: threading-ok (host pre-scan fan-out; joined below)
+            std::vector<std::thread> workers;
+            workers.reserve(nworkers - 1);
+            for (std::size_t w = 1; w < nworkers; ++w)
+                workers.emplace_back(run, w, nworkers);
+            run(0, nworkers);
+            for (auto &t : workers)
+                t.join();
+        }
+        budget.releaseExtra(extra);
     }
 
     stats_.pages_prescanned += pages_.size();
-    for (const PageScan &s : pages_)
-        stats_.candidate_caps += s.cands.size();
+    for (std::size_t i = 0; i < pages_.size(); ++i)
+        stats_.candidate_caps += pages_[i].second->cands.size();
 }
 
 const PrescanPipeline::PageScan *
@@ -109,15 +168,20 @@ PrescanPipeline::find(Addr page_va) const
 {
     auto it = std::lower_bound(
         pages_.begin(), pages_.end(), page_va,
-        [](const PageScan &s, Addr va) { return s.page_va < va; });
-    if (it == pages_.end() || it->page_va != page_va)
+        [](const std::pair<Addr, const PageScan *> &s, Addr va) {
+            return s.first < va;
+        });
+    if (it == pages_.end() || it->first != page_va)
         return nullptr;
-    return &*it;
+    return it->second;
 }
 
 void
 PrescanPipeline::clear()
 {
+    // own_ keeps its storage: the next build without a memo reuses
+    // the PageScan (and candidate-vector) capacity instead of
+    // reallocating per epoch.
     pages_.clear();
 }
 

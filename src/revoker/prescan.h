@@ -26,6 +26,7 @@
 #define CREV_REVOKER_PRESCAN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "base/types.h"
@@ -40,6 +41,8 @@ class LaneGroup;
 
 namespace crev::revoker {
 
+class DecodeMemo;
+
 /** Host-side pipeline counters (never part of simulated results). */
 struct PrescanStats
 {
@@ -53,14 +56,20 @@ struct PrescanStats
 class PrescanPipeline
 {
   public:
-    /** One pre-decoded tagged granule of a scanned page. */
+    /** One pre-decoded tagged granule of a scanned page.
+     *
+     * Deliberately 32 bytes: the sweep's validated-hit path streams
+     * these, and it only ever consumes the raw bits (to validate) and
+     * the decoded base (to probe) — carrying the full ~40-byte
+     * Capability doubled the candidate traffic for fields nobody
+     * read, which showed up as a cache-blowout on full pages. */
     struct Candidate
     {
         std::uint16_t granule = 0; //!< intra-page granule index
-        cap::CapBits bits;         //!< raw bits at snapshot time
-        cap::Capability cap;       //!< pre-decoded value
         /** Level-1 summary said the base's region had painted bits. */
         bool painted_hint = false;
+        cap::CapBits bits; //!< raw bits at snapshot time
+        Addr base = 0;     //!< pre-decoded bounds base
     };
 
     /** Snapshot of one page, candidates in ascending granule order. */
@@ -79,10 +88,22 @@ class PrescanPipeline
      * is non-null the stripes run on the lockstep engine's persistent
      * lane pool instead of freshly spawned threads (same stripe
      * partitioning, so identical output either way).
+     *
+     * When @p memo is non-null, pages whose memo entry is page-fresh
+     * (DecodeMemo::fresh against @p frame_epoch) reuse the cached scan
+     * without touching the frame, and the remaining pages are scanned
+     * straight into memo-owned entries — the cross-epoch tier of
+     * DESIGN.md §17.2. Either way the pipeline only stores pointers
+     * into the memo (stable: its map is node-based and the sweep never
+     * invalidates a prescanned page's entry), so no PageScan is copied
+     * per epoch. The sweep's bits-validation makes reuse safe
+     * regardless of freshness.
      */
     void build(vm::AddressSpace &as, const ShadowSummary &painted,
                const std::vector<Addr> &pages,
-               sim::LaneGroup *lanes = nullptr);
+               sim::LaneGroup *lanes = nullptr,
+               DecodeMemo *memo = nullptr,
+               std::uint64_t frame_epoch = 0);
 
     /** The scan for @p page_va, or nullptr (binary search). */
     const PageScan *find(Addr page_va) const;
@@ -94,7 +115,9 @@ class PrescanPipeline
     const PrescanStats &stats() const { return stats_; }
 
   private:
-    std::vector<PageScan> pages_; //!< ascending page_va
+    /** Ascending page_va; scans live in @ref own_ or in the memo. */
+    std::vector<std::pair<Addr, const PageScan *>> pages_;
+    std::vector<PageScan> own_; //!< scan storage when no memo is set
     PrescanStats stats_;
 };
 

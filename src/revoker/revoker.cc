@@ -14,6 +14,8 @@ Revoker::Revoker(sim::Scheduler &sched, vm::Mmu &mmu,
     : sched_(sched), mmu_(mmu), kernel_(kernel), bitmap_(bitmap),
       opts_(opts), sweep_(mmu, bitmap, opts.host_fast_paths)
 {
+    if (opts_.memo && opts_.host_fast_paths)
+        sweep_.setMemo(&memo_);
 }
 
 void
@@ -134,7 +136,7 @@ Revoker::prescanPages(const std::vector<Addr> &pages)
         lanes = sched_.lanes();
     }
     prescan_.build(mmu_.addressSpace(), bitmap_.painted(), pages,
-                   lanes);
+                   lanes, sweep_.memo(), mmu_.frameEpoch());
     sweep_.setPrescan(&prescan_);
 }
 

@@ -91,6 +91,9 @@ struct RevokerOptions
     /** Hierarchical sweep acceleration (MachineConfig::sweep_accel):
      *  index-driven page selection + speculative pre-scan. */
     bool sweep_accel = true;
+    /** Cross-epoch decode memoisation (MachineConfig::memo); only
+     *  effective together with host_fast_paths. */
+    bool memo = true;
     /** Fault injector for chaos campaigns (null: no injection). */
     sim::FaultInjector *injector = nullptr;
     /** Event tracer (null: tracing off; zero simulated cost). */
@@ -135,6 +138,9 @@ class Revoker
     {
         return prescan_.stats();
     }
+
+    /** Host-side cross-epoch decode-memo counters. */
+    const MemoStats &memoStats() const { return memo_.stats(); }
 
     std::uint64_t epochsCompleted() const { return epochs_; }
 
@@ -312,6 +318,7 @@ class Revoker
     RevokerOptions opts_;
     SweepEngine sweep_;
     PrescanPipeline prescan_;
+    DecodeMemo memo_;
     std::vector<EpochTiming> timings_;
 
   private:

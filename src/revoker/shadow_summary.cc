@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "base/logging.h"
+#include "base/simd.h"
 
 namespace crev::revoker {
 
@@ -25,39 +26,72 @@ ShadowSummary::setGranules(Addr g_from, Addr g_to, bool value)
     while (i < end) {
         const std::size_t b =
             static_cast<std::size_t>(i / kGranulesPerBlock);
+        const Addr block_end = std::min<Addr>(
+            end, static_cast<Addr>(b + 1) * kGranulesPerBlock);
         std::vector<std::uint64_t> &blk = blocks_[b];
         if (blk.empty()) {
             if (!value) {
                 // Clearing an untouched block: nothing to do.
-                i = std::min<Addr>(
-                    end, static_cast<Addr>(b + 1) * kGranulesPerBlock);
+                i = block_end;
                 continue;
             }
             blk.assign(kWordsPerBlock, 0);
         }
-        const Addr word_base = i & ~Addr{63};
-        const Addr word_end = std::min<Addr>(end, word_base + 64);
-        std::uint64_t mask = ~std::uint64_t{0}
-                             << static_cast<unsigned>(i - word_base);
-        if (word_end - word_base < 64)
-            mask &= (std::uint64_t{1}
-                     << static_cast<unsigned>(word_end - word_base)) -
+
+        // Per-block population delta: the partial edge words keep the
+        // masked RMW, the interior full words go through the batch
+        // popcount/fill kernels (base/simd.h) — the span-paint fast
+        // path for large quarantine paints and clears.
+        std::int64_t delta = 0;
+        auto rmw = [&](Addr from, Addr to) {
+            const Addr word_base = from & ~Addr{63};
+            std::uint64_t mask =
+                ~std::uint64_t{0}
+                << static_cast<unsigned>(from - word_base);
+            if (to - word_base < 64)
+                mask &=
+                    (std::uint64_t{1}
+                     << static_cast<unsigned>(to - word_base)) -
                     1;
-        std::uint64_t &w = blk[(i / 64) % kWordsPerBlock];
-        const std::uint64_t old = w;
-        w = value ? (old | mask) : (old & ~mask);
-        if (w != old) {
-            const int delta = std::popcount(w) - std::popcount(old);
+            std::uint64_t &w = blk[(from / 64) % kWordsPerBlock];
+            const std::uint64_t old = w;
+            w = value ? (old | mask) : (old & ~mask);
+            delta += std::popcount(w) - std::popcount(old);
+        };
+
+        if ((i & 63) != 0) {
+            const Addr word_end =
+                std::min<Addr>(block_end, (i & ~Addr{63}) + 64);
+            rmw(i, word_end);
+            i = word_end;
+        }
+        const std::size_t nfull =
+            static_cast<std::size_t>((block_end - i) / 64);
+        if (nfull != 0) {
+            std::uint64_t *w0 = &blk[(i / 64) % kWordsPerBlock];
+            const std::uint64_t pop = simd::popcountWords(w0, nfull);
+            delta += value ? static_cast<std::int64_t>(64 * nfull) -
+                                 static_cast<std::int64_t>(pop)
+                           : -static_cast<std::int64_t>(pop);
+            simd::fillWords(w0, nfull,
+                            value ? ~std::uint64_t{0} : 0);
+            i += static_cast<Addr>(nfull) * 64;
+        }
+        if (i < block_end) {
+            rmw(i, block_end);
+            i = block_end;
+        }
+
+        if (delta != 0) {
             count_ = static_cast<std::uint64_t>(
                 static_cast<std::int64_t>(count_) + delta);
             block_counts_[b] = static_cast<std::uint32_t>(
                 static_cast<std::int64_t>(block_counts_[b]) + delta);
-            if (block_counts_[b] != 0)
-                l1_[b >> 6] |= std::uint64_t{1} << (b & 63);
-            else
-                l1_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
         }
-        i = word_end;
+        if (block_counts_[b] != 0)
+            l1_[b >> 6] |= std::uint64_t{1} << (b & 63);
+        else
+            l1_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
     }
 }
 
@@ -76,9 +110,8 @@ ShadowSummary::checkConsistent() const
     std::vector<std::string> out;
     std::uint64_t total = 0;
     for (std::size_t b = 0; b < kBlocks; ++b) {
-        std::uint64_t cnt = 0;
-        for (std::uint64_t w : blocks_[b])
-            cnt += static_cast<std::uint64_t>(std::popcount(w));
+        const std::uint64_t cnt = simd::popcountWords(
+            blocks_[b].data(), blocks_[b].size());
         total += cnt;
         if (cnt != block_counts_[b]) {
             char buf[96];
@@ -157,9 +190,8 @@ ShadowSummary::inconsistentBlocks() const
 {
     std::vector<std::size_t> out;
     for (std::size_t b = 0; b < kBlocks; ++b) {
-        std::uint64_t cnt = 0;
-        for (std::uint64_t w : blocks_[b])
-            cnt += static_cast<std::uint64_t>(std::popcount(w));
+        const std::uint64_t cnt = simd::popcountWords(
+            blocks_[b].data(), blocks_[b].size());
         const bool l1 = ((l1_[b >> 6] >> (b & 63)) & 1) != 0;
         if (cnt != block_counts_[b] || l1 != (cnt != 0))
             out.push_back(b);
@@ -177,7 +209,6 @@ ShadowSummary::rebuildBlock(std::size_t b,
         blk.assign(kWordsPerBlock, 0);
     const Addr base = kGranuleFloor +
                       static_cast<Addr>(b) * kGranulesPerBlock;
-    std::uint64_t pop = 0;
     for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
         std::uint64_t word = 0;
         for (unsigned bit = 0; bit < 64; ++bit) {
@@ -185,8 +216,9 @@ ShadowSummary::rebuildBlock(std::size_t b,
                 word |= std::uint64_t{1} << bit;
         }
         blk[w] = word;
-        pop += static_cast<std::uint64_t>(std::popcount(word));
     }
+    const std::uint64_t pop =
+        simd::popcountWords(blk.data(), kWordsPerBlock);
     count_ = count_ - block_counts_[b] + pop;
     block_counts_[b] = static_cast<std::uint32_t>(pop);
     if (pop != 0)

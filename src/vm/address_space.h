@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
@@ -168,6 +169,7 @@ class AddressSpace
     {
         cap_ever_pages_.insert(page_va);
         cap_dirty_pages_.insert(page_va);
+        bumpStoreGen(page_va);
     }
     /**
      * Index hook for the publishPage choke point: cap_dirty was just
@@ -178,7 +180,23 @@ class AddressSpace
         cap_dirty_pages_.erase(page_va);
         if (ever_cleared)
             cap_ever_pages_.erase(page_va);
+        bumpStoreGen(page_va);
     }
+
+    /**
+     * Host-side per-page store-generation counter (the decode memo's
+     * freshness heuristic, DESIGN.md §17.2). Bumped at the capability
+     * store and publish choke points above and at TLB shootdown; pages
+     * whose counter is unchanged since their memo entry was recorded
+     * may skip re-scanning. Never consulted for correctness: memoised
+     * decodes are validated against live CapBits at use.
+     */
+    std::uint64_t storeGen(Addr page_va) const
+    {
+        const auto it = store_gen_.find(page_va);
+        return it == store_gen_.end() ? 0 : it->second;
+    }
+    void bumpStoreGen(Addr page_va) { ++store_gen_[page_va]; }
 
     /** The pmap lock serialising PTE updates during revocation. */
     sim::SimMutex &pmapLock() { return pmap_lock_; }
@@ -241,6 +259,8 @@ class AddressSpace
     std::set<Addr> cap_dirty_pages_; //!< superset: cap_dirty pages
     std::vector<Reservation *> newly_quarantined_;
     std::vector<Addr> freed_frames_;
+    /** Per-page store generations (looked up, never iterated). */
+    std::unordered_map<Addr, std::uint64_t> store_gen_;
     bool fast_index_ = false;
     std::vector<Pte *> heap_pte_;   //!< heap-window mirror of pages_
     std::vector<Pte *> shadow_pte_; //!< shadow-window mirror

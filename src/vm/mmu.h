@@ -225,6 +225,14 @@ class Mmu
     /** Drop freed frames from all caches (frame reuse hygiene). */
     void purgeFreedFrames();
 
+    /**
+     * Monotone counter bumped whenever purgeFreedFrames() retires
+     * frames: a (page, pfn) pairing observed before the bump may have
+     * been recycled, so memoised decode state keyed on it is stale
+     * (host-side freshness only; see AddressSpace::storeGen).
+     */
+    std::uint64_t frameEpoch() const { return frame_epoch_; }
+
     const MmuStats &stats() const { return stats_; }
     AddressSpace &addressSpace() { return as_; }
     mem::PhysMem &physMem() { return pm_; }
@@ -285,6 +293,7 @@ class Mmu
     Addr cached_vpn_ = 0;
     Pte *cached_pte_ = nullptr;
     std::uint64_t cached_pt_epoch_ = 0;
+    std::uint64_t frame_epoch_ = 0;
 
     trace::Tracer *tracer_ = nullptr;
 };

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "base/simd.h"
 #include "core/machine.h"
 #include "core/mutator.h"
 #include "workload/spec.h"
@@ -128,11 +129,12 @@ fingerprint(const RunMetrics &m)
            << " lat=" << p.total_latency << "/" << p.max_latency
            << "\n";
     }
-    // Deliberately excluded: m.prescan (host-side pipeline counters,
-    // zero with sweep_accel off) and m.oracle_* (observer totals that
-    // count only when the oracle is attached). Everything above is a
-    // simulated observable and must be bit-identical across host-side
-    // and observer configuration changes.
+    // Deliberately excluded: m.prescan and m.memo (host-side pipeline
+    // and memo counters, zero with sweep_accel / memo off) and
+    // m.oracle_* (observer totals that count only when the oracle is
+    // attached). Everything above is a simulated observable and must
+    // be bit-identical across host-side and observer configuration
+    // changes.
     return os.str();
 }
 
@@ -195,6 +197,69 @@ TEST(Determinism, SweepAccelPreservesSpecMetricsAllStrategies)
         }
         EXPECT_EQ(fp[1], fp[0])
             << "strategy " << core::strategyName(s);
+    }
+}
+
+/** The cross-epoch decode memo (DESIGN.md §17.2) is a pure host-side
+ *  cache: cached decodes are bits-validated at the virtual instant of
+ *  use and all charges accrue identically, so RunMetrics must be
+ *  bit-identical with cfg.memo on and off — for every strategy, under
+ *  both the serial token engine and the lockstep engine. */
+TEST(Determinism, MemoPreservesSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        for (unsigned par_cores : {0u, 4u}) {
+            std::string fp[2];
+            for (int memo = 0; memo < 2; ++memo) {
+                MachineConfig cfg;
+                cfg.strategy = s;
+                cfg.policy = workload::specPolicy();
+                cfg.par_cores = par_cores;
+                cfg.memo = memo != 0;
+                Machine m(cfg);
+                workload::runSpec(m,
+                                  workload::specProfile("hmmer_retro"));
+                fp[memo] = fingerprint(m.metrics());
+            }
+            EXPECT_EQ(fp[1], fp[0])
+                << "strategy " << core::strategyName(s)
+                << " par_cores " << par_cores;
+        }
+    }
+}
+
+/** The SIMD kernel level (DESIGN.md §17.1) is a pure host dispatch
+ *  concern: CREV_SIMD=0 forces the scalar fallbacks everywhere (the
+ *  sweep's candidate validation, the pre-scan's expansion/gather, the
+ *  shadow bitmap's span paints), and RunMetrics must not move — for
+ *  every strategy, serial and lockstep. This is the in-process twin
+ *  of CI's forced-scalar bench leg. */
+TEST(Determinism, ScalarKernelsPreserveSpecMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        for (unsigned par_cores : {0u, 4u}) {
+            std::string fp[2];
+            for (int scalar = 0; scalar < 2; ++scalar) {
+                if (scalar != 0)
+                    setenv("CREV_SIMD", "0", 1);
+                else
+                    unsetenv("CREV_SIMD");
+                simd::refreshFromEnv();
+                MachineConfig cfg;
+                cfg.strategy = s;
+                cfg.policy = workload::specPolicy();
+                cfg.par_cores = par_cores;
+                Machine m(cfg);
+                workload::runSpec(m,
+                                  workload::specProfile("hmmer_retro"));
+                fp[scalar] = fingerprint(m.metrics());
+            }
+            unsetenv("CREV_SIMD");
+            simd::refreshFromEnv();
+            EXPECT_EQ(fp[1], fp[0])
+                << "strategy " << core::strategyName(s)
+                << " par_cores " << par_cores;
+        }
     }
 }
 
@@ -350,7 +415,7 @@ churn(Machine &m, Mutator &ctx, int iters)
 RunMetrics
 runChaosWith(Strategy s, bool host_fast_paths,
              bool sweep_accel = true, bool oracle = false,
-             int par_cores = -1)
+             int par_cores = -1, bool memo = true)
 {
     MachineConfig cfg;
     cfg.strategy = s;
@@ -358,6 +423,7 @@ runChaosWith(Strategy s, bool host_fast_paths,
     cfg.host_fast_paths = host_fast_paths;
     cfg.sweep_accel = sweep_accel;
     cfg.oracle = oracle;
+    cfg.memo = memo;
     if (par_cores >= 0)
         cfg.par_cores = static_cast<unsigned>(par_cores);
     cfg.policy.min_bytes = 32 * 1024; // revoke frequently
@@ -403,6 +469,26 @@ TEST(Determinism, FastPathsPreserveChaosMetricsAllStrategies)
         const std::string reference =
             fingerprint(runChaosWith(s, false));
         EXPECT_EQ(fast, reference)
+            << "strategy " << core::strategyName(s);
+    }
+}
+
+/** Chaos campaign with the memo and the dispatched kernels both
+ *  toggled at once (the two new host levers of DESIGN.md §17): fault
+ *  injection, recovery ladders, and the per-epoch audit must see the
+ *  exact same virtual history either way. */
+TEST(Determinism, MemoAndKernelsPreserveChaosMetricsAllStrategies)
+{
+    for (Strategy s : core::kAllStrategies) {
+        const std::string dispatched =
+            fingerprint(runChaosWith(s, true));
+        setenv("CREV_SIMD", "0", 1);
+        simd::refreshFromEnv();
+        const std::string scalar_no_memo = fingerprint(
+            runChaosWith(s, true, true, false, -1, /*memo=*/false));
+        unsetenv("CREV_SIMD");
+        simd::refreshFromEnv();
+        EXPECT_EQ(scalar_no_memo, dispatched)
             << "strategy " << core::strategyName(s);
     }
 }

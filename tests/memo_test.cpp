@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Units for the cross-epoch decode memo (DESIGN.md §17.2): the
+ * freshness stamps at every store-generation choke point
+ * (Mmu::storeCap via AddressSpace::noteCapStore, publishPage's
+ * restamp, shootdownPage, purgeFreedFrames' frame-epoch advance), the
+ * sweep's consult/record/invalidate life cycle, and the contract that
+ * the memo is a pure host concern (all-zero stats when disabled).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "core/mutator.h"
+#include "revoker/bitmap.h"
+#include "revoker/memo.h"
+#include "revoker/sweep.h"
+#include "vm/mmu.h"
+
+namespace crev {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::Mutator;
+using core::Strategy;
+using revoker::DecodeMemo;
+
+TEST(MemoTest, FreshnessRequiresAllThreeStamps)
+{
+    DecodeMemo::Entry e;
+    e.pfn = 42;
+    e.store_gen = 7;
+    e.frame_epoch = 3;
+    EXPECT_TRUE(DecodeMemo::fresh(e, 42, 7, 3));
+    EXPECT_FALSE(DecodeMemo::fresh(e, 41, 7, 3)) << "frame changed";
+    EXPECT_FALSE(DecodeMemo::fresh(e, 42, 8, 3)) << "store happened";
+    EXPECT_FALSE(DecodeMemo::fresh(e, 42, 7, 4)) << "frame recycled";
+}
+
+TEST(MemoTest, RecordFindRestampInvalidate)
+{
+    DecodeMemo memo;
+    revoker::PrescanPipeline::PageScan scan;
+    scan.page_va = 0x1000;
+    memo.record(/*pfn=*/5, /*gen=*/1, /*frame_epoch=*/0,
+                std::move(scan));
+    ASSERT_NE(memo.find(0x1000), nullptr);
+    EXPECT_EQ(memo.find(0x2000), nullptr);
+    EXPECT_EQ(memo.stats().refreshes, 1u);
+
+    // Restamp advances the freshness stamps in place...
+    memo.restamp(0x1000, /*pfn=*/5, /*gen=*/3, /*frame_epoch=*/1);
+    EXPECT_TRUE(DecodeMemo::fresh(*memo.find(0x1000), 5, 3, 1));
+    EXPECT_EQ(memo.stats().restamps, 1u);
+    // ...but never resurrects a different frame's entry.
+    memo.restamp(0x1000, /*pfn=*/6, /*gen=*/9, /*frame_epoch=*/1);
+    EXPECT_TRUE(DecodeMemo::fresh(*memo.find(0x1000), 5, 3, 1));
+    memo.restamp(0x3000, /*pfn=*/5, /*gen=*/1, /*frame_epoch=*/0);
+    EXPECT_EQ(memo.find(0x3000), nullptr);
+
+    memo.invalidate(0x1000);
+    EXPECT_EQ(memo.find(0x1000), nullptr);
+    EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(MemoTest, StoreCapBumpsStoreGeneration)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability c = ctx.malloc(2 * kPageSize);
+        const cap::Capability v = ctx.malloc(64);
+        const Addr page = pageBase(c.base);
+        const std::uint64_t g0 =
+            m.addressSpace().storeGen(page);
+        // A plain data store is not a choke point...
+        ctx.store64(c, 0, 1);
+        EXPECT_EQ(m.addressSpace().storeGen(page), g0);
+        // ...a capability store is.
+        ctx.storeCap(c, 0, v);
+        EXPECT_GT(m.addressSpace().storeGen(page), g0);
+    });
+    m.run();
+}
+
+TEST(MemoTest, ShootdownBumpsStoreGeneration)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline;
+    Machine m(cfg);
+    m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+        const cap::Capability c = ctx.malloc(2 * kPageSize);
+        ctx.store64(c, 0, 1); // fault the page in
+        const Addr page = pageBase(c.base);
+        const std::uint64_t g0 =
+            m.addressSpace().storeGen(page);
+        m.mmu().shootdownPage(ctx.thread(), page);
+        EXPECT_GT(m.addressSpace().storeGen(page), g0);
+    });
+    m.run();
+}
+
+TEST(MemoTest, PurgeWithoutFreedFramesKeepsEpoch)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline;
+    Machine m(cfg);
+    const std::uint64_t e0 = m.mmu().frameEpoch();
+    m.mmu().purgeFreedFrames();
+    EXPECT_EQ(m.mmu().frameEpoch(), e0)
+        << "epoch advanced without any recycled frame";
+}
+
+/**
+ * Drive one page through the sweep's memo life cycle: first sweep
+ * records, a fully-validating sweep reuses without re-recording, a
+ * mutated page misses and invalidates, and the next sweep re-records.
+ */
+TEST(MemoTest, SweepConsultsRecordsAndInvalidates)
+{
+    MachineConfig cfg;
+    cfg.strategy = Strategy::kBaseline; // no revoker daemon
+    cfg.host_fast_paths = true;
+    Machine m(cfg);
+    DecodeMemo memo;
+    m.spawnMutator("app", 1u << 3, [&](Mutator &ctx) {
+        const cap::Capability c = ctx.malloc(2 * kPageSize);
+        const cap::Capability v1 = ctx.malloc(64);
+        const cap::Capability v2 = ctx.malloc(64);
+        const Addr page = roundUp(c.base, kPageSize);
+        const Addr off0 = page - c.base;
+        for (std::size_t k = 0; k < 8; ++k)
+            ctx.storeCap(c, off0 + k * 64, v1);
+
+        revoker::RevocationBitmap bitmap(ctx.machine().mmu());
+        revoker::SweepEngine engine(ctx.machine().mmu(), bitmap,
+                                    /*host_fast_paths=*/true);
+        engine.setMemo(&memo);
+        sim::SimThread &t = ctx.thread();
+
+        // First sweep: no entry, every granule decoded live and
+        // recorded.
+        engine.sweepPage(t, page);
+        EXPECT_EQ(memo.stats().refreshes, 1u);
+        EXPECT_EQ(memo.stats().cand_hits, 0u);
+        ASSERT_NE(memo.find(page), nullptr);
+        EXPECT_EQ(memo.find(page)->scan.cands.size(), 8u);
+
+        // Second sweep: all eight validate; the entry is reused, not
+        // re-recorded (steady state allocates nothing).
+        engine.sweepPage(t, page);
+        EXPECT_EQ(memo.stats().cand_hits, 8u);
+        EXPECT_EQ(memo.stats().cand_misses, 0u);
+        EXPECT_EQ(memo.stats().refreshes, 1u);
+
+        // Overwrite one slot with a different capability: that
+        // granule's live bits no longer match, so the sweep decodes
+        // it live and drops the entry.
+        ctx.storeCap(c, off0 + 3 * 64, v2);
+        engine.sweepPage(t, page);
+        EXPECT_EQ(memo.stats().cand_hits, 15u);
+        EXPECT_EQ(memo.stats().cand_misses, 1u);
+        EXPECT_EQ(memo.find(page), nullptr)
+            << "mismatching entry must be invalidated";
+
+        // Next sweep re-records the page as now observed.
+        engine.sweepPage(t, page);
+        EXPECT_EQ(memo.stats().refreshes, 2u);
+        ASSERT_NE(memo.find(page), nullptr);
+        EXPECT_EQ(memo.find(page)->scan.cands.size(), 8u);
+    });
+    m.run();
+}
+
+TEST(MemoTest, EndToEndMemoPopulatesStatsOnlyWhenEnabled)
+{
+    for (const bool memo_on : {true, false}) {
+        MachineConfig cfg;
+        cfg.strategy = Strategy::kReloaded;
+        cfg.host_fast_paths = true;
+        cfg.memo = memo_on;
+        cfg.policy.min_bytes = 1 << 20;
+        Machine m(cfg);
+        m.spawnMutator("app", 1u << 3, [&m](Mutator &ctx) {
+            const cap::Capability holder = ctx.malloc(256);
+            for (int round = 0; round < 4; ++round) {
+                const cap::Capability victim = ctx.malloc(4096);
+                ctx.storeCap(holder, 0, victim);
+                ctx.free(victim);
+                m.heap().drain(ctx.thread());
+            }
+        });
+        m.run();
+        const auto &ms = m.metrics().memo;
+        if (memo_on) {
+            EXPECT_GT(ms.refreshes + ms.cand_hits, 0u)
+                << "memo enabled but never exercised";
+        } else {
+            EXPECT_EQ(ms.refreshes, 0u);
+            EXPECT_EQ(ms.cand_hits + ms.cand_misses, 0u);
+            EXPECT_EQ(ms.page_hits, 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace crev

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Differential tests for the runtime-dispatched SIMD batch kernels
+ * (DESIGN.md §17.1): every kernel's dispatched variant is checked
+ * against the scalar reference on randomized inputs across the
+ * sweep's density regimes (clean, sparse, full, revoke-dense) and on
+ * torn-RMW 16-byte windows (a granule caught between the two halves
+ * of a capability store). The AVX2 and scalar variants must be
+ * extensionally equal on every input — that equality is what makes
+ * the dispatch level a pure host concern.
+ *
+ * On hosts without AVX2, forceLevel(kAvx2) falls back to scalar and
+ * the differentials pass trivially; CI's x86-64 runners exercise the
+ * real wide paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "base/simd.h"
+
+namespace crev {
+namespace {
+
+using simd::Level;
+
+/** Deterministic word arrays mimicking the sweep's tag densities. */
+std::vector<std::uint64_t>
+makeWords(std::size_t n, double density, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::vector<std::uint64_t> w(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (unsigned b = 0; b < 64; ++b)
+            if (coin(rng) < density)
+                w[i] |= std::uint64_t{1} << b;
+    return w;
+}
+
+/** The four density regimes the sweep microbench measures. */
+const double kDensities[] = {0.0, 0.02, 1.0, 0.25};
+
+/** Word counts straddling the small-n scalar floor and the vector
+ *  path's 4-word stride (with and without a tail). */
+const std::size_t kSizes[] = {0, 1, 3, 4, 7, 8, 9, 13, 64, 129};
+
+/** Run @p fn once under scalar dispatch and once under the best
+ *  level, returning both results for comparison. */
+template <typename Fn>
+auto
+bothLevels(Fn &&fn)
+{
+    simd::forceLevel(Level::kScalar);
+    auto scalar = fn();
+    simd::forceLevel(Level::kAvx2);
+    auto best = fn();
+    simd::refreshFromEnv();
+    return std::make_pair(scalar, best);
+}
+
+TEST(SimdTest, PopcountWordsMatchesScalarAcrossRegimes)
+{
+    std::uint64_t seed = 1;
+    for (double d : kDensities) {
+        for (std::size_t n : kSizes) {
+            const auto w = makeWords(n, d, seed++);
+            const auto [s, b] = bothLevels(
+                [&] { return simd::popcountWords(w.data(), n); });
+            EXPECT_EQ(s, b) << "density " << d << " n " << n;
+        }
+    }
+}
+
+TEST(SimdTest, AnySetMatchesScalarAcrossRegimes)
+{
+    std::uint64_t seed = 100;
+    for (double d : kDensities) {
+        for (std::size_t n : kSizes) {
+            const auto w = makeWords(n, d, seed++);
+            const auto [s, b] = bothLevels(
+                [&] { return simd::anySet(w.data(), n); });
+            EXPECT_EQ(s, b) << "density " << d << " n " << n;
+        }
+    }
+}
+
+TEST(SimdTest, AnySetFindsLoneBitAtEveryPosition)
+{
+    // A single bit anywhere in a 9-word span must be seen by both
+    // variants (exercises the 4-word stride and the scalar tail).
+    for (std::size_t word = 0; word < 9; ++word) {
+        for (unsigned bit : {0u, 31u, 63u}) {
+            std::vector<std::uint64_t> w(9, 0);
+            w[word] = std::uint64_t{1} << bit;
+            const auto [s, b] = bothLevels(
+                [&] { return simd::anySet(w.data(), w.size()); });
+            EXPECT_TRUE(s);
+            EXPECT_TRUE(b);
+        }
+    }
+}
+
+TEST(SimdTest, EqualWordsMatchesScalarOnEqualAndPerturbed)
+{
+    std::uint64_t seed = 200;
+    for (double d : kDensities) {
+        for (std::size_t n : kSizes) {
+            const auto a = makeWords(n, d, seed);
+            auto b = a;
+            // Equal arrays agree under both variants.
+            auto [se, be] = bothLevels([&] {
+                return simd::equalWords(a.data(), b.data(), n);
+            });
+            EXPECT_TRUE(se);
+            EXPECT_TRUE(be);
+            if (n == 0) {
+                ++seed;
+                continue;
+            }
+            // Flip one bit at a seed-chosen position: both variants
+            // must see the difference.
+            std::mt19937_64 rng(seed++);
+            const std::size_t at = rng() % n;
+            b[at] ^= std::uint64_t{1} << (rng() % 64);
+            auto [sd, bd] = bothLevels([&] {
+                return simd::equalWords(a.data(), b.data(), n);
+            });
+            EXPECT_FALSE(sd) << "n " << n << " at " << at;
+            EXPECT_FALSE(bd) << "n " << n << " at " << at;
+        }
+    }
+}
+
+TEST(SimdTest, Equal128DetectsTornRmwWindows)
+{
+    // A capability store lands as two 8-byte halves; a sweep racing it
+    // can observe old-lo/new-hi or new-lo/old-hi. The bits comparison
+    // must reject every torn combination and accept only identical
+    // 16-byte windows.
+    std::mt19937_64 rng(42);
+    for (int iter = 0; iter < 1000; ++iter) {
+        std::uint64_t old_g[2] = {rng(), rng()};
+        std::uint64_t new_g[2] = {rng(), rng()};
+        if (old_g[0] == new_g[0])
+            new_g[0] ^= 1;
+        if (old_g[1] == new_g[1])
+            new_g[1] ^= 1;
+        const std::uint64_t torn_a[2] = {new_g[0], old_g[1]};
+        const std::uint64_t torn_b[2] = {old_g[0], new_g[1]};
+        EXPECT_TRUE(simd::equal128(old_g, old_g));
+        EXPECT_TRUE(simd::equal128(new_g, new_g));
+        EXPECT_FALSE(simd::equal128(old_g, new_g));
+        EXPECT_FALSE(simd::equal128(old_g, torn_a));
+        EXPECT_FALSE(simd::equal128(old_g, torn_b));
+        EXPECT_FALSE(simd::equal128(new_g, torn_a));
+        EXPECT_FALSE(simd::equal128(new_g, torn_b));
+    }
+}
+
+TEST(SimdTest, FillWordsMatchesScalarAcrossSizes)
+{
+    for (std::size_t n : kSizes) {
+        for (std::uint64_t v : {std::uint64_t{0}, ~std::uint64_t{0},
+                                std::uint64_t{0xDEADBEEFCAFEF00D}}) {
+            auto run = [&] {
+                std::vector<std::uint64_t> w(n + 2, 0x5555555555555555);
+                // Fill the interior only: the sentinels catch
+                // overwrites past n.
+                simd::fillWords(w.data() + 1, n, v);
+                return w;
+            };
+            const auto [s, b] = bothLevels(run);
+            EXPECT_EQ(s, b) << "n " << n << " v " << v;
+            EXPECT_EQ(s.front(), 0x5555555555555555u);
+            EXPECT_EQ(s.back(), 0x5555555555555555u);
+        }
+    }
+}
+
+TEST(SimdTest, ExpandSetBitsMatchesScalarAcrossRegimes)
+{
+    std::uint64_t seed = 300;
+    for (double d : kDensities) {
+        for (std::size_t n : kSizes) {
+            const auto w = makeWords(n, d, seed++);
+            auto run = [&] {
+                std::vector<std::uint32_t> out(64 * n + 1, 0xFFFFFFFF);
+                const std::size_t k = simd::expandSetBits(
+                    w.data(), n, /*base=*/7, out.data());
+                out.resize(k);
+                return out;
+            };
+            const auto [s, b] = bothLevels(run);
+            EXPECT_EQ(s, b) << "density " << d << " n " << n;
+            // Indices are ascending and consistent with the bitmap.
+            for (std::size_t i = 1; i < s.size(); ++i)
+                EXPECT_LT(s[i - 1], s[i]);
+            EXPECT_EQ(s.size(),
+                      simd::popcountWords(w.data(), n));
+        }
+    }
+}
+
+TEST(SimdTest, GatherGranulesMatchesScalar)
+{
+    std::mt19937_64 rng(7);
+    std::vector<std::uint8_t> bytes(256 * 16);
+    for (auto &x : bytes)
+        x = static_cast<std::uint8_t>(rng());
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{8}, std::size_t{100}}) {
+        std::vector<std::uint32_t> idx(n);
+        for (auto &i : idx)
+            i = static_cast<std::uint32_t>(rng() % 256);
+        auto run = [&] {
+            std::vector<std::uint64_t> out(2 * n + 1, 0);
+            simd::gatherGranules(bytes.data(), idx.data(), n,
+                                 out.data());
+            return out;
+        };
+        const auto [s, b] = bothLevels(run);
+        EXPECT_EQ(s, b) << "n " << n;
+        // Each pair is the little-endian 16 bytes at idx[i]*16.
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t lo, hi;
+            std::memcpy(&lo, bytes.data() + idx[i] * std::size_t{16},
+                        8);
+            std::memcpy(&hi,
+                        bytes.data() + idx[i] * std::size_t{16} + 8, 8);
+            EXPECT_EQ(s[2 * i], lo);
+            EXPECT_EQ(s[2 * i + 1], hi);
+        }
+    }
+}
+
+TEST(SimdTest, EnvForcesScalarAndRefreshRestores)
+{
+    // CREV_SIMD=0 must pin the dispatch at scalar; clearing it
+    // restores the host's best level. (Whatever that level is, the
+    // kernels above proved it extensionally scalar-equal.)
+    setenv("CREV_SIMD", "0", 1);
+    simd::refreshFromEnv();
+    EXPECT_EQ(simd::level(), Level::kScalar);
+    unsetenv("CREV_SIMD");
+    simd::refreshFromEnv();
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2"))
+        EXPECT_EQ(simd::level(), Level::kAvx2);
+#endif
+}
+
+} // namespace
+} // namespace crev

@@ -17,7 +17,20 @@ bench_all trajectory files (DESIGN.md §9):
   - runs carrying an "alloc_shard" record (DESIGN.md §15) must have
     "sim_results_match" true (serial and lockstep engines agreed at
     every shard count) and "remote_free_sends" > 0 (the sharded cell
-    really drove the remote-dealloc queues);
+    really drove the remote-dealloc queues); records that emit a
+    "min_leg_seconds" floor must have every timed leg at or above it
+    (sub-threshold legs are pure host jitter, not measurements);
+  - runs carrying a "kernels" record (DESIGN.md §17) must have
+    "sim_results_match" true (forced-scalar and dispatched kernel
+    legs produced identical simulated work), every leg's
+    "sim_cycles_match" true, and the record-level "host_speedup"
+    (aggregate off/on ns across regimes) >= 1.0 — per-leg ratios are
+    informational because a regime with no tag work measures pure
+    host jitter;
+  - runs carrying a "kernels" record that also ran with
+    "host_threads" >= 2 must have "end_to_end.parallel_speedup"
+    >= 1.15 (the arbiter keeps cross-cell scaling from decaying; a
+    single-slot cpuset cannot scale cross-cell, so it is exempt);
   - among full-mode (non-quick) runs, the newest run's
     "end_to_end.fast_parallel_seconds" must not exceed 1.25x the best
     earlier full-mode run (host-noise tolerance; catches gross e2e
@@ -98,6 +111,61 @@ def check_trajectory_runs(runs):
                     f'run "{label}" alloc_shard: sharded cell drove '
                     f"no remote frees (remote_free_sends {sends})"
                 )
+            # Records that emit a noise floor promise every timed leg
+            # clears it (older records predate the field).
+            floor = ashard.get("min_leg_seconds")
+            if isinstance(floor, (int, float)):
+                for leg in (
+                    "single_serial_seconds",
+                    "single_lockstep_seconds",
+                    "sharded_serial_seconds",
+                    "sharded_lockstep_seconds",
+                ):
+                    secs = ashard.get(leg)
+                    if not isinstance(secs, (int, float)) or \
+                            secs < floor:
+                        fail(
+                            f'run "{label}" alloc_shard leg "{leg}": '
+                            f"{secs}s is below the {floor}s noise "
+                            "floor (noise-sized A/B measurement)"
+                        )
+        # Older runs predate the kernels A/B; gate it only where
+        # recorded.
+        kernels = run.get("kernels")
+        if kernels is not None:
+            if kernels.get("sim_results_match") is not True:
+                fail(
+                    f'run "{label}" kernels: simulated results '
+                    "diverged between scalar and dispatched legs"
+                )
+            legs = kernels.get("legs")
+            if not isinstance(legs, list) or not legs:
+                fail(f'run "{label}" kernels: no legs recorded')
+            for leg in legs:
+                regime = leg.get("regime")
+                if leg.get("sim_cycles_match") is not True:
+                    fail(
+                        f'run "{label}" kernels regime "{regime}": '
+                        "simulated cycles diverged between legs"
+                    )
+            speedup = kernels.get("host_speedup")
+            if not isinstance(speedup, (int, float)) or speedup < 1.0:
+                fail(
+                    f'run "{label}" kernels: dispatched kernels '
+                    f"slower than scalar overall "
+                    f"(host_speedup {speedup})"
+                )
+            # With the arbiter in place, cross-cell scaling must not
+            # decay — but only a multi-slot cpuset can scale at all.
+            threads = run.get("host_threads")
+            par = run.get("end_to_end", {}).get("parallel_speedup")
+            if isinstance(threads, int) and threads >= 2:
+                if not isinstance(par, (int, float)) or par < 1.15:
+                    fail(
+                        f'run "{label}": parallel_speedup {par} below '
+                        "the 1.15 floor despite "
+                        f"{threads} host threads"
+                    )
 
     # End-to-end host-time regression: the newest full-mode run vs the
     # best earlier full-mode run, with 1.25x host-noise headroom.
